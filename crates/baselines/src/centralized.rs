@@ -1,0 +1,153 @@
+//! Centralized FedAvg with a parameter server — not one of the paper's
+//! speed baselines, but the system its §II-B communication analysis is
+//! about: the server moves `2·M·K` bytes *per aggregation round*
+//! (`2·M·K·epochs/E` over training), which is the scalability bottleneck
+//! HADFL's decentralized aggregation removes. The `comm_volume` bench
+//! reproduces that comparison with this scheme.
+
+use hadfl::aggregate::average_params;
+use hadfl::driver::SimOptions;
+use hadfl::trace::{RoundRecord, Trace};
+use hadfl::{HadflError, Workload};
+use hadfl_simnet::{ComputeModel, DeviceId, Endpoint, NetStats};
+use hadfl_tensor::SeedStream;
+
+use crate::config::BaselineConfig;
+
+/// Runs classical centralized FedAvg (McMahan et al.) and returns its
+/// trace (one record per aggregation round).
+///
+/// Each round: every device runs `local_epochs` of local SGD (barrier at
+/// the slowest), uploads its parameters to the server, the server
+/// averages, and every device downloads the new global model. The
+/// server's NIC serializes all `K` uploads and `K` downloads — the
+/// centralized bottleneck.
+///
+/// # Errors
+///
+/// Returns configuration errors for degenerate options and substrate
+/// errors from training.
+pub fn run_centralized_fedavg(
+    workload: &Workload,
+    config: &BaselineConfig,
+    opts: &SimOptions,
+) -> Result<Trace, HadflError> {
+    config.validate()?;
+    let k = opts.powers.len();
+    if k < 2 {
+        return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
+    }
+    let mut built = workload.build(k)?;
+    let wire_bytes = opts.wire_model_bytes.unwrap_or(built.model_bytes);
+    let compute = ComputeModel::new(opts.base_step_secs, &opts.powers)?.with_jitter(opts.jitter);
+    let master_rng = SeedStream::new(workload.seed ^ 0xCE27_0001);
+    let mut device_rngs: Vec<SeedStream> = (0..k).map(|i| master_rng.fork(i as u64)).collect();
+    let mut stats = NetStats::new();
+    for rt in &mut built.runtimes {
+        rt.set_optimizer(hadfl_nn::LrSchedule::constant(config.lr), config.momentum);
+    }
+
+    let batches = built.batches_per_epoch();
+    let mut trace = Trace::new("centralized_fedavg", k, wire_bytes);
+    let mut now = 0.0f64;
+    let mut round = 0usize;
+
+    loop {
+        round += 1;
+        let mut slowest = 0.0f64;
+        let mut round_loss = 0.0f64;
+        for i in 0..k {
+            let steps = config.local_epochs as usize * batches[i];
+            let loss = built.runtimes[i].train_steps(steps)?;
+            round_loss += f64::from(loss) / k as f64;
+            let secs = compute.steps_time(DeviceId(i), steps, Some(&mut device_rngs[i]))?;
+            slowest = slowest.max(secs);
+        }
+        // Upload: the server's link serializes all K models.
+        let mut comm = 0.0f64;
+        for i in 0..k {
+            stats.record(Endpoint::Device(DeviceId(i)), Endpoint::Server, wire_bytes);
+            comm += opts.link.transfer_time(wire_bytes);
+        }
+        let params: Vec<Vec<f32>> =
+            built.runtimes.iter().map(|rt| rt.model.param_vector()).collect();
+        let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
+        let merged = average_params(&refs)?;
+        // Download: again serialized through the server's link.
+        for i in 0..k {
+            stats.record(Endpoint::Server, Endpoint::Device(DeviceId(i)), wire_bytes);
+            comm += opts.link.transfer_time(wire_bytes);
+            built.runtimes[i].model.set_param_vector(&merged)?;
+        }
+        now += slowest + comm;
+
+        let samples: u64 = built.runtimes.iter().map(|rt| rt.samples_seen).sum();
+        let epoch_equiv = samples as f64 / built.train_size as f64;
+        let metrics = built.evaluate_params(&merged)?;
+        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        trace.push(RoundRecord {
+            round,
+            time_secs: now,
+            epoch_equiv,
+            train_loss: round_loss as f32,
+            test_accuracy: metrics.accuracy,
+            selected: Vec::new(),
+            versions,
+        });
+        if epoch_equiv >= opts.epochs_total || round >= opts.max_rounds {
+            break;
+        }
+    }
+    trace.set_comm(&stats);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> SimOptions {
+        let mut o = SimOptions::quick(&[2.0, 2.0, 1.0, 1.0]);
+        o.epochs_total = 4.0;
+        o
+    }
+
+    #[test]
+    fn centralized_trains() {
+        let trace = run_centralized_fedavg(
+            &Workload::quick("mlp", 1),
+            &BaselineConfig::default(),
+            &quick_opts(),
+        )
+        .unwrap();
+        assert!(!trace.records.is_empty());
+        assert!(trace.records.last().unwrap().epoch_equiv >= 4.0);
+    }
+
+    #[test]
+    fn server_moves_two_m_k_per_round() {
+        let trace = run_centralized_fedavg(
+            &Workload::quick("mlp", 2),
+            &BaselineConfig::default(),
+            &quick_opts(),
+        )
+        .unwrap();
+        let rounds = trace.records.len() as u64;
+        let expected = 2 * trace.model_bytes * 4 * rounds; // 2·M·K·rounds
+        assert_eq!(trace.comm.server_bytes, expected, "the §II-B formula must hold exactly");
+    }
+
+    #[test]
+    fn each_device_moves_two_m_per_round() {
+        let trace = run_centralized_fedavg(
+            &Workload::quick("mlp", 3),
+            &BaselineConfig::default(),
+            &quick_opts(),
+        )
+        .unwrap();
+        let rounds = trace.records.len() as u64;
+        for &b in &trace.comm.device_bytes {
+            assert_eq!(b, 2 * trace.model_bytes * rounds);
+        }
+    }
+}

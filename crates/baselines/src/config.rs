@@ -1,0 +1,73 @@
+use hadfl::HadflError;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by the baseline schemes.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_baselines::BaselineConfig;
+///
+/// let cfg = BaselineConfig { lr: 0.02, ..BaselineConfig::default() };
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Learning rate (the paper uses 0.01 everywhere).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// FedAvg's `E`: local epochs per aggregation round (every device
+    /// runs `E × batches_per_epoch` steps, identical across devices).
+    pub local_epochs: u32,
+}
+
+impl Default for BaselineConfig {
+    /// The paper's settings: lr 0.01, momentum 0.9, one local epoch per
+    /// FedAvg round.
+    fn default() -> Self {
+        BaselineConfig { lr: 0.01, momentum: 0.9, local_epochs: 1 }
+    }
+}
+
+impl BaselineConfig {
+    /// Checks ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] describing the first
+    /// out-of-range field.
+    pub fn validate(&self) -> Result<(), HadflError> {
+        if !(self.lr > 0.0) || !self.lr.is_finite() {
+            return Err(HadflError::InvalidConfig(format!("lr must be positive, got {}", self.lr)));
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(HadflError::InvalidConfig(format!(
+                "momentum must be in [0, 1), got {}",
+                self.momentum
+            )));
+        }
+        if self.local_epochs == 0 {
+            return Err(HadflError::InvalidConfig("local_epochs must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(BaselineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(BaselineConfig { lr: 0.0, ..Default::default() }.validate().is_err());
+        assert!(BaselineConfig { lr: f32::NAN, ..Default::default() }.validate().is_err());
+        assert!(BaselineConfig { momentum: 1.0, ..Default::default() }.validate().is_err());
+        assert!(BaselineConfig { local_epochs: 0, ..Default::default() }.validate().is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Decentralized FedAvg: the paper's second baseline (Hegedűs et al.) —
+//! every device runs the *same* number of local steps, then all devices
+//! synchronously gossip parameters and merge. No central server, but the
+//! round boundary is a barrier: fast devices idle for stragglers.
+
+use hadfl::aggregate::{average_params, record_gossip_traffic};
+use hadfl::driver::SimOptions;
+use hadfl::trace::{RoundRecord, Trace};
+use hadfl::{HadflError, Workload};
+use hadfl_simnet::{ComputeModel, DeviceId, NetStats};
+use hadfl_tensor::SeedStream;
+
+use crate::config::BaselineConfig;
+
+/// Runs decentralized FedAvg and returns its trace (one record per
+/// aggregation round).
+///
+/// Each round, every device runs `local_epochs × batches_per_epoch`
+/// local SGD steps — the same count on every device, so the round lasts
+/// as long as the *slowest* device takes — then all live devices average
+/// parameters over a gossip ring.
+///
+/// # Errors
+///
+/// Returns configuration errors for degenerate options and substrate
+/// errors from training.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn run_decentralized_fedavg(
+    workload: &Workload,
+    config: &BaselineConfig,
+    opts: &SimOptions,
+) -> Result<Trace, HadflError> {
+    config.validate()?;
+    let k = opts.powers.len();
+    if k < 2 {
+        return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
+    }
+    let mut built = workload.build(k)?;
+    let wire_bytes = opts.wire_model_bytes.unwrap_or(built.model_bytes);
+    let compute = ComputeModel::new(opts.base_step_secs, &opts.powers)?.with_jitter(opts.jitter);
+    let master_rng = SeedStream::new(workload.seed ^ 0xFEDA_0001);
+    let mut device_rngs: Vec<SeedStream> = (0..k).map(|i| master_rng.fork(i as u64)).collect();
+    let mut stats = NetStats::new();
+    for rt in &mut built.runtimes {
+        rt.set_optimizer(hadfl_nn::LrSchedule::constant(config.lr), config.momentum);
+    }
+
+    let batches = built.batches_per_epoch();
+    let ring: Vec<DeviceId> = (0..k).map(DeviceId).collect();
+    let mut trace = Trace::new("decentralized_fedavg", k, wire_bytes);
+    let mut now = 0.0f64;
+    let mut round = 0usize;
+
+    loop {
+        round += 1;
+        // Local phase: same step count per device, barrier at the slowest.
+        let mut slowest = 0.0f64;
+        let mut round_loss = 0.0f64;
+        for i in 0..k {
+            let steps = config.local_epochs as usize * batches[i];
+            let loss = built.runtimes[i].train_steps(steps)?;
+            round_loss += f64::from(loss) / k as f64;
+            let secs = compute.steps_time(DeviceId(i), steps, Some(&mut device_rngs[i]))?;
+            slowest = slowest.max(secs);
+        }
+        // Synchronous gossip merge of parameters across all devices.
+        let params: Vec<Vec<f32>> =
+            built.runtimes.iter().map(|rt| rt.model.param_vector()).collect();
+        let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
+        let merged = average_params(&refs)?;
+        let cost = record_gossip_traffic(&ring, wire_bytes, &opts.link, &mut stats)?;
+        for rt in &mut built.runtimes {
+            rt.model.set_param_vector(&merged)?;
+        }
+        now += slowest + cost.secs;
+
+        let samples: u64 = built.runtimes.iter().map(|rt| rt.samples_seen).sum();
+        let epoch_equiv = samples as f64 / built.train_size as f64;
+        let metrics = built.evaluate_params(&merged)?;
+        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        trace.push(RoundRecord {
+            round,
+            time_secs: now,
+            epoch_equiv,
+            train_loss: round_loss as f32,
+            test_accuracy: metrics.accuracy,
+            selected: Vec::new(),
+            versions,
+        });
+        if epoch_equiv >= opts.epochs_total || round >= opts.max_rounds {
+            break;
+        }
+    }
+    trace.set_comm(&stats);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> SimOptions {
+        let mut o = SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]);
+        o.epochs_total = 5.0;
+        o
+    }
+
+    #[test]
+    fn fedavg_trains_and_improves() {
+        let trace = run_decentralized_fedavg(
+            &Workload::quick("mlp", 1),
+            &BaselineConfig::default(),
+            &quick_opts(),
+        )
+        .unwrap();
+        assert!(!trace.records.is_empty());
+        let first = &trace.records[0];
+        let last = trace.records.last().unwrap();
+        assert!(last.epoch_equiv >= 5.0);
+        assert!(last.test_accuracy >= first.test_accuracy);
+    }
+
+    #[test]
+    fn all_devices_run_equal_steps() {
+        let trace = run_decentralized_fedavg(
+            &Workload::quick("mlp", 2),
+            &BaselineConfig::default(),
+            &quick_opts(),
+        )
+        .unwrap();
+        let last = trace.records.last().unwrap();
+        assert!(
+            last.versions.windows(2).all(|w| w[0] == w[1]),
+            "FedAvg devices must pace identically: {:?}",
+            last.versions
+        );
+    }
+
+    #[test]
+    fn round_duration_is_straggler_bound() {
+        // Doubling every power except the straggler's must leave round
+        // times (and so total time) essentially unchanged.
+        let base = run_decentralized_fedavg(
+            &Workload::quick("mlp", 3),
+            &BaselineConfig::default(),
+            &{
+                let mut o = quick_opts();
+                o.powers = vec![1.0, 1.0, 1.0, 1.0];
+                o
+            },
+        )
+        .unwrap();
+        let boosted = run_decentralized_fedavg(
+            &Workload::quick("mlp", 3),
+            &BaselineConfig::default(),
+            &{
+                let mut o = quick_opts();
+                o.powers = vec![2.0, 2.0, 2.0, 1.0];
+                o
+            },
+        )
+        .unwrap();
+        let t1 = base.records.last().unwrap().time_secs;
+        let t2 = boosted.records.last().unwrap().time_secs;
+        assert!((t1 - t2).abs() / t1 < 0.05, "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn local_epochs_scale_round_length() {
+        let one = run_decentralized_fedavg(
+            &Workload::quick("mlp", 4),
+            &BaselineConfig { local_epochs: 1, ..Default::default() },
+            &quick_opts(),
+        )
+        .unwrap();
+        let two = run_decentralized_fedavg(
+            &Workload::quick("mlp", 4),
+            &BaselineConfig { local_epochs: 2, ..Default::default() },
+            &quick_opts(),
+        )
+        .unwrap();
+        // With E=2 each round covers twice the data: about half the rounds.
+        assert!(two.records.len() < one.records.len());
+        // …and less total communication for the same epochs.
+        assert!(two.comm.total_bytes < one.comm.total_bytes);
+    }
+
+    #[test]
+    fn no_server_traffic() {
+        let trace = run_decentralized_fedavg(
+            &Workload::quick("mlp", 5),
+            &BaselineConfig::default(),
+            &quick_opts(),
+        )
+        .unwrap();
+        assert_eq!(trace.comm.server_bytes, 0);
+        assert!(trace.comm.total_bytes > 0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let w = Workload::quick("mlp", 0);
+        let mut o = quick_opts();
+        o.powers = vec![1.0];
+        assert!(run_decentralized_fedavg(&w, &BaselineConfig::default(), &o).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Baseline training schemes the HADFL paper compares against.
+//!
+//! Three schemes, all running on the same substrates (the `hadfl-nn`
+//! training stack and the `hadfl-simnet` virtual-time cluster) and
+//! emitting the same [`hadfl::trace::Trace`], so the bench harness can
+//! put them side by side:
+//!
+//! - [`run_distributed`] — *Distributed training* (the paper's PyTorch
+//!   DDP / Horovod comparison): a synchronous ring all-reduce of
+//!   gradients on every iteration. Fast devices idle for the slowest on
+//!   every single step.
+//! - [`run_decentralized_fedavg`] — *Decentralized-FedAvg* (Hegedűs et
+//!   al.): every device runs the same `E` local steps, then all devices
+//!   gossip parameters and merge synchronously. Stragglers stall each
+//!   round boundary.
+//! - [`run_centralized_fedavg`] — classical FedAvg with a parameter
+//!   server, implemented for the §II-B communication-volume analysis:
+//!   the server moves `2·M·K` bytes per round, the bottleneck HADFL
+//!   removes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hadfl::driver::SimOptions;
+//! use hadfl::Workload;
+//! use hadfl_baselines::{run_decentralized_fedavg, BaselineConfig};
+//!
+//! # fn main() -> Result<(), hadfl::HadflError> {
+//! let trace = run_decentralized_fedavg(
+//!     &Workload::quick("mlp", 0),
+//!     &BaselineConfig::default(),
+//!     &SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]),
+//! )?;
+//! println!("fedavg reached {:.3}", trace.max_accuracy());
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0)`-style guards are deliberate: unlike `x <= 0` they also
+// reject NaN, which is exactly what the validators want.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+mod centralized;
+mod config;
+mod distributed;
+mod fedavg;
+
+pub use centralized::run_centralized_fedavg;
+pub use config::BaselineConfig;
+pub use distributed::run_distributed;
+pub use fedavg::run_decentralized_fedavg;

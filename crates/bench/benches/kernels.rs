@@ -1,0 +1,108 @@
+//! Microbenchmarks of the substrate kernels the simulation spends its
+//! time in: tensor matmul / im2col, the CNN forward+backward step, and
+//! the per-round HADFL algorithm pieces (selection, prediction,
+//! aggregation, hyperperiod).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hadfl::aggregate::{average_params, ring_allreduce_cost};
+use hadfl::predict::VersionPredictor;
+use hadfl::select::{select_devices, SelectionPolicy, VersionScale};
+use hadfl::strategy::hyperperiod;
+use hadfl::topology::Ring;
+use hadfl_nn::{models, Dataset, LrSchedule, Sgd, SyntheticSpec};
+use hadfl_simnet::{DeviceId, LinkModel};
+use hadfl_tensor::{im2col, matmul, Conv2dGeometry, SeedStream, Tensor};
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    let mut rng = SeedStream::new(1);
+    let mut a = Tensor::zeros(&[64, 128]);
+    let mut b = Tensor::zeros(&[128, 64]);
+    for v in a.as_mut_slice() {
+        *v = rng.normal();
+    }
+    for v in b.as_mut_slice() {
+        *v = rng.normal();
+    }
+    group.bench_function("matmul_64x128x64", |bch| {
+        bch.iter(|| black_box(matmul(&a, &b).expect("shapes agree")));
+    });
+    let geom = Conv2dGeometry::new(3, 16, 16, 3, 1, 1).expect("valid");
+    let img = Tensor::zeros(&[8, 3, 16, 16]);
+    group.bench_function("im2col_8x3x16x16_k3", |bch| {
+        bch.iter(|| black_box(im2col(&img, &geom).expect("shapes agree")));
+    });
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+    let spec = SyntheticSpec::cifar_like();
+    let ds = Dataset::synthetic_cifar(64, &spec, 1).expect("valid spec");
+    let (x, y) = ds.batch(&(0..64).collect::<Vec<_>>()).expect("in range");
+    for name in ["mlp", "resnet18_lite", "vgg16_lite"] {
+        let mut model =
+            models::by_name(name, &spec.sample_dims(), spec.classes, 1).expect("zoo model");
+        let mut opt = Sgd::new(LrSchedule::constant(0.01), 0.9);
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(model.train_step(&x, &y, &mut opt).expect("trains")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadfl_round_pieces");
+    let devices: Vec<DeviceId> = (0..32).map(DeviceId).collect();
+    let versions: Vec<f64> = (0..32).map(|i| 100.0 + 7.0 * i as f64).collect();
+    group.bench_function("select_32_choose_8", |bch| {
+        let mut rng = SeedStream::new(2);
+        bch.iter(|| {
+            black_box(
+                select_devices(
+                    SelectionPolicy::VersionGaussian,
+                    &devices,
+                    &versions,
+                    8,
+                    VersionScale::ZScore,
+                    &mut rng,
+                )
+                .expect("valid inputs"),
+            )
+        });
+    });
+    group.bench_function("ring_random_8", |bch| {
+        let mut rng = SeedStream::new(3);
+        let members: Vec<DeviceId> = (0..8).map(DeviceId).collect();
+        bch.iter(|| black_box(Ring::random(&members, &mut rng).expect("≥2 members")));
+    });
+    group.bench_function("predictor_observe_forecast", |bch| {
+        let mut p = VersionPredictor::new(0.5, 100.0).expect("valid alpha");
+        let mut v = 0.0;
+        bch.iter(|| {
+            v += 100.0;
+            p.observe(v);
+            black_box(p.forecast(1))
+        });
+    });
+    group.bench_function("hyperperiod_8_devices", |bch| {
+        let times: Vec<f64> = (1..=8).map(|i| 0.012 * i as f64).collect();
+        bch.iter(|| black_box(hyperperiod(&times).expect("valid times")));
+    });
+    let params: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32; 100_000]).collect();
+    group.bench_function("average_params_4x100k", |bch| {
+        let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
+        bch.iter(|| black_box(average_params(&refs).expect("equal lengths")));
+    });
+    group.bench_function("ring_allreduce_cost", |bch| {
+        let link = LinkModel::pcie3_x8();
+        bch.iter(|| black_box(ring_allreduce_cost(8, 44_600_000, &link).expect("n > 0")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor, bench_train_step, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation **AB1** (design choice §III-C): the probability-based
+//! selection of Eq. (8) against three alternatives — always taking the
+//! newest devices (`TopVersions`), uniform random selection, and the
+//! worst case. The paper argues Eq. (8) keeps stragglers contributing
+//! without letting them dominate; this ablation quantifies that.
+//!
+//! Run: `cargo run --release -p hadfl-bench --bin ablation_selection -- --profile paper`
+
+use hadfl::driver::run_hadfl;
+use hadfl::select::SelectionPolicy;
+use hadfl::HadflConfig;
+use hadfl_bench::{experiment_opts, write_csv, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let powers = [4.0, 2.0, 2.0, 1.0];
+    let model = "resnet18_lite";
+    let policies = [
+        ("version_gaussian", SelectionPolicy::VersionGaussian),
+        ("top_versions", SelectionPolicy::TopVersions),
+        ("uniform_random", SelectionPolicy::UniformRandom),
+        ("worst_case", SelectionPolicy::WorstCase),
+    ];
+    println!("Selection-policy ablation — {model}, powers {powers:?}");
+    println!("{:<18} {:>9} {:>14} {:>14}", "policy", "max acc", "time to max", "final acc");
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let workload = profile.workload(model, 400);
+        let opts = experiment_opts(model, &powers, profile);
+        let config = HadflConfig::builder()
+            .num_selected(2)
+            .selection(policy)
+            .seed(400)
+            .build()
+            .expect("valid config");
+        let run = run_hadfl(&workload, &config, &opts).expect("run failed");
+        let (acc, time) = run.trace.time_to_max_accuracy().unwrap_or((0.0, 0.0));
+        let final_acc = run.trace.last().map_or(0.0, |r| r.test_accuracy);
+        println!("{name:<18} {:>8.1}% {:>13.2}s {:>13.1}%", acc * 100.0, time, final_acc * 100.0);
+        rows.push(format!("{name},{acc:.4},{time:.3},{final_acc:.4}"));
+    }
+    write_csv(
+        "ablation_selection.csv",
+        "policy,max_accuracy,time_to_max_secs,final_accuracy",
+        &rows,
+    );
+}

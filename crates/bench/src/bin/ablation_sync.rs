@@ -1,0 +1,49 @@
+//! Ablation **AB3**: sweep of the framework's two scheduling knobs —
+//! the synchronization period `T_sync` (in hyperperiods) and the partial
+//! set size `N_p`. The paper notes that "by allowing more GPUs to
+//! participate in partial synchronization, the training effect can be
+//! better"; this sweep quantifies both knobs.
+//!
+//! Run: `cargo run --release -p hadfl-bench --bin ablation_sync -- --profile paper`
+
+use hadfl::driver::run_hadfl;
+use hadfl::HadflConfig;
+use hadfl_bench::{experiment_opts, write_csv, Profile};
+
+fn main() {
+    let profile = Profile::from_args();
+    let powers = [4.0, 2.0, 2.0, 1.0];
+    let model = "resnet18_lite";
+    println!("T_sync × N_p sweep — {model}, powers {powers:?}");
+    println!("{:>7} {:>5} {:>9} {:>14} {:>11}", "t_sync", "n_p", "max acc", "time to max", "rounds");
+    let mut rows = Vec::new();
+    for t_sync in [1u32, 2, 4] {
+        for n_p in [2usize, 3, 4] {
+            let workload = profile.workload(model, 500);
+            let opts = experiment_opts(model, &powers, profile);
+            let config = HadflConfig::builder()
+                .t_sync(t_sync)
+                .num_selected(n_p)
+                .seed(500)
+                .build()
+                .expect("valid config");
+            let run = run_hadfl(&workload, &config, &opts).expect("run failed");
+            let (acc, time) = run.trace.time_to_max_accuracy().unwrap_or((0.0, 0.0));
+            println!(
+                "{t_sync:>7} {n_p:>5} {:>8.1}% {:>13.2}s {:>11}",
+                acc * 100.0,
+                time,
+                run.trace.records.len()
+            );
+            rows.push(format!(
+                "{t_sync},{n_p},{acc:.4},{time:.3},{}",
+                run.trace.records.len()
+            ));
+        }
+    }
+    write_csv(
+        "ablation_sync.csv",
+        "t_sync,n_p,max_accuracy,time_to_max_secs,rounds",
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 1**: the schedule comparison between distributed
+//! training, FedAvg, and HADFL on three devices with computing power
+//! ratio 4:2:1 — per-device timelines, utilization, and local steps per
+//! hyperperiod.
+//!
+//! Run: `cargo run --release -p hadfl-bench --bin fig1_schedule`
+
+use hadfl::schedule::{
+    distributed_timeline, fedavg_timeline, hadfl_timeline, Activity, Timeline,
+};
+use hadfl_bench::write_csv;
+
+fn print_timeline(tl: &Timeline, step_times: &[f64]) {
+    println!("\n=== {} ===", tl.scheme);
+    let util = tl.utilization();
+    let steps = tl.steps_per_device(step_times);
+    for (i, segs) in tl.devices.iter().enumerate() {
+        let bar: String = segs
+            .iter()
+            .map(|s| {
+                let width = ((s.duration() / tl.makespan()) * 60.0).round() as usize;
+                let ch = match s.activity {
+                    Activity::Compute => '█',
+                    Activity::Idle => '·',
+                    Activity::Sync => '|',
+                };
+                ch.to_string().repeat(width.max(1))
+            })
+            .collect();
+        println!(
+            "dev{i} (steps {:>3}, util {:>5.1}%) {bar}",
+            steps[i],
+            util[i] * 100.0
+        );
+    }
+    println!("makespan {:.3}s   (█ compute · idle | sync)", tl.makespan());
+}
+
+fn main() {
+    // Fig. 1's setting: 3 devices, power ratio 4:2:1. The fastest runs a
+    // 10 ms step; one "epoch" is 8 batches.
+    let powers = [4.0, 2.0, 1.0];
+    let base_step = 0.010 * 4.0; // fastest at native speed
+    let sync = 0.002;
+    let batches = [8usize, 8, 8];
+    let step_times: Vec<f64> = powers.iter().map(|p| base_step / p).collect();
+
+    let dist = distributed_timeline(&powers, base_step, sync, 8).expect("valid");
+    let fedavg = fedavg_timeline(&powers, base_step, sync, 8, 1).expect("valid");
+    let hadfl = hadfl_timeline(&powers, base_step, sync, &batches, 1, 1).expect("valid");
+
+    for tl in [&dist, &fedavg, &hadfl] {
+        print_timeline(tl, &step_times);
+    }
+
+    let mut rows = Vec::new();
+    for tl in [&dist, &fedavg, &hadfl] {
+        let util = tl.utilization();
+        let steps = tl.steps_per_device(&step_times);
+        for i in 0..tl.devices.len() {
+            rows.push(format!("{},{i},{:.4},{}", tl.scheme, util[i], steps[i]));
+        }
+    }
+    write_csv("fig1_schedule.csv", "scheme,device,utilization,local_steps", &rows);
+    println!(
+        "\nHADFL keeps every device busy: the 4:2:1 ratio shows up as 4:2:1 local steps \
+         in the same window instead of 3x idle time on the fast device."
+    );
+}

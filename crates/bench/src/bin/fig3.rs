@@ -1,0 +1,54 @@
+//! Regenerates **Fig. 3**: the six panels of the paper's evaluation —
+//! training loss vs epoch (a, b), test accuracy vs epoch (d, e), and
+//! test accuracy vs time (c, f), for ResNet-18-lite and VGG-16-lite on
+//! both heterogeneity distributions and all three schemes.
+//!
+//! Reuses the trace cache written by the `table1` binary when present.
+//!
+//! Run: `cargo run --release -p hadfl-bench --bin fig3 -- --profile paper`
+
+use hadfl_bench::{ascii_curve, run_scheme_cached, write_csv, Profile, Scheme};
+
+fn main() {
+    let profile = Profile::from_args();
+    let panels = [
+        ("fig3_ab_loss_vs_epoch.csv", "panel a/b: training loss vs epoch"),
+        ("fig3_de_acc_vs_epoch.csv", "panel d/e: test accuracy vs epoch"),
+        ("fig3_cf_acc_vs_time.csv", "panel c/f: test accuracy vs time"),
+    ];
+    let mut loss_rows = Vec::new();
+    let mut acc_epoch_rows = Vec::new();
+    let mut acc_time_rows = Vec::new();
+
+    for model in ["resnet18_lite", "vgg16_lite"] {
+        for powers in [&[3.0, 3.0, 1.0, 1.0][..], &[4.0, 2.0, 2.0, 1.0][..]] {
+            let dist: String = powers.iter().map(|p| format!("{p:.0}")).collect();
+            for scheme in Scheme::paper_trio() {
+                // Seed 100 = the first table1 repeat, so the cache hits.
+                let trace = run_scheme_cached(scheme, model, powers, profile, 100)
+                    .expect("experiment run failed");
+                println!(
+                    "{model} [{dist}] {:<22}: {} rounds, final acc {:.3}  acc/time {}",
+                    scheme.label(),
+                    trace.records.len(),
+                    trace.last().map_or(0.0, |r| r.test_accuracy),
+                    ascii_curve(&trace.accuracy_vs_time(), 0.0, 1.0, 40)
+                );
+                for r in &trace.records {
+                    let key = format!("{model},{dist},{}", scheme.label());
+                    loss_rows.push(format!("{key},{:.4},{:.5}", r.epoch_equiv, r.train_loss));
+                    acc_epoch_rows
+                        .push(format!("{key},{:.4},{:.5}", r.epoch_equiv, r.test_accuracy));
+                    acc_time_rows
+                        .push(format!("{key},{:.4},{:.5}", r.time_secs, r.test_accuracy));
+                }
+            }
+        }
+    }
+    write_csv(panels[0].0, "model,powers,scheme,epoch,train_loss", &loss_rows);
+    write_csv(panels[1].0, "model,powers,scheme,epoch,test_accuracy", &acc_epoch_rows);
+    write_csv(panels[2].0, "model,powers,scheme,time_secs,test_accuracy", &acc_time_rows);
+    for (file, desc) in panels {
+        println!("{desc} → target/experiments/{file}");
+    }
+}

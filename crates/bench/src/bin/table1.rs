@@ -1,0 +1,88 @@
+//! Regenerates **Table I**: time required to reach the maximum test
+//! accuracy, for {ResNet-18-lite, VGG-16-lite} × heterogeneity
+//! {`[3,3,1,1]`, `[4,2,2,1]`} × {distributed training, decentralized-FedAvg,
+//! HADFL}, averaged over repeats.
+//!
+//! Run: `cargo run --release -p hadfl-bench --bin table1 -- --profile paper`
+//! (default profile is `quick` for a fast smoke pass). Also prints the
+//! paper's headline speedups (HADFL vs each baseline).
+
+use hadfl_bench::{mean_time_to_max_accuracy, run_scheme_cached, write_csv, Profile, Scheme};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Cell {
+    model: String,
+    powers: Vec<f64>,
+    scheme: String,
+    accuracy: f32,
+    time_secs: f64,
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let models = ["resnet18_lite", "vgg16_lite"];
+    let distributions: [&[f64]; 2] = [&[3.0, 3.0, 1.0, 1.0], &[4.0, 2.0, 2.0, 1.0]];
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut rows = Vec::new();
+
+    println!("Table I — time required to reach the maximum test accuracy");
+    println!("{:<22} {:<14} {:<24} {:>9} {:>12}", "model", "powers", "scheme", "max acc", "time (s)");
+    for model in models {
+        for powers in distributions {
+            for scheme in Scheme::paper_trio() {
+                let traces: Vec<_> = (0..profile.repeats())
+                    .map(|r| {
+                        run_scheme_cached(scheme, model, powers, profile, 100 + r)
+                            .expect("experiment run failed")
+                    })
+                    .collect();
+                let (acc, time) = mean_time_to_max_accuracy(&traces);
+                println!(
+                    "{:<22} {:<14} {:<24} {:>8.1}% {:>11.2}s",
+                    model,
+                    format!("{powers:?}"),
+                    scheme.label(),
+                    acc * 100.0,
+                    time
+                );
+                rows.push(format!(
+                    "{model},{},{},{:.4},{:.3}",
+                    powers.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("|"),
+                    scheme.label(),
+                    acc,
+                    time
+                ));
+                cells.push(Cell {
+                    model: model.to_string(),
+                    powers: powers.to_vec(),
+                    scheme: scheme.label().to_string(),
+                    accuracy: acc,
+                    time_secs: time,
+                });
+            }
+            // Paper-style speedup lines for this (model, distribution).
+            let find = |s: Scheme| {
+                cells
+                    .iter()
+                    .rev()
+                    .find(|c| c.scheme == s.label())
+                    .map(|c| c.time_secs)
+                    .unwrap_or(f64::NAN)
+            };
+            let hadfl = find(Scheme::Hadfl);
+            let dist = find(Scheme::DistributedTraining);
+            let fedavg = find(Scheme::DecentralizedFedAvg);
+            println!(
+                "    → speedup over distributed {:.2}x, over decentralized-FedAvg {:.2}x",
+                dist / hadfl,
+                fedavg / hadfl
+            );
+        }
+    }
+    write_csv(
+        "table1.csv",
+        "model,powers,scheme,max_accuracy,time_to_max_secs",
+        &rows,
+    );
+}

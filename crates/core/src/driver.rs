@@ -1,0 +1,580 @@
+//! The HADFL virtual-time simulation driver: wires the coordinator
+//! components, the gossip ring, the fault plan, and the training
+//! substrate into the paper's full workflow (§III-A steps 1–9) and emits
+//! a [`Trace`].
+
+use std::collections::BTreeMap;
+
+use hadfl_nn::LrSchedule;
+use hadfl_simnet::{
+    ComputeModel, DeviceId, Endpoint, FaultPlan, Jitter, LinkModel, NetStats, VirtualTime,
+};
+use hadfl_tensor::SeedStream;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::blend_params;
+use crate::config::HadflConfig;
+use crate::coordinator::{LivenessMonitor, ModelManager, RuntimeSupervisor, StrategyGenerator};
+use crate::error::HadflError;
+use crate::gossip::run_partial_sync;
+use crate::strategy::Strategy;
+use crate::trace::{CommSummary, RoundRecord, Trace};
+use crate::workload::{BuiltWorkload, Workload};
+
+/// Size of a control-plane message (liveness ping, version report,
+/// training configuration), bytes. Tiny next to the model.
+const CONTROL_MSG_BYTES: u64 = 16;
+
+/// Simulation options shared by HADFL and the baseline drivers.
+///
+/// # Example
+///
+/// ```
+/// use hadfl::driver::SimOptions;
+///
+/// let opts = SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]);
+/// assert_eq!(opts.powers.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Seconds one local step takes on a power-1 device.
+    pub base_step_secs: f64,
+    /// Computing-power ratios, one per device (the paper's arrays,
+    /// e.g. `[3, 3, 1, 1]`).
+    pub powers: Vec<f64>,
+    /// The interconnect model.
+    pub link: LinkModel,
+    /// Scheduled disconnections.
+    pub faults: FaultPlan,
+    /// Compute-time jitter (exercises the runtime predictor).
+    pub jitter: Jitter,
+    /// Stop once this many epochs-equivalent of data have been processed.
+    pub epochs_total: f64,
+    /// Hard cap on synchronization rounds.
+    pub max_rounds: usize,
+    /// Evaluate the merged model every this many rounds.
+    pub eval_every: usize,
+    /// Model-manager backup period in rounds (`None` disables backup).
+    pub backup_every: Option<usize>,
+    /// Bytes a model transfer costs on the wire. The lite models are
+    /// orders of magnitude smaller than the paper's ResNet-18/VGG-16;
+    /// overriding the wire size restores the paper's
+    /// communication-to-compute ratio (see DESIGN.md §2). `None` uses
+    /// the actual parameter-vector size.
+    pub wire_model_bytes: Option<u64>,
+}
+
+impl SimOptions {
+    /// CI-scale options: a handful of epochs over the given power ratios.
+    pub fn quick(powers: &[f64]) -> Self {
+        SimOptions {
+            base_step_secs: 0.010,
+            powers: powers.to_vec(),
+            link: LinkModel::pcie3_x8(),
+            faults: FaultPlan::none(),
+            jitter: Jitter::None,
+            epochs_total: 6.0,
+            max_rounds: 10_000,
+            eval_every: 1,
+            backup_every: None,
+            wire_model_bytes: None,
+        }
+    }
+
+    /// Experiment-scale options used by the table/figure harnesses.
+    pub fn experiment(powers: &[f64], epochs_total: f64) -> Self {
+        SimOptions { epochs_total, ..SimOptions::quick(powers) }
+    }
+
+    fn validate(&self) -> Result<(), HadflError> {
+        if self.powers.len() < 2 {
+            return Err(HadflError::InvalidConfig(format!(
+                "need at least 2 devices, got {}",
+                self.powers.len()
+            )));
+        }
+        if !(self.epochs_total > 0.0) {
+            return Err(HadflError::InvalidConfig("epochs_total must be positive".into()));
+        }
+        if self.eval_every == 0 || self.max_rounds == 0 {
+            return Err(HadflError::InvalidConfig(
+                "eval_every and max_rounds must be positive".into(),
+            ));
+        }
+        if self.backup_every == Some(0) {
+            return Err(HadflError::InvalidConfig("backup_every must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Extended trace for HADFL runs: the base [`Trace`] plus setup-phase
+/// communication (initial model dispatch) and model-manager backups,
+/// which are accounted separately so the steady-state decentralization
+/// claim can be checked on `trace.comm` alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HadflRun {
+    /// The per-round trace (training-phase communication only).
+    pub trace: Trace,
+    /// Setup-phase communication: initial model dispatch and warm-up
+    /// timing reports.
+    pub setup_comm: CommSummary,
+    /// Backup-phase communication: the model manager's periodic fetches.
+    pub backup_comm: CommSummary,
+    /// Number of backups taken.
+    pub backups_taken: usize,
+    /// The derived heterogeneity-aware strategy.
+    pub strategy: Strategy,
+    /// Devices bypassed by the fault-tolerance mechanism, per round
+    /// (round index → bypassed devices), only rounds with bypasses.
+    pub bypass_log: Vec<(usize, Vec<usize>)>,
+}
+
+/// Runs the full HADFL workflow over a workload and returns the run.
+///
+/// Workflow (paper §III-A): initial model dispatch → mutual-negotiation
+/// warm-up (small lr, timing measurement) → strategy generation
+/// (hyperperiod, `E_i`) → per-round: heterogeneity-aware local training,
+/// probabilistic selection, random-ring gossip with fault bypass,
+/// non-blocking broadcast to the unselected, runtime version prediction →
+/// periodic model backup.
+///
+/// # Errors
+///
+/// Returns configuration errors for inconsistent options, substrate
+/// errors from training, and [`HadflError::ClusterDead`] if every device
+/// dies.
+///
+/// # Example
+///
+/// ```no_run
+/// use hadfl::driver::{run_hadfl, SimOptions};
+/// use hadfl::{HadflConfig, Workload};
+///
+/// # fn main() -> Result<(), hadfl::HadflError> {
+/// let workload = Workload::quick("mlp", 0);
+/// let config = HadflConfig::builder().build()?;
+/// let run = run_hadfl(&workload, &config, &SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]))?;
+/// println!("max accuracy {:.3}", run.trace.max_accuracy());
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_hadfl(
+    workload: &Workload,
+    config: &HadflConfig,
+    opts: &SimOptions,
+) -> Result<HadflRun, HadflError> {
+    opts.validate()?;
+    let k = opts.powers.len();
+    let mut built = workload.build(k)?;
+    let wire_bytes = opts.wire_model_bytes.unwrap_or(built.model_bytes);
+    let compute = ComputeModel::new(opts.base_step_secs, &opts.powers)?.with_jitter(opts.jitter);
+    let monitor = LivenessMonitor::new(opts.faults.clone());
+    let master_rng = SeedStream::new(config.seed ^ 0xD21E_2E00);
+    let mut device_rngs: Vec<SeedStream> =
+        (0..k).map(|i| master_rng.fork(i as u64)).collect();
+
+    let mut setup_stats = NetStats::new();
+    let mut train_stats = NetStats::new();
+    let mut backup_stats = NetStats::new();
+
+    // --- Setup: initial model dispatch (coordinator → devices). ---
+    for i in 0..k {
+        setup_stats.record(Endpoint::Server, Endpoint::Device(DeviceId(i)), wire_bytes);
+    }
+
+    // --- Mutual negotiation: warm-up training + timing reports. ---
+    let batches = built.batches_per_epoch();
+    let mut warmup_end = VirtualTime::ZERO;
+    for (i, rt) in built.runtimes.iter_mut().enumerate() {
+        rt.set_optimizer(LrSchedule::constant(config.warmup_lr), config.momentum);
+        let steps = config.warmup_epochs as usize * batches[i];
+        rt.train_steps(steps)?;
+        let secs = compute.steps_time(DeviceId(i), steps, Some(&mut device_rngs[i]))?;
+        warmup_end = warmup_end.max(VirtualTime::ZERO.after(secs));
+        setup_stats.record(Endpoint::Device(DeviceId(i)), Endpoint::Server, CONTROL_MSG_BYTES);
+    }
+
+    // --- Strategy generation. ---
+    let strategy = Strategy::derive(&compute, &batches, config.t_sync)?;
+    let window = strategy.window_secs;
+    // Versions are cumulative update counts; the Eq. (6) prior for round 1
+    // is "warm-up steps plus one window's worth of steps".
+    let priors: Vec<f64> = (0..k)
+        .map(|i| built.runtimes[i].steps_done as f64 + strategy.local_steps[i] as f64)
+        .collect();
+    let mut supervisor = RuntimeSupervisor::new(config.smoothing_alpha, &priors)?;
+    let mut generator = StrategyGenerator::new(config);
+    let mut manager = opts.backup_every.map(ModelManager::new);
+    for rt in &mut built.runtimes {
+        rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
+    }
+
+    let mut trace = Trace::new("hadfl", k, wire_bytes);
+    let mut bypass_log = Vec::new();
+    let mut backups_taken = 0usize;
+    let mut device_free: Vec<VirtualTime> = vec![warmup_end; k];
+    let mut window_start = warmup_end;
+    let mut last_merged: Vec<f32> = built.runtimes[0].model.param_vector();
+
+    for round in 1..=opts.max_rounds {
+        let window_end = window_start.after(window);
+
+        // --- Heterogeneity-aware local training within the window. ---
+        let mut round_losses = Vec::with_capacity(k);
+        for i in 0..k {
+            let dev = DeviceId(i);
+            // A device trains only while connected (coarse model: it must
+            // be up for the whole window; see DESIGN.md §6).
+            let up = monitor.is_up(dev, window_start) && monitor.is_up(dev, window_end);
+            if !up {
+                round_losses.push(None);
+                device_free[i] = device_free[i].max(window_end);
+                continue;
+            }
+            let mut budget = window_end.elapsed_since(device_free[i]);
+            let mut steps = 0usize;
+            while budget > 0.0 {
+                let dt = compute.step_time(dev, Some(&mut device_rngs[i]))?;
+                if dt > budget {
+                    break;
+                }
+                budget -= dt;
+                steps += 1;
+            }
+            let loss = built.runtimes[i].train_steps(steps)?;
+            round_losses.push(if steps > 0 { Some(loss) } else { None });
+            device_free[i] = window_end;
+        }
+        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+
+        // --- Coordinator: liveness at round start, plan, control traffic. ---
+        let available = monitor.available(k, window_start);
+        if available.is_empty() {
+            return Err(HadflError::ClusterDead { round });
+        }
+        let mut sync_end = window_end;
+        let mut selected_indices: Vec<usize> = Vec::new();
+        if available.len() >= 2 {
+            let predicted = supervisor.predicted_versions();
+            let predicted_avail: Vec<f64> =
+                available.iter().map(|d| predicted[d.index()]).collect();
+            let plan = generator.plan_round(&available, &predicted_avail)?;
+            for d in &available {
+                // version report up, training configuration down
+                train_stats.record(Endpoint::Device(*d), Endpoint::Server, CONTROL_MSG_BYTES);
+                train_stats.record(Endpoint::Server, Endpoint::Device(*d), CONTROL_MSG_BYTES);
+            }
+
+            // --- Partial synchronization over the random ring. ---
+            let params: BTreeMap<DeviceId, Vec<f32>> = plan
+                .ring
+                .members()
+                .iter()
+                .map(|&d| (d, built.runtimes[d.index()].model.param_vector()))
+                .collect();
+            let weights = if config.weight_by_samples {
+                Some(
+                    plan.ring
+                        .members()
+                        .iter()
+                        .map(|&d| (d, built.runtimes[d.index()].shard_len() as f64))
+                        .collect::<BTreeMap<_, _>>(),
+                )
+            } else {
+                None
+            };
+            let outcome = match run_partial_sync(
+                &plan.ring,
+                &params,
+                weights.as_ref(),
+                &opts.faults,
+                window_end,
+                &opts.link,
+                config.handshake_timeout_secs,
+                wire_bytes,
+                &mut train_stats,
+            ) {
+                Ok(outcome) => outcome,
+                Err(HadflError::ClusterDead { .. }) => {
+                    return Err(HadflError::ClusterDead { round })
+                }
+                Err(e) => return Err(e),
+            };
+            if !outcome.bypassed.is_empty() {
+                bypass_log
+                    .push((round, outcome.bypassed.iter().map(|d| d.index()).collect()));
+            }
+            for d in &outcome.participants {
+                built.runtimes[d.index()].model.set_param_vector(&outcome.merged)?;
+                device_free[d.index()] = window_end.after(outcome.comm_secs);
+            }
+            sync_end = window_end.after(outcome.comm_secs);
+
+            // --- Non-blocking broadcast to the unselected devices. ---
+            let broadcaster = if outcome.participants.contains(&plan.broadcaster) {
+                plan.broadcaster
+            } else {
+                outcome.participants[0]
+            };
+            for u in &plan.unselected {
+                if !opts.faults.is_up(*u, window_end) {
+                    continue;
+                }
+                train_stats.record(
+                    Endpoint::Device(broadcaster),
+                    Endpoint::Device(*u),
+                    wire_bytes,
+                );
+                let mut local = built.runtimes[u.index()].model.param_vector();
+                blend_params(&mut local, &outcome.merged, config.blend_beta)?;
+                built.runtimes[u.index()].model.set_param_vector(&local)?;
+                // Non-blocking: the receiver keeps training; the sender
+                // does not wait either.
+            }
+            if config.reset_momentum_on_sync {
+                // Momentum accumulated against pre-merge parameters is
+                // stale once weights change under the optimizer.
+                for d in &available {
+                    built.runtimes[d.index()]
+                        .set_optimizer(LrSchedule::constant(config.lr), config.momentum);
+                }
+            }
+            selected_indices = plan.selected.iter().map(|d| d.index()).collect();
+            last_merged = outcome.merged;
+        }
+
+        // --- Runtime supervision: feed actual versions to the predictor. ---
+        supervisor.observe_round(&versions)?;
+
+        // --- Model backup. ---
+        if let Some(mgr) = manager.as_mut() {
+            if mgr.maybe_backup(round, sync_end, &last_merged) {
+                backups_taken += 1;
+                // A random live device uploads the latest model.
+                let uploader = available[0];
+                backup_stats.record(
+                    Endpoint::Device(uploader),
+                    Endpoint::Server,
+                    wire_bytes,
+                );
+            }
+        }
+
+        // --- Metrics. ---
+        let samples: u64 = built.runtimes.iter().map(|rt| rt.samples_seen).sum();
+        let epoch_equiv = samples as f64 / built.train_size as f64;
+        let done = epoch_equiv >= opts.epochs_total || round == opts.max_rounds;
+        if round % opts.eval_every == 0 || done {
+            let metrics = built.evaluate_params(&last_merged)?;
+            let live_losses: Vec<f32> = round_losses.iter().flatten().copied().collect();
+            let train_loss = if live_losses.is_empty() {
+                f32::NAN
+            } else {
+                live_losses.iter().sum::<f32>() / live_losses.len() as f32
+            };
+            trace.push(RoundRecord {
+                round,
+                time_secs: sync_end.as_secs(),
+                epoch_equiv,
+                train_loss,
+                test_accuracy: metrics.accuracy,
+                selected: selected_indices,
+                versions,
+            });
+        }
+        if done {
+            break;
+        }
+        window_start = window_end;
+    }
+
+    trace.set_comm(&train_stats);
+    Ok(HadflRun {
+        trace,
+        setup_comm: CommSummary::from_stats(&setup_stats, k),
+        backup_comm: CommSummary::from_stats(&backup_stats, k),
+        backups_taken,
+        strategy,
+        bypass_log,
+    })
+}
+
+/// Convenience: builds a workload once and exposes it for schemes that
+/// need the raw pieces (used by the baselines crate and tests).
+///
+/// # Errors
+///
+/// Propagates workload-construction errors.
+pub fn build_workload(workload: &Workload, devices: usize) -> Result<BuiltWorkload, HadflError> {
+    workload.build(devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectionPolicy;
+    use hadfl_simnet::Outage;
+
+    fn quick_config(seed: u64) -> HadflConfig {
+        HadflConfig::builder().seed(seed).build().unwrap()
+    }
+
+    #[test]
+    fn hadfl_trains_and_improves() {
+        let run = run_hadfl(
+            &Workload::quick("mlp", 1),
+            &quick_config(1),
+            &SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]),
+        )
+        .unwrap();
+        assert!(!run.trace.records.is_empty());
+        let first = run.trace.records.first().unwrap();
+        let last = run.trace.records.last().unwrap();
+        assert!(last.epoch_equiv >= 6.0, "ran {} epochs", last.epoch_equiv);
+        assert!(
+            last.test_accuracy > first.test_accuracy.max(0.2),
+            "no learning: {} -> {}",
+            first.test_accuracy,
+            last.test_accuracy
+        );
+    }
+
+    #[test]
+    fn hadfl_is_deterministic() {
+        let opts = SimOptions::quick(&[2.0, 1.0]);
+        let a = run_hadfl(&Workload::quick("mlp", 1), &quick_config(7), &opts).unwrap();
+        let b = run_hadfl(&Workload::quick("mlp", 1), &quick_config(7), &opts).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.bypass_log, b.bypass_log);
+    }
+
+    #[test]
+    fn fast_devices_accumulate_more_versions() {
+        let run = run_hadfl(
+            &Workload::quick("mlp", 2),
+            &quick_config(2),
+            &SimOptions::quick(&[4.0, 2.0, 2.0, 1.0]),
+        )
+        .unwrap();
+        let last = run.trace.records.last().unwrap();
+        assert!(
+            last.versions[0] > 2.0 * last.versions[3],
+            "power-4 device should far outpace power-1: {:?}",
+            last.versions
+        );
+    }
+
+    #[test]
+    fn no_server_model_traffic_during_training() {
+        let run = run_hadfl(
+            &Workload::quick("mlp", 3),
+            &quick_config(3),
+            &SimOptions::quick(&[2.0, 1.0, 1.0]),
+        )
+        .unwrap();
+        // Training-phase server traffic is control-plane only: far below
+        // one model's size.
+        assert!(
+            run.trace.comm.server_bytes < run.trace.model_bytes / 2,
+            "server moved {} bytes (model is {})",
+            run.trace.comm.server_bytes,
+            run.trace.model_bytes
+        );
+        // Setup dispatched exactly one model per device (plus tiny reports).
+        assert!(run.setup_comm.server_bytes >= 3 * run.trace.model_bytes);
+    }
+
+    #[test]
+    fn faulted_device_gets_bypassed() {
+        let mut opts = SimOptions::quick(&[1.0, 1.0, 1.0]);
+        // Force every sync to include all three devices so the dead one is
+        // always in the ring.
+        let config = HadflConfig::builder().num_selected(3).seed(5).build().unwrap();
+        // Timing under Workload::quick with 3 equal devices: 128-sample
+        // shards, 8 batches, 10 ms steps ⇒ 80 ms epochs, 80 ms windows,
+        // warm-up ends at 0.08 s. A crash at 0.20 s lands mid-window-2:
+        // the device was up when the coordinator planned the round (0.16 s)
+        // but dead at sync time (0.24 s) — exactly the §III-D scenario.
+        opts.faults =
+            FaultPlan::new(vec![Outage::crash(DeviceId(2), VirtualTime::from_secs(0.20))])
+                .unwrap();
+        opts.epochs_total = 8.0;
+        let run = run_hadfl(&Workload::quick("mlp", 4), &config, &opts).unwrap();
+        assert!(
+            !run.bypass_log.is_empty(),
+            "device 2 should have been bypassed at least once"
+        );
+        assert!(run.bypass_log.iter().all(|(_, devs)| devs == &vec![2]));
+        // Training still completed.
+        assert!(run.trace.records.last().unwrap().epoch_equiv >= 8.0);
+    }
+
+    #[test]
+    fn backups_are_taken_on_schedule() {
+        let mut opts = SimOptions::quick(&[2.0, 1.0]);
+        opts.backup_every = Some(2);
+        let run = run_hadfl(&Workload::quick("mlp", 4), &quick_config(4), &opts).unwrap();
+        assert!(run.backups_taken >= 1);
+        assert_eq!(
+            run.backup_comm.server_bytes,
+            run.backups_taken as u64 * run.trace.model_bytes
+        );
+    }
+
+    #[test]
+    fn worst_case_policy_runs() {
+        let config = HadflConfig::builder()
+            .selection(SelectionPolicy::WorstCase)
+            .seed(6)
+            .build()
+            .unwrap();
+        let mut opts = SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]);
+        // One round covers ~2 epoch-equivalents here; 11 epochs gives ~5
+        // rounds so "late" rounds exist.
+        opts.epochs_total = 11.0;
+        let run = run_hadfl(&Workload::quick("mlp", 5), &config, &opts).unwrap();
+        // The worst-case policy must always pick the two stragglers
+        // (devices 2 and 3) once versions separate.
+        let late_rounds: Vec<_> =
+            run.trace.records.iter().filter(|r| r.round > 2).collect();
+        assert!(!late_rounds.is_empty());
+        for r in late_rounds {
+            assert_eq!(r.selected, vec![2, 3], "round {}: {:?}", r.round, r.selected);
+        }
+    }
+
+    #[test]
+    fn weighted_aggregation_runs_on_noniid_shards() {
+        let mut workload = Workload::quick("mlp", 7);
+        workload.shard = crate::workload::ShardKind::Dirichlet { alpha: 0.3 };
+        let config = HadflConfig::builder().weight_by_samples(true).seed(7).build().unwrap();
+        let run =
+            run_hadfl(&workload, &config, &SimOptions::quick(&[2.0, 1.0, 2.0, 1.0])).unwrap();
+        let last = run.trace.records.last().unwrap();
+        assert!(last.epoch_equiv >= 6.0);
+        assert!(last.test_accuracy > 0.15, "accuracy {}", last.test_accuracy);
+        // And the weighted run differs from the uniform one.
+        let uniform_cfg = HadflConfig::builder().seed(7).build().unwrap();
+        let uniform =
+            run_hadfl(&workload, &uniform_cfg, &SimOptions::quick(&[2.0, 1.0, 2.0, 1.0]))
+                .unwrap();
+        assert_ne!(run.trace, uniform.trace);
+    }
+
+    #[test]
+    fn validates_options() {
+        let w = Workload::quick("mlp", 0);
+        let c = quick_config(0);
+        assert!(run_hadfl(&w, &c, &SimOptions::quick(&[1.0])).is_err());
+        let mut bad = SimOptions::quick(&[1.0, 1.0]);
+        bad.epochs_total = 0.0;
+        assert!(run_hadfl(&w, &c, &bad).is_err());
+        let mut bad = SimOptions::quick(&[1.0, 1.0]);
+        bad.eval_every = 0;
+        assert!(run_hadfl(&w, &c, &bad).is_err());
+        let mut bad = SimOptions::quick(&[1.0, 1.0]);
+        bad.backup_every = Some(0);
+        assert!(run_hadfl(&w, &c, &bad).is_err());
+    }
+}

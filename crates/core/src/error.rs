@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+use hadfl_nn::NnError;
+use hadfl_simnet::SimError;
+
+/// Error produced by the HADFL framework.
+///
+/// # Example
+///
+/// ```
+/// use hadfl::HadflConfig;
+///
+/// let err = HadflConfig::builder().num_selected(0).build().unwrap_err();
+/// assert!(err.to_string().contains("selected"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum HadflError {
+    /// The framework configuration was inconsistent.
+    InvalidConfig(String),
+    /// A training-substrate operation failed.
+    Nn(NnError),
+    /// A simulator operation failed.
+    Sim(SimError),
+    /// Not enough live devices to continue (all selected devices down and
+    /// no bypass possible).
+    ClusterDead {
+        /// Simulation round in which the cluster died.
+        round: usize,
+    },
+}
+
+impl fmt::Display for HadflError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HadflError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HadflError::Nn(e) => write!(f, "training substrate error: {e}"),
+            HadflError::Sim(e) => write!(f, "simulator error: {e}"),
+            HadflError::ClusterDead { round } => {
+                write!(f, "no live devices remain at round {round}")
+            }
+        }
+    }
+}
+
+impl Error for HadflError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HadflError::Nn(e) => Some(e),
+            HadflError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for HadflError {
+    fn from(e: NnError) -> Self {
+        HadflError::Nn(e)
+    }
+}
+
+impl From<SimError> for HadflError {
+    fn from(e: SimError) -> Self {
+        HadflError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors_with_source() {
+        let e = HadflError::from(NnError::NonFinite("loss"));
+        assert!(Error::source(&e).is_some());
+        let e = HadflError::from(SimError::InvalidParameter("x".into()));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn cluster_dead_names_round() {
+        assert!(HadflError::ClusterDead { round: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HadflError>();
+    }
+}

@@ -1,0 +1,446 @@
+//! Threaded executor: HADFL over real OS threads and channels.
+//!
+//! The virtual-time [`crate::driver`] is what the experiments use; this
+//! module runs the same protocol with *actual concurrency*, the way the
+//! paper deploys it — one thread per device, heterogeneity emulated with
+//! `sleep()` (exactly the paper's method), parameters moving as encoded
+//! [`crate::wire::Message`] frames over crossbeam channels, and the
+//! ring reduce/distribute executed hop by hop between device threads.
+//! The coordinator thread only ever sees control-plane messages.
+//!
+//! Fault injection is a virtual-time-only feature; the threaded executor
+//! assumes live devices (a networked deployment would reuse the §III-D
+//! handshake messages already defined in [`crate::wire`]).
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hadfl_nn::LrSchedule;
+use parking_lot::Mutex;
+
+use crate::aggregate::blend_params;
+use crate::config::HadflConfig;
+use crate::coordinator::StrategyGenerator;
+use crate::error::HadflError;
+use crate::wire::Message;
+use crate::workload::Workload;
+use hadfl_simnet::DeviceId;
+
+/// Options of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedOptions {
+    /// Computing-power ratios, one device thread per entry.
+    pub powers: Vec<f64>,
+    /// Emulated compute time per local step on a power-1 device (the
+    /// paper's `sleep()`); device `i` sleeps `step_sleep / powers[i]`.
+    pub step_sleep: Duration,
+    /// Wall-clock synchronization window.
+    pub window: Duration,
+    /// Number of synchronization rounds to run.
+    pub rounds: usize,
+}
+
+impl ThreadedOptions {
+    /// CI-scale options: short sleeps, a few windows.
+    pub fn quick(powers: &[f64]) -> Self {
+        ThreadedOptions {
+            powers: powers.to_vec(),
+            step_sleep: Duration::from_millis(4),
+            window: Duration::from_millis(60),
+            rounds: 3,
+        }
+    }
+}
+
+/// One synchronization round of a threaded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedRound {
+    /// Round index from 1.
+    pub round: usize,
+    /// Cumulative local steps per device at sync time.
+    pub versions: Vec<u64>,
+    /// Devices selected for the ring.
+    pub selected: Vec<usize>,
+}
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedReport {
+    /// Per-round records.
+    pub rounds: Vec<ThreadedRound>,
+    /// Test accuracy of the post-run consensus (average of all device
+    /// models).
+    pub final_accuracy: f32,
+    /// Total bytes moved between device threads (encoded frames).
+    pub peer_bytes: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// Commands on a device thread's channel.
+enum Cmd {
+    /// An encoded wire frame from a peer device.
+    Frame(Bytes),
+    /// Coordinator: report your version for `round`.
+    Report(usize),
+    /// Coordinator: execute this round plan.
+    Plan {
+        ring: Vec<usize>,
+        broadcaster: usize,
+        unselected: Vec<usize>,
+    },
+    /// Coordinator: training is over.
+    Stop,
+}
+
+/// Runs HADFL over real threads. See the module docs.
+///
+/// # Errors
+///
+/// Returns configuration/substrate errors from setup, and
+/// [`HadflError::InvalidConfig`] if a device thread fails mid-protocol
+/// (e.g. a peer disappeared, which cannot happen without fault
+/// injection).
+///
+/// # Example
+///
+/// ```no_run
+/// use hadfl::exec::{run_threaded, ThreadedOptions};
+/// use hadfl::{HadflConfig, Workload};
+///
+/// # fn main() -> Result<(), hadfl::HadflError> {
+/// let report = run_threaded(
+///     &Workload::quick("mlp", 0),
+///     &HadflConfig::builder().build()?,
+///     &ThreadedOptions::quick(&[2.0, 1.0, 1.0]),
+/// )?;
+/// println!("consensus accuracy {:.3}", report.final_accuracy);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_threaded(
+    workload: &Workload,
+    config: &HadflConfig,
+    opts: &ThreadedOptions,
+) -> Result<ThreadedReport, HadflError> {
+    let k = opts.powers.len();
+    if k < 2 {
+        return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
+    }
+    if opts.rounds == 0 {
+        return Err(HadflError::InvalidConfig("need at least 1 round".into()));
+    }
+    if opts.powers.iter().any(|&p| !(p > 0.0) || !p.is_finite()) {
+        return Err(HadflError::InvalidConfig(format!("bad powers {:?}", opts.powers)));
+    }
+    let built = workload.build(k)?;
+    let start = Instant::now();
+
+    // Channel mesh: every participant can reach every device; devices
+    // report to the coordinator over one shared channel.
+    let mut device_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
+    let mut device_rxs: Vec<Option<Receiver<Cmd>>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = unbounded();
+        device_txs.push(tx);
+        device_rxs.push(Some(rx));
+    }
+    let (report_tx, report_rx) = unbounded::<Message>();
+    let peer_bytes = Mutex::new(0u64);
+
+    let mut rounds_log: Vec<ThreadedRound> = Vec::with_capacity(opts.rounds);
+    let mut final_models: Vec<Vec<f32>> = Vec::new();
+    let mut runtimes: Vec<_> = built.runtimes.into_iter().collect();
+
+    thread::scope(|scope| -> Result<(), HadflError> {
+        // --- Device threads. ---
+        let mut handles = Vec::with_capacity(k);
+        for (i, mut rt) in runtimes.drain(..).enumerate() {
+            let rx = device_rxs[i].take().expect("each receiver moved once");
+            let txs = device_txs.clone();
+            let report_tx = report_tx.clone();
+            let peer_bytes = &peer_bytes;
+            let sleep = Duration::from_secs_f64(
+                opts.step_sleep.as_secs_f64() / opts.powers[i],
+            );
+            let (lr, momentum, beta) = (config.lr, config.momentum, config.blend_beta);
+            handles.push(scope.spawn(move || -> Result<Vec<f32>, HadflError> {
+                rt.set_optimizer(LrSchedule::constant(lr), momentum);
+                let send_frame = |to: usize, msg: &Message| {
+                    let frame = msg.encode();
+                    *peer_bytes.lock() += frame.len() as u64;
+                    // A closed peer channel means the run is tearing down.
+                    let _ = txs[to].send(Cmd::Frame(frame));
+                };
+                loop {
+                    // Drain pending commands without blocking, then train.
+                    match rx.try_recv() {
+                        Ok(Cmd::Stop) => return Ok(rt.model.param_vector()),
+                        Ok(Cmd::Report(round)) => {
+                            let _ = report_tx.send(Message::VersionReport {
+                                device: i as u32,
+                                round: round as u32,
+                                version: rt.steps_done as f64,
+                            });
+                        }
+                        Ok(Cmd::Plan { ring, broadcaster, unselected }) => {
+                            // Selected device: run the blocking ring
+                            // reduce/distribute.
+                            let pos = ring
+                                .iter()
+                                .position(|&d| d == i)
+                                .expect("plan sent to ring members only");
+                            let n = ring.len();
+                            let downstream = ring[(pos + 1) % n];
+                            if pos == 0 {
+                                send_frame(
+                                    downstream,
+                                    &Message::ParamAccum {
+                                        hops: 1,
+                                        params: rt.model.param_vector(),
+                                    },
+                                );
+                            }
+                            // Block until the merge completes for us.
+                            loop {
+                                match rx.recv_timeout(Duration::from_secs(10)) {
+                                    Ok(Cmd::Frame(frame)) => {
+                                        match Message::decode(&frame)? {
+                                            Message::ParamAccum { hops, mut params } => {
+                                                let mine = rt.model.param_vector();
+                                                for (a, m) in params.iter_mut().zip(&mine) {
+                                                    *a += m;
+                                                }
+                                                let hops = hops + 1;
+                                                if hops as usize == n {
+                                                    let scale = 1.0 / n as f32;
+                                                    for a in &mut params {
+                                                        *a *= scale;
+                                                    }
+                                                    rt.model.set_param_vector(&params)?;
+                                                    if n > 1 {
+                                                        send_frame(
+                                                            downstream,
+                                                            &Message::MergedParams {
+                                                                ttl: (n - 1) as u32,
+                                                                params: params.clone(),
+                                                            },
+                                                        );
+                                                    }
+                                                    if broadcaster == i {
+                                                        for &u in &unselected {
+                                                            send_frame(
+                                                                u,
+                                                                &Message::ParamSync {
+                                                                    round: 0,
+                                                                    params: params.clone(),
+                                                                },
+                                                            );
+                                                        }
+                                                    }
+                                                    break;
+                                                }
+                                                send_frame(
+                                                    downstream,
+                                                    &Message::ParamAccum { hops, params },
+                                                );
+                                            }
+                                            Message::MergedParams { ttl, params } => {
+                                                rt.model.set_param_vector(&params)?;
+                                                if ttl > 1 {
+                                                    send_frame(
+                                                        downstream,
+                                                        &Message::MergedParams {
+                                                            ttl: ttl - 1,
+                                                            params: params.clone(),
+                                                        },
+                                                    );
+                                                }
+                                                if broadcaster == i {
+                                                    for &u in &unselected {
+                                                        send_frame(
+                                                            u,
+                                                            &Message::ParamSync {
+                                                                round: 0,
+                                                                params: params.clone(),
+                                                            },
+                                                        );
+                                                    }
+                                                }
+                                                break;
+                                            }
+                                            other => {
+                                                return Err(HadflError::InvalidConfig(
+                                                    format!("unexpected frame in ring: {other:?}"),
+                                                ))
+                                            }
+                                        }
+                                    }
+                                    Ok(Cmd::Stop) => return Ok(rt.model.param_vector()),
+                                    Ok(_) => {}
+                                    Err(_) => {
+                                        return Err(HadflError::InvalidConfig(
+                                            "ring peer timed out".into(),
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        Ok(Cmd::Frame(frame)) => {
+                            // Unselected device receiving the broadcast:
+                            // blend non-blockingly and keep training.
+                            if let Message::ParamSync { params, .. } = Message::decode(&frame)? {
+                                let mut local = rt.model.param_vector();
+                                blend_params(&mut local, &params, beta)?;
+                                rt.model.set_param_vector(&local)?;
+                            }
+                        }
+                        Err(_) => {
+                            // No command: one heterogeneity-aware local step.
+                            rt.train_steps(1)?;
+                            thread::sleep(sleep);
+                        }
+                    }
+                }
+            }));
+        }
+
+        // --- Coordinator (this thread). ---
+        let mut generator = StrategyGenerator::new(config);
+        let all: Vec<DeviceId> = (0..k).map(DeviceId).collect();
+        for round in 1..=opts.rounds {
+            thread::sleep(opts.window);
+            for tx in &device_txs {
+                let _ = tx.send(Cmd::Report(round));
+            }
+            let mut versions = vec![0.0f64; k];
+            let mut got = 0;
+            while got < k {
+                match report_rx.recv_timeout(Duration::from_secs(10)) {
+                    Ok(Message::VersionReport { device, version, .. }) => {
+                        versions[device as usize] = version;
+                        got += 1;
+                    }
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                        return Err(HadflError::InvalidConfig(
+                            "device thread stopped reporting".into(),
+                        ))
+                    }
+                }
+            }
+            let plan = generator.plan_round(&all, &versions)?;
+            let ring: Vec<usize> = plan.ring.members().iter().map(|d| d.index()).collect();
+            let unselected: Vec<usize> = plan.unselected.iter().map(|d| d.index()).collect();
+            for &member in &ring {
+                let _ = device_txs[member].send(Cmd::Plan {
+                    ring: ring.clone(),
+                    broadcaster: plan.broadcaster.index(),
+                    unselected: unselected.clone(),
+                });
+            }
+            rounds_log.push(ThreadedRound {
+                round,
+                versions: versions.iter().map(|&v| v as u64).collect(),
+                selected: plan.selected.iter().map(|d| d.index()).collect(),
+            });
+        }
+        for tx in &device_txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for handle in handles {
+            let params = handle.join().map_err(|_| {
+                HadflError::InvalidConfig("device thread panicked".into())
+            })??;
+            final_models.push(params);
+        }
+        Ok(())
+    })?;
+
+    // Consensus evaluation: average every device's final model.
+    let refs: Vec<&[f32]> = final_models.iter().map(Vec::as_slice).collect();
+    let consensus = crate::aggregate::average_params(&refs)?;
+    let mut built_eval = workload.build(k)?;
+    let metrics = built_eval.evaluate_params(&consensus)?;
+
+    let moved = *peer_bytes.lock();
+    Ok(ThreadedReport {
+        rounds: rounds_log,
+        final_accuracy: metrics.accuracy,
+        peer_bytes: moved,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> HadflConfig {
+        HadflConfig::builder().num_selected(2).seed(seed).build().unwrap()
+    }
+
+    #[test]
+    fn threaded_run_completes_all_rounds() {
+        let report = run_threaded(
+            &Workload::quick("mlp", 61),
+            &quick_config(61),
+            &ThreadedOptions::quick(&[2.0, 1.0, 1.0]),
+        )
+        .unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        assert!(report.final_accuracy.is_finite());
+        assert!(report.peer_bytes > 0, "parameters must have moved between threads");
+        assert!(report.wall >= Duration::from_millis(3 * 60));
+    }
+
+    #[test]
+    fn fast_device_accumulates_more_versions() {
+        let report = run_threaded(
+            &Workload::quick("mlp", 62),
+            &quick_config(62),
+            &ThreadedOptions {
+                powers: vec![4.0, 1.0],
+                step_sleep: Duration::from_millis(8),
+                window: Duration::from_millis(80),
+                rounds: 2,
+            },
+        )
+        .unwrap();
+        let last = report.rounds.last().unwrap();
+        assert!(
+            last.versions[0] > last.versions[1],
+            "power-4 device should outpace power-1: {:?}",
+            last.versions
+        );
+    }
+
+    #[test]
+    fn every_round_selects_a_valid_ring() {
+        let report = run_threaded(
+            &Workload::quick("mlp", 63),
+            &quick_config(63),
+            &ThreadedOptions::quick(&[1.0, 1.0, 1.0, 1.0]),
+        )
+        .unwrap();
+        for r in &report.rounds {
+            assert_eq!(r.selected.len(), 2);
+            assert!(r.selected.iter().all(|&d| d < 4));
+        }
+    }
+
+    #[test]
+    fn validates_options() {
+        let w = Workload::quick("mlp", 64);
+        let c = quick_config(64);
+        assert!(run_threaded(&w, &c, &ThreadedOptions::quick(&[1.0])).is_err());
+        let mut bad = ThreadedOptions::quick(&[1.0, 1.0]);
+        bad.rounds = 0;
+        assert!(run_threaded(&w, &c, &bad).is_err());
+        let mut bad = ThreadedOptions::quick(&[1.0, 1.0]);
+        bad.powers = vec![1.0, -1.0];
+        assert!(run_threaded(&w, &c, &bad).is_err());
+    }
+}

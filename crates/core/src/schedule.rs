@@ -1,0 +1,286 @@
+//! Analytic schedule timelines for the paper's Fig. 1: how distributed
+//! training, FedAvg, and HADFL occupy heterogeneous devices over one
+//! hyperperiod.
+//!
+//! These are pure time-accounting models (no actual training) used by the
+//! `fig1_schedule` harness to regenerate the comparison picture: under a
+//! 4:2:1 power ratio, synchronous schemes leave the fast devices idle
+//! while HADFL keeps everyone busy with heterogeneity-aware local steps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HadflError;
+use crate::strategy::hyperperiod;
+
+/// What a device is doing during one timeline segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Computing local steps.
+    Compute,
+    /// Blocked waiting for stragglers (the waste HADFL removes).
+    Idle,
+    /// Communicating (synchronization).
+    Sync,
+}
+
+/// One segment of a device's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment start, seconds.
+    pub start: f64,
+    /// Segment end, seconds.
+    pub end: f64,
+    /// What the device is doing.
+    pub activity: Activity,
+}
+
+impl Segment {
+    fn new(start: f64, end: f64, activity: Activity) -> Self {
+        Segment { start, end, activity }
+    }
+
+    /// Segment duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A per-device schedule timeline for one scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Scheme name.
+    pub scheme: String,
+    /// `timeline[i]` is device `i`'s segments, in time order.
+    pub devices: Vec<Vec<Segment>>,
+}
+
+impl Timeline {
+    /// Fraction of the makespan each device spends computing.
+    pub fn utilization(&self) -> Vec<f64> {
+        let makespan = self.makespan();
+        self.devices
+            .iter()
+            .map(|segs| {
+                if makespan == 0.0 {
+                    return 0.0;
+                }
+                segs.iter()
+                    .filter(|s| s.activity == Activity::Compute)
+                    .map(Segment::duration)
+                    .sum::<f64>()
+                    / makespan
+            })
+            .collect()
+    }
+
+    /// The end of the latest segment.
+    pub fn makespan(&self) -> f64 {
+        self.devices
+            .iter()
+            .flat_map(|segs| segs.last())
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total local steps computed, per device, given each device's step
+    /// time.
+    pub fn steps_per_device(&self, step_times: &[f64]) -> Vec<usize> {
+        self.devices
+            .iter()
+            .zip(step_times)
+            .map(|(segs, &st)| {
+                let compute: f64 = segs
+                    .iter()
+                    .filter(|s| s.activity == Activity::Compute)
+                    .map(Segment::duration)
+                    .sum();
+                (compute / st).round() as usize
+            })
+            .collect()
+    }
+}
+
+fn validate(powers: &[f64], base_step_secs: f64) -> Result<Vec<f64>, HadflError> {
+    if powers.len() < 2 {
+        return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
+    }
+    if !(base_step_secs > 0.0) || !base_step_secs.is_finite() {
+        return Err(HadflError::InvalidConfig(format!("bad base step {base_step_secs}")));
+    }
+    powers
+        .iter()
+        .map(|&p| {
+            if p > 0.0 && p.is_finite() {
+                Ok(base_step_secs / p)
+            } else {
+                Err(HadflError::InvalidConfig(format!("bad power {p}")))
+            }
+        })
+        .collect()
+}
+
+/// Synchronous distributed training (ring all-reduce every iteration):
+/// every device computes one step, waits for the slowest, synchronizes,
+/// repeats for `iterations`.
+///
+/// # Errors
+///
+/// Returns [`HadflError::InvalidConfig`] for degenerate powers/steps.
+pub fn distributed_timeline(
+    powers: &[f64],
+    base_step_secs: f64,
+    sync_secs: f64,
+    iterations: usize,
+) -> Result<Timeline, HadflError> {
+    let step_times = validate(powers, base_step_secs)?;
+    let slowest = step_times.iter().copied().fold(0.0, f64::max);
+    let mut devices = vec![Vec::new(); powers.len()];
+    let mut t = 0.0;
+    for _ in 0..iterations {
+        for (i, segs) in devices.iter_mut().enumerate() {
+            segs.push(Segment::new(t, t + step_times[i], Activity::Compute));
+            if step_times[i] < slowest {
+                segs.push(Segment::new(t + step_times[i], t + slowest, Activity::Idle));
+            }
+            segs.push(Segment::new(t + slowest, t + slowest + sync_secs, Activity::Sync));
+        }
+        t += slowest + sync_secs;
+    }
+    Ok(Timeline { scheme: "distributed_training".into(), devices })
+}
+
+/// Synchronous FedAvg: every device computes `local_steps` steps, waits
+/// for the slowest, aggregates, repeats for `rounds`.
+///
+/// # Errors
+///
+/// Returns [`HadflError::InvalidConfig`] for degenerate inputs.
+pub fn fedavg_timeline(
+    powers: &[f64],
+    base_step_secs: f64,
+    sync_secs: f64,
+    local_steps: usize,
+    rounds: usize,
+) -> Result<Timeline, HadflError> {
+    let step_times = validate(powers, base_step_secs)?;
+    if local_steps == 0 {
+        return Err(HadflError::InvalidConfig("local_steps must be positive".into()));
+    }
+    let slowest = step_times.iter().copied().fold(0.0, f64::max) * local_steps as f64;
+    let mut devices = vec![Vec::new(); powers.len()];
+    let mut t = 0.0;
+    for _ in 0..rounds {
+        for (i, segs) in devices.iter_mut().enumerate() {
+            let compute = step_times[i] * local_steps as f64;
+            segs.push(Segment::new(t, t + compute, Activity::Compute));
+            if compute < slowest {
+                segs.push(Segment::new(t + compute, t + slowest, Activity::Idle));
+            }
+            segs.push(Segment::new(t + slowest, t + slowest + sync_secs, Activity::Sync));
+        }
+        t += slowest + sync_secs;
+    }
+    Ok(Timeline { scheme: "decentralized_fedavg".into(), devices })
+}
+
+/// HADFL: every device computes continuously for the whole sync window
+/// (one hyperperiod × `t_sync`), then synchronizes — no idle segments.
+///
+/// `steps_per_epoch[i]` is device `i`'s batches per epoch (the
+/// hyperperiod is the LCM of per-epoch times).
+///
+/// # Errors
+///
+/// Returns [`HadflError::InvalidConfig`] for degenerate inputs.
+pub fn hadfl_timeline(
+    powers: &[f64],
+    base_step_secs: f64,
+    sync_secs: f64,
+    steps_per_epoch: &[usize],
+    t_sync: u32,
+    rounds: usize,
+) -> Result<Timeline, HadflError> {
+    let step_times = validate(powers, base_step_secs)?;
+    if steps_per_epoch.len() != powers.len() {
+        return Err(HadflError::InvalidConfig("steps_per_epoch length mismatch".into()));
+    }
+    let epoch_times: Vec<f64> =
+        step_times.iter().zip(steps_per_epoch).map(|(&st, &n)| st * n as f64).collect();
+    let window = hyperperiod(&epoch_times)? * f64::from(t_sync.max(1));
+    let mut devices = vec![Vec::new(); powers.len()];
+    let mut t = 0.0;
+    for _ in 0..rounds {
+        for segs in &mut devices {
+            segs.push(Segment::new(t, t + window, Activity::Compute));
+            segs.push(Segment::new(t + window, t + window + sync_secs, Activity::Sync));
+        }
+        t += window + sync_secs;
+    }
+    Ok(Timeline { scheme: "hadfl".into(), devices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POWERS: [f64; 3] = [4.0, 2.0, 1.0];
+
+    #[test]
+    fn distributed_fast_devices_idle_most() {
+        let tl = distributed_timeline(&POWERS, 0.04, 0.001, 5).unwrap();
+        let util = tl.utilization();
+        // device 2 (power 1) nearly fully busy; device 0 (power 4) ~1/4
+        assert!(util[2] > util[0] * 3.0, "{util:?}");
+    }
+
+    #[test]
+    fn hadfl_has_no_idle_segments() {
+        let tl = hadfl_timeline(&POWERS, 0.04, 0.001, &[10, 10, 10], 1, 3).unwrap();
+        for segs in &tl.devices {
+            assert!(segs.iter().all(|s| s.activity != Activity::Idle));
+        }
+        let util = tl.utilization();
+        assert!(util.iter().all(|&u| u > 0.9), "{util:?}");
+    }
+
+    #[test]
+    fn hadfl_steps_scale_with_power() {
+        let tl = hadfl_timeline(&POWERS, 0.04, 0.0, &[10, 10, 10], 1, 1).unwrap();
+        let step_times: Vec<f64> = POWERS.iter().map(|p| 0.04 / p).collect();
+        let steps = tl.steps_per_device(&step_times);
+        // 4:2:1 power ratio ⇒ 4:2:1 steps in the same window (Fig. 1)
+        assert_eq!(steps[0], 4 * steps[2]);
+        assert_eq!(steps[1], 2 * steps[2]);
+    }
+
+    #[test]
+    fn fedavg_idles_less_than_distributed_per_sync() {
+        // Same wall budget: FedAvg syncs once per E steps, distributed every
+        // step, so distributed pays sync more often.
+        let dist = distributed_timeline(&POWERS, 0.04, 0.002, 10).unwrap();
+        let fed = fedavg_timeline(&POWERS, 0.04, 0.002, 10, 1).unwrap();
+        let sync_time = |tl: &Timeline| -> f64 {
+            tl.devices[0]
+                .iter()
+                .filter(|s| s.activity == Activity::Sync)
+                .map(Segment::duration)
+                .sum()
+        };
+        assert!(sync_time(&dist) > sync_time(&fed) * 5.0);
+    }
+
+    #[test]
+    fn timelines_validate_inputs() {
+        assert!(distributed_timeline(&[1.0], 0.01, 0.0, 1).is_err());
+        assert!(distributed_timeline(&POWERS, 0.0, 0.0, 1).is_err());
+        assert!(fedavg_timeline(&POWERS, 0.01, 0.0, 0, 1).is_err());
+        assert!(hadfl_timeline(&POWERS, 0.01, 0.0, &[1, 1], 1, 1).is_err());
+        assert!(distributed_timeline(&[1.0, -2.0], 0.01, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn makespan_matches_last_segment() {
+        let tl = distributed_timeline(&POWERS, 0.04, 0.001, 2).unwrap();
+        assert!((tl.makespan() - 2.0 * (0.04 + 0.001)).abs() < 1e-12);
+    }
+}

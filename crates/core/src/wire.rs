@@ -1,0 +1,316 @@
+//! Wire encoding of the messages HADFL peers exchange.
+//!
+//! The virtual-time driver accounts message *sizes* analytically; the
+//! threaded executor ([`crate::exec`]) actually moves these encoded
+//! frames between device threads, and a networked deployment would put
+//! them on sockets unchanged. Encoding is a fixed little-endian layout:
+//! one tag byte, then the variant's fields.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::HadflError;
+
+/// A message between HADFL participants (devices and the coordinator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A full parameter vector (gossip exchange, broadcast, or backup).
+    ParamSync {
+        /// Synchronization round the parameters belong to.
+        round: u32,
+        /// The flat parameter vector.
+        params: Vec<f32>,
+    },
+    /// A device's per-round runtime report to the coordinator.
+    VersionReport {
+        /// Reporting device.
+        device: u32,
+        /// Round being reported.
+        round: u32,
+        /// Cumulative parameter version (local update count).
+        version: f64,
+    },
+    /// Liveness probe sent to a suspected-dead upstream (§III-D).
+    Handshake {
+        /// Probing device.
+        from: u32,
+    },
+    /// Reply to a [`Message::Handshake`].
+    HandshakeAck {
+        /// Replying device.
+        from: u32,
+    },
+    /// Warning to a dead device's upstream: bypass it (§III-D).
+    BypassWarning {
+        /// The device found dead.
+        dead: u32,
+    },
+    /// Training configuration from the strategy generator.
+    TrainingConfig {
+        /// Learning rate for the coming phase.
+        lr: f32,
+        /// Heterogeneity-aware local step budget `E_i`.
+        local_steps: u32,
+        /// Sync window in milliseconds.
+        window_ms: u32,
+    },
+    /// A running parameter sum travelling around the gossip ring (the
+    /// reduce half of the ring aggregation).
+    ParamAccum {
+        /// How many members' parameters the sum already contains.
+        hops: u32,
+        /// The running elementwise sum.
+        params: Vec<f32>,
+    },
+    /// The merged model travelling back around the ring (the
+    /// distribute half), forwarded while `ttl > 0`.
+    MergedParams {
+        /// Remaining forwards.
+        ttl: u32,
+        /// The merged parameter vector.
+        params: Vec<f32>,
+    },
+}
+
+const TAG_PARAM_SYNC: u8 = 1;
+const TAG_VERSION_REPORT: u8 = 2;
+const TAG_HANDSHAKE: u8 = 3;
+const TAG_HANDSHAKE_ACK: u8 = 4;
+const TAG_BYPASS_WARNING: u8 = 5;
+const TAG_TRAINING_CONFIG: u8 = 6;
+const TAG_PARAM_ACCUM: u8 = 7;
+const TAG_MERGED_PARAMS: u8 = 8;
+
+fn put_params(buf: &mut BytesMut, params: &[f32]) {
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f32_le(p);
+    }
+}
+
+impl Message {
+    /// Encodes the message into a frame.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hadfl::wire::Message;
+    ///
+    /// # fn main() -> Result<(), hadfl::HadflError> {
+    /// let msg = Message::Handshake { from: 3 };
+    /// let frame = msg.encode();
+    /// assert_eq!(Message::decode(&frame)?, msg);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Message::ParamSync { round, params } => {
+                buf.put_u8(TAG_PARAM_SYNC);
+                buf.put_u32_le(*round);
+                buf.put_u32_le(params.len() as u32);
+                for &p in params {
+                    buf.put_f32_le(p);
+                }
+            }
+            Message::VersionReport { device, round, version } => {
+                buf.put_u8(TAG_VERSION_REPORT);
+                buf.put_u32_le(*device);
+                buf.put_u32_le(*round);
+                buf.put_f64_le(*version);
+            }
+            Message::Handshake { from } => {
+                buf.put_u8(TAG_HANDSHAKE);
+                buf.put_u32_le(*from);
+            }
+            Message::HandshakeAck { from } => {
+                buf.put_u8(TAG_HANDSHAKE_ACK);
+                buf.put_u32_le(*from);
+            }
+            Message::BypassWarning { dead } => {
+                buf.put_u8(TAG_BYPASS_WARNING);
+                buf.put_u32_le(*dead);
+            }
+            Message::TrainingConfig { lr, local_steps, window_ms } => {
+                buf.put_u8(TAG_TRAINING_CONFIG);
+                buf.put_f32_le(*lr);
+                buf.put_u32_le(*local_steps);
+                buf.put_u32_le(*window_ms);
+            }
+            Message::ParamAccum { hops, params } => {
+                buf.put_u8(TAG_PARAM_ACCUM);
+                buf.put_u32_le(*hops);
+                put_params(&mut buf, params);
+            }
+            Message::MergedParams { ttl, params } => {
+                buf.put_u8(TAG_MERGED_PARAMS);
+                buf.put_u32_le(*ttl);
+                put_params(&mut buf, params);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// The exact frame size [`encode`](Self::encode) produces, in bytes —
+    /// what the simulator's communication accounting charges.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::ParamSync { params, .. }
+            | Message::ParamAccum { params, .. }
+            | Message::MergedParams { params, .. } => 1 + 4 + 4 + 4 * params.len(),
+            Message::VersionReport { .. } => 1 + 4 + 4 + 8,
+            Message::Handshake { .. } | Message::HandshakeAck { .. } => 1 + 4,
+            Message::BypassWarning { .. } => 1 + 4,
+            Message::TrainingConfig { .. } => 1 + 4 + 4 + 4,
+        }
+    }
+
+    /// Decodes a frame produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] for an unknown tag or a
+    /// truncated frame.
+    pub fn decode(mut frame: &[u8]) -> Result<Message, HadflError> {
+        fn need(frame: &[u8], n: usize) -> Result<(), HadflError> {
+            if frame.remaining() < n {
+                return Err(HadflError::InvalidConfig(format!(
+                    "truncated frame: need {n} more bytes, have {}",
+                    frame.remaining()
+                )));
+            }
+            Ok(())
+        }
+        need(frame, 1)?;
+        let tag = frame.get_u8();
+        let msg = match tag {
+            TAG_PARAM_SYNC => {
+                need(frame, 8)?;
+                let round = frame.get_u32_le();
+                let len = frame.get_u32_le() as usize;
+                need(frame, 4 * len)?;
+                let mut params = Vec::with_capacity(len);
+                for _ in 0..len {
+                    params.push(frame.get_f32_le());
+                }
+                Message::ParamSync { round, params }
+            }
+            TAG_VERSION_REPORT => {
+                need(frame, 16)?;
+                Message::VersionReport {
+                    device: frame.get_u32_le(),
+                    round: frame.get_u32_le(),
+                    version: frame.get_f64_le(),
+                }
+            }
+            TAG_HANDSHAKE => {
+                need(frame, 4)?;
+                Message::Handshake { from: frame.get_u32_le() }
+            }
+            TAG_HANDSHAKE_ACK => {
+                need(frame, 4)?;
+                Message::HandshakeAck { from: frame.get_u32_le() }
+            }
+            TAG_BYPASS_WARNING => {
+                need(frame, 4)?;
+                Message::BypassWarning { dead: frame.get_u32_le() }
+            }
+            TAG_TRAINING_CONFIG => {
+                need(frame, 12)?;
+                Message::TrainingConfig {
+                    lr: frame.get_f32_le(),
+                    local_steps: frame.get_u32_le(),
+                    window_ms: frame.get_u32_le(),
+                }
+            }
+            TAG_PARAM_ACCUM | TAG_MERGED_PARAMS => {
+                need(frame, 8)?;
+                let head = frame.get_u32_le();
+                let len = frame.get_u32_le() as usize;
+                need(frame, 4 * len)?;
+                let mut params = Vec::with_capacity(len);
+                for _ in 0..len {
+                    params.push(frame.get_f32_le());
+                }
+                if tag == TAG_PARAM_ACCUM {
+                    Message::ParamAccum { hops: head, params }
+                } else {
+                    Message::MergedParams { ttl: head, params }
+                }
+            }
+            other => {
+                return Err(HadflError::InvalidConfig(format!("unknown message tag {other}")))
+            }
+        };
+        if frame.has_remaining() {
+            return Err(HadflError::InvalidConfig(format!(
+                "{} trailing bytes after message",
+                frame.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = msg.encode();
+        assert_eq!(frame.len(), msg.encoded_len(), "length accounting for {msg:?}");
+        assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::ParamSync { round: 7, params: vec![1.5, -2.25, 0.0] });
+        roundtrip(Message::ParamSync { round: 0, params: vec![] });
+        roundtrip(Message::VersionReport { device: 3, round: 12, version: 456.75 });
+        roundtrip(Message::Handshake { from: 9 });
+        roundtrip(Message::HandshakeAck { from: 2 });
+        roundtrip(Message::BypassWarning { dead: 1 });
+        roundtrip(Message::TrainingConfig { lr: 0.01, local_steps: 18, window_ms: 450 });
+        roundtrip(Message::ParamAccum { hops: 2, params: vec![0.5, 0.25] });
+        roundtrip(Message::MergedParams { ttl: 3, params: vec![-1.0] });
+    }
+
+    #[test]
+    fn param_sync_preserves_float_bits() {
+        let params = vec![f32::MIN_POSITIVE, -0.0, 1e30, std::f32::consts::PI];
+        let msg = Message::ParamSync { round: 1, params: params.clone() };
+        let Message::ParamSync { params: back, .. } = Message::decode(&msg.encode()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        for (a, b) in params.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[99]).is_err());
+        assert!(Message::decode(&[TAG_HANDSHAKE]).is_err()); // truncated
+        // trailing bytes
+        let mut frame = Message::Handshake { from: 1 }.encode().to_vec();
+        frame.push(0);
+        assert!(Message::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_params() {
+        let msg = Message::ParamSync { round: 1, params: vec![1.0, 2.0] };
+        let frame = msg.encode();
+        assert!(Message::decode(&frame[..frame.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn control_messages_are_tiny() {
+        // The decentralization claim depends on control-plane traffic
+        // being negligible next to a model.
+        assert!(Message::VersionReport { device: 0, round: 0, version: 0.0 }.encoded_len() <= 32);
+        assert!(Message::TrainingConfig { lr: 0.0, local_steps: 0, window_ms: 0 }.encoded_len() <= 32);
+    }
+}

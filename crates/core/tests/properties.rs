@@ -1,0 +1,186 @@
+//! Property-based tests of the HADFL algorithm invariants.
+
+use std::collections::BTreeMap;
+
+use hadfl::aggregate::{average_params, blend_params, ring_allreduce_cost};
+use hadfl::predict::VersionPredictor;
+use hadfl::select::{select_devices, selection_weights, third_quartile, SelectionPolicy, VersionScale};
+use hadfl::strategy::hyperperiod;
+use hadfl::topology::Ring;
+use hadfl_simnet::{DeviceId, FaultPlan, LinkModel, NetStats, VirtualTime};
+use hadfl_tensor::SeedStream;
+use proptest::prelude::*;
+
+fn device_ids(n: usize) -> Vec<DeviceId> {
+    (0..n).map(DeviceId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quartile_is_within_range(mut xs in proptest::collection::vec(0.0f64..1000.0, 1..40)) {
+        let q = third_quartile(&xs).unwrap();
+        xs.sort_by(f64::total_cmp);
+        prop_assert!(q >= xs[0] && q <= *xs.last().unwrap());
+    }
+
+    #[test]
+    fn selection_weights_are_positive_and_finite(
+        xs in proptest::collection::vec(0.0f64..10_000.0, 1..32),
+        raw in proptest::bool::ANY,
+    ) {
+        let scale = if raw { VersionScale::Raw } else { VersionScale::ZScore };
+        let w = selection_weights(&xs, scale).unwrap();
+        prop_assert_eq!(w.len(), xs.len());
+        prop_assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn selection_returns_sorted_unique_subset(
+        versions in proptest::collection::vec(0.0f64..500.0, 2..16),
+        n_p in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let devices = device_ids(versions.len());
+        let mut rng = SeedStream::new(seed);
+        let sel = select_devices(
+            SelectionPolicy::VersionGaussian,
+            &devices,
+            &versions,
+            n_p,
+            VersionScale::ZScore,
+            &mut rng,
+        )
+        .unwrap();
+        prop_assert_eq!(sel.len(), n_p.min(versions.len()));
+        prop_assert!(sel.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(sel.iter().all(|d| d.index() < versions.len()));
+    }
+
+    #[test]
+    fn ring_bypass_preserves_survivor_order(
+        n in 3usize..10,
+        dead_idx in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        let members = device_ids(n);
+        let mut rng = SeedStream::new(seed);
+        let ring = Ring::random(&members, &mut rng).unwrap();
+        let dead = ring.members()[dead_idx % n];
+        let fixed = ring.bypass(dead).unwrap();
+        prop_assert_eq!(fixed.len(), n - 1);
+        // Survivors keep their relative cyclic order.
+        let survivors: Vec<DeviceId> =
+            ring.members().iter().copied().filter(|&d| d != dead).collect();
+        prop_assert_eq!(fixed.members(), survivors.as_slice());
+    }
+
+    #[test]
+    fn average_params_is_bounded_by_extremes(
+        vecs in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 6), 1..6),
+    ) {
+        let refs: Vec<&[f32]> = vecs.iter().map(Vec::as_slice).collect();
+        let avg = average_params(&refs).unwrap();
+        for i in 0..6 {
+            let lo = refs.iter().map(|v| v[i]).fold(f32::INFINITY, f32::min);
+            let hi = refs.iter().map(|v| v[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[i] >= lo - 1e-4 && avg[i] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn blend_interpolates_monotonically(
+        local in proptest::collection::vec(-5.0f32..5.0, 4),
+        incoming in proptest::collection::vec(-5.0f32..5.0, 4),
+        beta in 0.0f32..=1.0,
+    ) {
+        let mut blended = local.clone();
+        blend_params(&mut blended, &incoming, beta).unwrap();
+        for i in 0..4 {
+            let lo = local[i].min(incoming[i]);
+            let hi = local[i].max(incoming[i]);
+            prop_assert!(blended[i] >= lo - 1e-5 && blended[i] <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn hyperperiod_is_multiple_of_each_epoch_time(
+        ticks in proptest::collection::vec(1u64..200, 1..6),
+    ) {
+        let secs: Vec<f64> = ticks.iter().map(|&t| t as f64 / 1e3).collect();
+        let h = hyperperiod(&secs).unwrap();
+        let h_ticks = (h * 1e3).round() as u64;
+        // Either an exact LCM (multiple of everything) or the capped
+        // fallback (the max tick).
+        let all_divide = ticks.iter().all(|&t| h_ticks.is_multiple_of(t));
+        let is_max = h_ticks == *ticks.iter().max().unwrap();
+        prop_assert!(all_divide || is_max, "h={h_ticks} ticks={ticks:?}");
+        prop_assert!(h_ticks >= *ticks.iter().max().unwrap());
+    }
+
+    #[test]
+    fn allreduce_cost_monotone_in_model_size(
+        n in 2usize..12,
+        bytes_a in 1u64..1_000_000,
+        bytes_b in 1u64..1_000_000,
+    ) {
+        let link = LinkModel::pcie3_x8();
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        let c_lo = ring_allreduce_cost(n, lo, &link).unwrap();
+        let c_hi = ring_allreduce_cost(n, hi, &link).unwrap();
+        prop_assert!(c_lo.secs <= c_hi.secs + 1e-12);
+        prop_assert!(c_lo.bytes_per_member <= c_hi.bytes_per_member);
+    }
+
+    #[test]
+    fn predictor_is_exact_on_linear_series(
+        start in 0.0f64..100.0,
+        slope in 1.0f64..50.0,
+        alpha in 0.2f64..0.9,
+    ) {
+        // Double exponential smoothing reproduces a perfect linear trend
+        // asymptotically; after enough rounds the 1-ahead error is small
+        // relative to the slope.
+        let mut p = VersionPredictor::new(alpha, start).unwrap();
+        let mut v = start;
+        for _ in 0..60 {
+            v += slope;
+            p.observe(v);
+        }
+        let forecast = p.forecast(1);
+        prop_assert!((forecast - (v + slope)).abs() < 0.35 * slope,
+            "forecast {forecast} vs {v} + {slope}");
+    }
+
+    #[test]
+    fn partial_sync_merged_is_average_of_participants(
+        n in 2usize..6,
+        seed in 0u64..50,
+    ) {
+        let members = device_ids(n);
+        let mut rng = SeedStream::new(seed);
+        let ring = Ring::random(&members, &mut rng).unwrap();
+        let params: BTreeMap<DeviceId, Vec<f32>> = members
+            .iter()
+            .map(|&d| (d, vec![d.index() as f32; 3]))
+            .collect();
+        let mut stats = NetStats::new();
+        let out = hadfl::gossip::run_partial_sync(
+            &ring,
+            &params,
+            None,
+            &FaultPlan::none(),
+            VirtualTime::ZERO,
+            &LinkModel::default(),
+            0.05,
+            100,
+            &mut stats,
+        )
+        .unwrap();
+        let expected = (0..n).map(|i| i as f32).sum::<f32>() / n as f32;
+        prop_assert!(out.merged.iter().all(|&v| (v - expected).abs() < 1e-5));
+        prop_assert_eq!(out.participants.len(), n);
+        prop_assert!(!out.dissolved);
+    }
+}

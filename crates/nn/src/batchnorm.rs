@@ -1,0 +1,332 @@
+use hadfl_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layer::Layer;
+
+/// Per-channel batch normalization over NCHW batches.
+///
+/// In training mode the layer normalizes with batch statistics and updates
+/// exponential running statistics; in evaluation mode it uses the running
+/// statistics. The learnable scale `gamma` and shift `beta` are the layer's
+/// parameters — and therefore part of the flat parameter vector the
+/// federated-learning schemes exchange, exactly as PyTorch's BN affine
+/// parameters are in the paper's setup.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_nn::{BatchNorm2d, Layer};
+/// use hadfl_tensor::Tensor;
+///
+/// # fn main() -> Result<(), hadfl_nn::NnError> {
+/// let mut bn = BatchNorm2d::new(3)?;
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), true)?;
+/// assert_eq!(y.dims(), &[2, 3, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cached: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with
+    /// `eps = 1e-5` and running-stat momentum `0.1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `channels` is zero.
+    pub fn new(channels: usize) -> Result<Self, NnError> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig("batchnorm needs at least one channel".into()));
+        }
+        Ok(BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cached: None,
+        })
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize), NnError> {
+        let dims = input.dims();
+        if dims.len() != 4 || dims[1] != self.channels {
+            return Err(NnError::BatchMismatch(format!(
+                "batchnorm expects (N, {}, H, W), got {dims:?}",
+                self.channels
+            )));
+        }
+        Ok((dims[0], dims[2] * dims[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let (n, plane) = self.check_input(input)?;
+        let m = (n * plane) as f32;
+        let c = self.channels;
+        let src = input.as_slice();
+        let mut out = input.clone();
+        let gamma = self.gamma.as_slice().to_vec();
+        let beta = self.beta.as_slice().to_vec();
+
+        if train {
+            if n * plane < 2 {
+                return Err(NnError::BatchMismatch(
+                    "batchnorm training needs at least 2 values per channel".into(),
+                ));
+            }
+            let mut xhat = Tensor::zeros(input.dims());
+            let mut inv_std = vec![0.0f32; c];
+            for ch in 0..c {
+                let mut mean = 0.0f32;
+                for img in 0..n {
+                    let base = (img * c + ch) * plane;
+                    mean += src[base..base + plane].iter().sum::<f32>();
+                }
+                mean /= m;
+                let mut var = 0.0f32;
+                for img in 0..n {
+                    let base = (img * c + ch) * plane;
+                    var += src[base..base + plane].iter().map(|v| (v - mean).powi(2)).sum::<f32>();
+                }
+                var /= m;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ch] = istd;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                let (xh, ov) = (xhat.as_mut_slice(), out.as_mut_slice());
+                for img in 0..n {
+                    let base = (img * c + ch) * plane;
+                    for i in base..base + plane {
+                        let h = (src[i] - mean) * istd;
+                        xh[i] = h;
+                        ov[i] = gamma[ch] * h + beta[ch];
+                    }
+                }
+            }
+            self.cached = Some(BnCache { xhat, inv_std, dims: input.dims().to_vec() });
+        } else {
+            let ov = out.as_mut_slice();
+            for ch in 0..c {
+                let istd = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                let mean = self.running_mean[ch];
+                for img in 0..n {
+                    let base = (img * c + ch) * plane;
+                    for i in base..base + plane {
+                        ov[i] = gamma[ch] * (src[i] - mean) * istd + beta[ch];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cached.as_ref().ok_or(NnError::BackwardBeforeForward("BatchNorm2d"))?;
+        if grad_out.dims() != cache.dims.as_slice() {
+            return Err(NnError::BatchMismatch(format!(
+                "batchnorm backward got {:?}, expected {:?}",
+                grad_out.dims(),
+                cache.dims
+            )));
+        }
+        let c = self.channels;
+        let n = cache.dims[0];
+        let plane = cache.dims[2] * cache.dims[3];
+        let m = (n * plane) as f32;
+        let gy = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        let mut gx = Tensor::zeros(&cache.dims);
+        let gxv = gx.as_mut_slice();
+        let gamma = self.gamma.as_slice().to_vec();
+        let (gg, gb) = (self.grad_gamma.as_mut_slice(), self.grad_beta.as_mut_slice());
+
+        for ch in 0..c {
+            let mut sum_gy = 0.0f32;
+            let mut sum_gy_xh = 0.0f32;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    sum_gy += gy[i];
+                    sum_gy_xh += gy[i] * xh[i];
+                }
+            }
+            gg[ch] += sum_gy_xh;
+            gb[ch] += sum_gy;
+            let k = gamma[ch] * cache.inv_std[ch];
+            let mean_gy = sum_gy / m;
+            let mean_gy_xh = sum_gy_xh / m;
+            for img in 0..n {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    gxv[i] = k * (gy[i] - mean_gy - xh[i] * mean_gy_xh);
+                }
+            }
+        }
+        Ok(gx)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_params_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.fill_zero();
+        self.grad_beta.fill_zero();
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadfl_tensor::SeedStream;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = SeedStream::new(1);
+        let mut x = Tensor::zeros(&[4, 2, 3, 3]);
+        for v in x.as_mut_slice() {
+            *v = rng.normal() * 5.0 + 3.0;
+        }
+        let y = bn.forward(&x, true).unwrap();
+        // per-channel mean ~0, var ~1
+        let plane = 9;
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for img in 0..4 {
+                let base = (img * 2 + ch) * plane;
+                vals.extend_from_slice(&y.as_slice()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        // Run several training batches with mean 10 so the running mean moves.
+        let x = Tensor::from_vec(vec![9.0, 10.0, 10.0, 11.0], &[1, 1, 2, 2]).unwrap();
+        for _ in 0..50 {
+            bn.forward(&x, true).unwrap();
+        }
+        // In eval, an input at the running mean maps near beta = 0.
+        let y = bn.forward(&Tensor::full(&[1, 1, 2, 2], 10.0), false).unwrap();
+        for &v in y.as_slice() {
+            assert!(v.abs() < 0.2, "eval output {v} should be near 0");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_and_shift() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        bn.visit_params_mut(&mut |p| {
+            // gamma first, beta second; distinguish by initial value
+            if p.as_slice()[0] == 1.0 {
+                p.as_mut_slice()[0] = 2.0;
+            } else {
+                p.as_mut_slice()[0] = 7.0;
+            }
+        });
+        let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1, 1, 1]).unwrap();
+        let y = bn.forward(&x, true).unwrap();
+        // xhat = [-1, 1] (unit variance), y = 2*xhat + 7
+        assert!((y.as_slice()[0] - 5.0).abs() < 1e-2);
+        assert!((y.as_slice()[1] - 9.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = SeedStream::new(5);
+        let mut x = Tensor::zeros(&[2, 2, 2, 2]);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        // Loss: weighted sum so gradient is non-uniform.
+        let mut wts = Tensor::zeros(&[2, 2, 2, 2]);
+        for v in wts.as_mut_slice() {
+            *v = rng.normal();
+        }
+        bn.forward(&x, true).unwrap();
+        let gx = bn.backward(&wts).unwrap();
+        let eps = 1e-2;
+        for &i in &[0usize, 3, 9, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            // Fresh layers so running stats don't drift between evals.
+            let mut bn_p = BatchNorm2d::new(2).unwrap();
+            let mut bn_m = BatchNorm2d::new(2).unwrap();
+            let yp = bn_p.forward(&xp, true).unwrap().dot(&wts).unwrap();
+            let ym = bn_m.forward(&xm, true).unwrap().dot(&wts).unwrap();
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = gx.as_slice()[i];
+            assert!((num - ana).abs() < 0.05 * ana.abs().max(1.0), "x[{i}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 2, 2]), true).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_batch_in_train() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        assert!(bn.forward(&Tensor::zeros(&[1, 1, 1, 1]), true).is_err());
+        // but eval mode is fine
+        assert!(bn.forward(&Tensor::zeros(&[1, 1, 1, 1]), false).is_ok());
+    }
+
+    #[test]
+    fn param_count_is_two_per_channel() {
+        assert_eq!(BatchNorm2d::new(4).unwrap().param_count(), 8);
+    }
+}

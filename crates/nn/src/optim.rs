@@ -1,0 +1,259 @@
+use hadfl_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layer::Layer;
+
+/// Learning-rate schedule.
+///
+/// The paper trains the *mutual-negotiation* warm-up phase with a small
+/// learning rate and the main phase at `0.01`; [`LrSchedule::warmup`]
+/// models exactly that.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_nn::LrSchedule;
+///
+/// let s = LrSchedule::warmup(0.001, 100, 0.01);
+/// assert_eq!(s.lr_at(0), 0.001);
+/// assert_eq!(s.lr_at(100), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The same learning rate at every step.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// `warmup_lr` for the first `warmup_steps` steps, then `base_lr`.
+    Warmup {
+        /// Learning rate during warm-up.
+        warmup_lr: f32,
+        /// Number of warm-up steps.
+        warmup_steps: u64,
+        /// Learning rate after warm-up.
+        base_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// A constant schedule.
+    pub fn constant(lr: f32) -> Self {
+        LrSchedule::Constant { lr }
+    }
+
+    /// A warm-up schedule: `warmup_lr` for `warmup_steps` steps, then
+    /// `base_lr` (the paper's mutual-negotiation pattern).
+    pub fn warmup(warmup_lr: f32, warmup_steps: u64, base_lr: f32) -> Self {
+        LrSchedule::Warmup { warmup_lr, warmup_steps, base_lr }
+    }
+
+    /// The learning rate at step `step` (0-based).
+    pub fn lr_at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { warmup_lr, warmup_steps, base_lr } => {
+                if step < warmup_steps {
+                    warmup_lr
+                } else {
+                    base_lr
+                }
+            }
+        }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// Velocity buffers are allocated lazily on the first [`step`](Sgd::step)
+/// and keyed by traversal order, which is deterministic (see
+/// [`Layer::visit_params_grads_mut`]).
+///
+/// # Example
+///
+/// ```
+/// use hadfl_nn::{Dense, Layer, LrSchedule, Sgd};
+/// use hadfl_tensor::{SeedStream, Tensor};
+///
+/// # fn main() -> Result<(), hadfl_nn::NnError> {
+/// let mut layer = Dense::new(2, 1, &mut SeedStream::new(0));
+/// let mut opt = Sgd::new(LrSchedule::constant(0.1), 0.9);
+/// layer.forward(&Tensor::ones(&[1, 2]), true)?;
+/// layer.backward(&Tensor::ones(&[1, 1]))?;
+/// opt.step(&mut layer)?;
+/// assert_eq!(opt.steps_taken(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    schedule: LrSchedule,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+    step: u64,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given schedule and momentum
+    /// (`momentum = 0.0` disables the velocity term).
+    pub fn new(schedule: LrSchedule, momentum: f32) -> Self {
+        Sgd { schedule, momentum, velocity: Vec::new(), step: 0 }
+    }
+
+    /// The learning rate the *next* step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.schedule.lr_at(self.step)
+    }
+
+    /// Number of steps applied so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Replaces the schedule (e.g. when leaving the warm-up phase under
+    /// external control) without resetting momentum or the step counter.
+    pub fn set_schedule(&mut self, schedule: LrSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// Applies one update to every parameter of `layer` from its
+    /// accumulated gradients, then zeroes the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NonFinite`] if any updated parameter is NaN or
+    /// infinite (an exploding-loss guard), or a tensor error if the model's
+    /// parameter structure changed between steps.
+    pub fn step<L: Layer + ?Sized>(&mut self, layer: &mut L) -> Result<(), NnError> {
+        let lr = self.schedule.lr_at(self.step);
+        let momentum = self.momentum;
+        let first = self.velocity.is_empty();
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        let mut failure: Option<NnError> = None;
+        layer.visit_params_grads_mut(&mut |p, g| {
+            if failure.is_some() {
+                return;
+            }
+            if first {
+                velocity.push(Tensor::zeros(p.dims()));
+            }
+            let result = (|| -> Result<(), NnError> {
+                let v = velocity.get_mut(idx).ok_or_else(|| {
+                    NnError::InvalidConfig("parameter count grew between optimizer steps".into())
+                })?;
+                if momentum != 0.0 {
+                    v.scale_inplace(momentum);
+                    v.add_assign_t(g)?;
+                    p.axpy(-lr, v)?;
+                } else {
+                    p.axpy(-lr, g)?;
+                }
+                if p.has_non_finite() {
+                    return Err(NnError::NonFinite("sgd parameter update"));
+                }
+                g.fill_zero();
+                Ok(())
+            })();
+            if let Err(e) = result {
+                failure = Some(e);
+            }
+            idx += 1;
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        self.step += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use hadfl_tensor::SeedStream;
+
+    fn unit_dense() -> Dense {
+        let mut d = Dense::new(1, 1, &mut SeedStream::new(0));
+        d.visit_params_mut(&mut |p| p.as_mut_slice().fill(1.0));
+        d
+    }
+
+    fn run_step(d: &mut Dense, opt: &mut Sgd) {
+        d.forward(&Tensor::ones(&[1, 1]), true).unwrap();
+        d.backward(&Tensor::ones(&[1, 1])).unwrap();
+        opt.step(d).unwrap();
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut d = unit_dense();
+        let mut opt = Sgd::new(LrSchedule::constant(0.5), 0.0);
+        run_step(&mut d, &mut opt);
+        // w grad = x*gy = 1, b grad = 1 ⇒ both become 0.5
+        let mut params = Vec::new();
+        d.visit_params(&mut |p| params.push(p.as_slice()[0]));
+        assert_eq!(params, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn momentum_accelerates_repeated_gradients() {
+        let mut plain = unit_dense();
+        let mut with_mom = unit_dense();
+        let mut o1 = Sgd::new(LrSchedule::constant(0.1), 0.0);
+        let mut o2 = Sgd::new(LrSchedule::constant(0.1), 0.9);
+        for _ in 0..3 {
+            run_step(&mut plain, &mut o1);
+            run_step(&mut with_mom, &mut o2);
+        }
+        let (mut wp, mut wm) = (0.0, 0.0);
+        plain.visit_params(&mut |p| wp += p.as_slice()[0]);
+        with_mom.visit_params(&mut |p| wm += p.as_slice()[0]);
+        assert!(wm < wp, "momentum should have moved further: {wm} vs {wp}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut d = unit_dense();
+        let mut opt = Sgd::new(LrSchedule::constant(0.1), 0.0);
+        run_step(&mut d, &mut opt);
+        let mut gnorm = 0.0;
+        d.visit_params_grads_mut(&mut |_, g| gnorm += g.norm_l2());
+        assert_eq!(gnorm, 0.0);
+    }
+
+    #[test]
+    fn warmup_schedule_switches_at_boundary() {
+        let s = LrSchedule::warmup(0.001, 5, 0.01);
+        assert_eq!(s.lr_at(4), 0.001);
+        assert_eq!(s.lr_at(5), 0.01);
+        assert_eq!(s.lr_at(500), 0.01);
+    }
+
+    #[test]
+    fn optimizer_uses_schedule_step() {
+        let mut d = unit_dense();
+        let mut opt = Sgd::new(LrSchedule::warmup(0.0, 1, 1.0), 0.0);
+        assert_eq!(opt.current_lr(), 0.0);
+        run_step(&mut d, &mut opt); // lr 0: no movement
+        let mut w0 = 0.0;
+        d.visit_params(&mut |p| w0 += p.as_slice()[0]);
+        assert_eq!(w0, 2.0);
+        assert_eq!(opt.current_lr(), 1.0);
+        run_step(&mut d, &mut opt); // lr 1: moves
+        let mut w1 = 0.0;
+        d.visit_params(&mut |p| w1 += p.as_slice()[0]);
+        assert!(w1 < w0);
+    }
+
+    #[test]
+    fn non_finite_update_is_reported() {
+        let mut d = unit_dense();
+        // Poison the gradient with an inf by a giant forward value.
+        d.forward(&Tensor::full(&[1, 1], f32::MAX), true).unwrap();
+        d.backward(&Tensor::full(&[1, 1], f32::MAX)).unwrap();
+        let mut opt = Sgd::new(LrSchedule::constant(1.0), 0.0);
+        assert!(matches!(opt.step(&mut d), Err(NnError::NonFinite(_))));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the training substrate.
+
+use hadfl_nn::{models, softmax_cross_entropy, Dataset, ShardSpec, SyntheticSpec};
+use hadfl_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn param_vector_roundtrip_is_identity(seed in 0u64..500) {
+        let mut m = models::mlp(&[3, 8, 8], &[12], 10, seed).unwrap();
+        let v = m.param_vector();
+        m.set_param_vector(&v).unwrap();
+        prop_assert_eq!(m.param_vector(), v);
+    }
+
+    #[test]
+    fn set_param_vector_overwrites_exactly(seed_a in 0u64..200, seed_b in 200u64..400) {
+        let a = models::mlp(&[3, 8, 8], &[12], 10, seed_a).unwrap();
+        let mut b = models::mlp(&[3, 8, 8], &[12], 10, seed_b).unwrap();
+        b.set_param_vector(&a.param_vector()).unwrap();
+        prop_assert_eq!(a.param_vector(), b.param_vector());
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(logits in proptest::collection::vec(-8.0f32..8.0, 12)) {
+        let t = Tensor::from_vec(logits, &[3, 4]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&t, &[0, 1, 3]).unwrap();
+        prop_assert!(loss >= 0.0);
+        prop_assert_eq!(grad.dims(), &[3, 4]);
+        // gradient rows sum to ~0
+        for r in 0..3 {
+            let s: f32 = grad.as_slice()[r * 4..(r + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_dataset(k in 1usize..6, seed in 0u64..100) {
+        let spec = SyntheticSpec::tiny();
+        let ds = Dataset::synthetic_cifar(60, &spec, 3).unwrap();
+        let shards = ds.shard(k, ShardSpec::Iid, seed).unwrap();
+        prop_assert_eq!(shards.len(), k);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        prop_assert_eq!(total, 60);
+        // class counts across shards must sum to the global histogram
+        let global = ds.class_counts();
+        let mut summed = vec![0usize; global.len()];
+        for s in &shards {
+            for (c, &n) in s.class_counts().iter().enumerate() {
+                summed[c] += n;
+            }
+        }
+        prop_assert_eq!(summed, global);
+    }
+
+    #[test]
+    fn dirichlet_shards_partition_too(alpha in 0.05f32..5.0, seed in 0u64..50) {
+        let spec = SyntheticSpec::tiny();
+        let ds = Dataset::synthetic_cifar(50, &spec, 4).unwrap();
+        let shards = ds.shard(3, ShardSpec::Dirichlet { alpha }, seed).unwrap();
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        prop_assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn synthetic_labels_in_range(n in 1usize..80, seed in 0u64..100) {
+        let spec = SyntheticSpec::tiny();
+        let ds = Dataset::synthetic_cifar(n, &spec, seed).unwrap();
+        prop_assert_eq!(ds.len(), n);
+        prop_assert!(ds.labels().iter().all(|&l| l < spec.classes));
+    }
+}

@@ -1,0 +1,251 @@
+use hadfl_tensor::SeedStream;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::DeviceId;
+
+/// Optional run-to-run variation of device compute times.
+///
+/// The paper's §III-B motivates the runtime version predictor with "the
+/// system may be disturbed during training, causing varying training
+/// time"; `Jitter` injects exactly that disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Jitter {
+    /// Deterministic compute times.
+    #[default]
+    None,
+    /// Multiply each step time by `1 + N(0, std_frac²)`, clamped to
+    /// `[0.2, 5]×` so times stay positive and bounded.
+    Gaussian {
+        /// Standard deviation as a fraction of the nominal time.
+        std_frac: f64,
+    },
+    /// Multiply each step time by `slow_factor` with probability `prob`
+    /// (models sporadic background load / thermal throttling).
+    Spike {
+        /// Probability of a spike on any given step.
+        prob: f64,
+        /// Slow-down multiplier applied during a spike.
+        slow_factor: f64,
+    },
+}
+
+/// Per-device compute-time model.
+///
+/// Device `i` has computing power `power[i]` (the paper's ratio arrays,
+/// e.g. `[3, 3, 1, 1]`); one local step on device `i` nominally takes
+/// `base_step_secs / power[i]`. The paper realizes these ratios with
+/// `sleep()` on real GPUs; here they are virtual-time costs — same
+/// multiplier, deterministic clock (DESIGN.md §2).
+///
+/// # Example
+///
+/// ```
+/// use hadfl_simnet::{ComputeModel, DeviceId};
+///
+/// # fn main() -> Result<(), hadfl_simnet::SimError> {
+/// let m = ComputeModel::new(0.012, &[4.0, 2.0, 2.0, 1.0])?;
+/// assert_eq!(m.devices(), 4);
+/// // The power-1 straggler takes 4x as long as the power-4 device.
+/// let fast = m.step_time(DeviceId(0), None)?;
+/// let slow = m.step_time(DeviceId(3), None)?;
+/// assert!((slow / fast - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    base_step_secs: f64,
+    powers: Vec<f64>,
+    jitter: Jitter,
+}
+
+impl ComputeModel {
+    /// Creates a model where a power-1 device spends `base_step_secs` per
+    /// local step, and device `i` spends `base_step_secs / powers[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `base_step_secs` is not
+    /// positive and finite, `powers` is empty, or any power is not
+    /// positive and finite.
+    pub fn new(base_step_secs: f64, powers: &[f64]) -> Result<Self, SimError> {
+        if !(base_step_secs > 0.0) || !base_step_secs.is_finite() {
+            return Err(SimError::InvalidParameter(format!(
+                "base step time must be positive and finite, got {base_step_secs}"
+            )));
+        }
+        if powers.is_empty() {
+            return Err(SimError::InvalidParameter("at least one device required".into()));
+        }
+        if let Some(&bad) = powers.iter().find(|&&p| !(p > 0.0) || !p.is_finite()) {
+            return Err(SimError::InvalidParameter(format!(
+                "device power must be positive and finite, got {bad}"
+            )));
+        }
+        Ok(ComputeModel { base_step_secs, powers: powers.to_vec(), jitter: Jitter::None })
+    }
+
+    /// Returns the model with jitter enabled (builder style).
+    pub fn with_jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Number of modelled devices.
+    pub fn devices(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// The configured power ratios.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// The configured jitter process.
+    pub fn jitter(&self) -> Jitter {
+        self.jitter
+    }
+
+    fn check(&self, device: DeviceId) -> Result<(), SimError> {
+        if device.index() >= self.powers.len() {
+            return Err(SimError::UnknownDevice {
+                index: device.index(),
+                devices: self.powers.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Nominal (jitter-free) time of one local step on `device`, seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDevice`] for an out-of-range device.
+    pub fn nominal_step_time(&self, device: DeviceId) -> Result<f64, SimError> {
+        self.check(device)?;
+        Ok(self.base_step_secs / self.powers[device.index()])
+    }
+
+    /// Time of one local step on `device`, seconds, applying jitter when
+    /// an RNG is supplied. With `rng = None` the nominal time is returned
+    /// regardless of the jitter configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDevice`] for an out-of-range device.
+    pub fn step_time(
+        &self,
+        device: DeviceId,
+        rng: Option<&mut SeedStream>,
+    ) -> Result<f64, SimError> {
+        let nominal = self.nominal_step_time(device)?;
+        let Some(rng) = rng else { return Ok(nominal) };
+        let factor = match self.jitter {
+            Jitter::None => 1.0,
+            Jitter::Gaussian { std_frac } => {
+                (1.0 + f64::from(rng.normal()) * std_frac).clamp(0.2, 5.0)
+            }
+            Jitter::Spike { prob, slow_factor } => {
+                if f64::from(rng.uniform(0.0, 1.0)) < prob {
+                    slow_factor
+                } else {
+                    1.0
+                }
+            }
+        };
+        Ok(nominal * factor)
+    }
+
+    /// Time for `steps` local steps on `device` (jittered per step when an
+    /// RNG is supplied).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDevice`] for an out-of-range device.
+    pub fn steps_time(
+        &self,
+        device: DeviceId,
+        steps: usize,
+        mut rng: Option<&mut SeedStream>,
+    ) -> Result<f64, SimError> {
+        let mut total = 0.0;
+        for _ in 0..steps {
+            total += self.step_time(device, rng.as_deref_mut())?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_time_is_inverse_in_power() {
+        let m = ComputeModel::new(0.01, &[3.0, 3.0, 1.0, 1.0]).unwrap();
+        let t0 = m.step_time(DeviceId(0), None).unwrap();
+        let t2 = m.step_time(DeviceId(2), None).unwrap();
+        assert!((t2 / t0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ComputeModel::new(0.0, &[1.0]).is_err());
+        assert!(ComputeModel::new(-1.0, &[1.0]).is_err());
+        assert!(ComputeModel::new(f64::NAN, &[1.0]).is_err());
+        assert!(ComputeModel::new(0.01, &[]).is_err());
+        assert!(ComputeModel::new(0.01, &[1.0, 0.0]).is_err());
+        assert!(ComputeModel::new(0.01, &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn unknown_device_is_reported() {
+        let m = ComputeModel::new(0.01, &[1.0, 2.0]).unwrap();
+        assert!(matches!(
+            m.step_time(DeviceId(2), None),
+            Err(SimError::UnknownDevice { index: 2, devices: 2 })
+        ));
+    }
+
+    #[test]
+    fn no_rng_means_nominal_even_with_jitter() {
+        let m = ComputeModel::new(0.01, &[1.0])
+            .unwrap()
+            .with_jitter(Jitter::Gaussian { std_frac: 0.5 });
+        assert_eq!(m.step_time(DeviceId(0), None).unwrap(), 0.01);
+    }
+
+    #[test]
+    fn gaussian_jitter_varies_but_stays_bounded() {
+        let m = ComputeModel::new(0.01, &[1.0])
+            .unwrap()
+            .with_jitter(Jitter::Gaussian { std_frac: 0.3 });
+        let mut rng = SeedStream::new(4);
+        let times: Vec<f64> =
+            (0..200).map(|_| m.step_time(DeviceId(0), Some(&mut rng)).unwrap()).collect();
+        assert!(times.iter().any(|&t| (t - 0.01).abs() > 1e-5), "jitter had no effect");
+        assert!(times.iter().all(|&t| (0.002..=0.05).contains(&t)));
+    }
+
+    #[test]
+    fn spike_jitter_hits_roughly_at_rate() {
+        let m = ComputeModel::new(0.01, &[1.0])
+            .unwrap()
+            .with_jitter(Jitter::Spike { prob: 0.25, slow_factor: 3.0 });
+        let mut rng = SeedStream::new(4);
+        let spikes = (0..2000)
+            .filter(|_| m.step_time(DeviceId(0), Some(&mut rng)).unwrap() > 0.02)
+            .count();
+        let rate = spikes as f64 / 2000.0;
+        assert!((rate - 0.25).abs() < 0.05, "spike rate {rate}");
+    }
+
+    #[test]
+    fn steps_time_sums_steps() {
+        let m = ComputeModel::new(0.01, &[2.0]).unwrap();
+        let t = m.steps_time(DeviceId(0), 10, None).unwrap();
+        assert!((t - 0.05).abs() < 1e-12);
+        assert_eq!(m.steps_time(DeviceId(0), 0, None).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by simulator construction and queries.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_simnet::ComputeModel;
+///
+/// let err = ComputeModel::new(0.0, &[1.0]).unwrap_err();
+/// assert!(err.to_string().contains("positive"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A model parameter was out of range (non-positive time, power, …).
+    InvalidParameter(String),
+    /// A device index was outside the cluster.
+    UnknownDevice {
+        /// The offending index.
+        index: usize,
+        /// Number of devices in the model.
+        devices: usize,
+    },
+    /// A fault-plan outage was malformed (end before start, overlap, …).
+    InvalidOutage(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SimError::UnknownDevice { index, devices } => {
+                write!(f, "device {index} out of range for a cluster of {devices}")
+            }
+            SimError::InvalidOutage(msg) => write!(f, "invalid outage: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SimError::UnknownDevice { index: 9, devices: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,155 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::VirtualTime;
+
+/// A deterministic discrete-event queue.
+///
+/// Events pop in time order; ties break by insertion order (FIFO), which
+/// keeps multi-device simulations bit-reproducible across runs.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_simnet::{EventQueue, VirtualTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(VirtualTime::from_secs(2.0), "late");
+/// q.push(VirtualTime::from_secs(1.0), "early");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest time (then lowest
+        // seq) pops first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: VirtualTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &(t, e) in &[(3.0, 'c'), (1.0, 'a'), (2.0, 'b')] {
+            q.push(VirtualTime::from_secs(t), e);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = VirtualTime::from_secs(1.0);
+        for e in 0..5 {
+            q.push(t, e);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_secs(1.0), ());
+        assert_eq!(q.peek_time(), Some(VirtualTime::from_secs(1.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::ZERO, 1);
+        q.push(VirtualTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_secs(5.0), "e5");
+        q.push(VirtualTime::from_secs(1.0), "e1");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("e1"));
+        q.push(VirtualTime::from_secs(2.0), "e2");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("e2"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("e5"));
+    }
+}

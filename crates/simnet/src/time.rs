@@ -1,0 +1,137 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the simulation clock, in seconds since simulation start.
+///
+/// `VirtualTime` is totally ordered (NaN is rejected at construction) so it
+/// can key the event queue. Durations are plain `f64` seconds.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_simnet::VirtualTime;
+///
+/// let t = VirtualTime::ZERO.after(1.5);
+/// assert_eq!(t.as_secs(), 1.5);
+/// assert!(t > VirtualTime::ZERO);
+/// assert_eq!(t.elapsed_since(VirtualTime::ZERO), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// The simulation start.
+    pub const ZERO: VirtualTime = VirtualTime(0.0);
+
+    /// Creates a time point from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative — simulated clocks only move
+    /// forward from zero.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid virtual time {secs}");
+        VirtualTime(secs)
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The time point `secs` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be NaN or negative.
+    pub fn after(self, secs: f64) -> Self {
+        VirtualTime::from_secs(self.0 + secs)
+    }
+
+    /// Seconds elapsed since `earlier` (negative if `earlier` is later).
+    pub fn elapsed_since(self, earlier: VirtualTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// This time quantized to integer milliseconds (rounding). The
+    /// hyperperiod LCM computation works on these ticks.
+    pub fn to_millis_ticks(self) -> u64 {
+        (self.0 * 1e3).round() as u64
+    }
+
+    /// The later of two time points.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for VirtualTime {}
+
+impl PartialOrd for VirtualTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction forbids NaN, so total order is safe.
+        self.0.partial_cmp(&other.0).expect("virtual times are never NaN")
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = VirtualTime::from_secs(1.0);
+        let b = VirtualTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn after_accumulates() {
+        let t = VirtualTime::ZERO.after(0.5).after(0.25);
+        assert!((t.as_secs() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid virtual time")]
+    fn negative_time_panics() {
+        let _ = VirtualTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid virtual time")]
+    fn nan_time_panics() {
+        let _ = VirtualTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn millis_ticks_round() {
+        assert_eq!(VirtualTime::from_secs(0.0014).to_millis_ticks(), 1);
+        assert_eq!(VirtualTime::from_secs(0.0015).to_millis_ticks(), 2);
+        assert_eq!(VirtualTime::from_secs(3.0).to_millis_ticks(), 3000);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(VirtualTime::from_secs(1.23456).to_string(), "1.235s");
+    }
+}

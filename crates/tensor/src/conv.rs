@@ -1,0 +1,288 @@
+//! `im2col`/`col2im` lowering for 2-D convolution.
+//!
+//! Convolution layers in the `nn` crate are computed as a matrix product
+//! over patches: the NCHW input is unrolled into a `(N·out_h·out_w) ×
+//! (C·kh·kw)` patch matrix ([`im2col`]), multiplied against the reshaped
+//! filter bank, and gradients flow back through [`col2im`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution: input extents, kernel, stride and
+/// zero padding, with the derived output extents.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_tensor::Conv2dGeometry;
+///
+/// # fn main() -> Result<(), hadfl_tensor::TensorError> {
+/// let g = Conv2dGeometry::new(3, 8, 8, 3, 1, 1)?;
+/// assert_eq!((g.out_h, g.out_w), (8, 8)); // 'same' padding
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Derived output height.
+    pub out_h: usize,
+    /// Derived output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes the geometry, validating that the kernel fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if any extent is zero, the
+    /// stride is zero, or the padded input is smaller than the kernel.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, TensorError> {
+        if in_channels == 0 || in_h == 0 || in_w == 0 || kernel == 0 {
+            return Err(TensorError::InvalidGeometry(format!(
+                "zero extent: channels={in_channels} h={in_h} w={in_w} kernel={kernel}"
+            )));
+        }
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be positive".into()));
+        }
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        if padded_h < kernel || padded_w < kernel {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {kernel} larger than padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok(Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+            out_h: (padded_h - kernel) / stride + 1,
+            out_w: (padded_w - kernel) / stride + 1,
+        })
+    }
+
+    /// Number of columns in the patch matrix: `C·kh·kw`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of patch rows per batch element: `out_h·out_w`.
+    pub fn patches_per_image(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unrolls an NCHW batch into a patch matrix of shape
+/// `(N·out_h·out_w) × (C·kh·kw)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` is not
+/// `(N, C, H, W)` matching `geom`.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    let dims = input.dims();
+    if dims.len() != 4 || dims[1] != geom.in_channels || dims[2] != geom.in_h || dims[3] != geom.in_w
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            lhs: dims.to_vec(),
+            rhs: vec![0, geom.in_channels, geom.in_h, geom.in_w],
+        });
+    }
+    let n = dims[0];
+    let rows = n * geom.patches_per_image();
+    let cols = geom.patch_len();
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let (ih, iw, k, s, p) = (geom.in_h, geom.in_w, geom.kernel, geom.stride, geom.padding);
+    let chan_stride = ih * iw;
+    let img_stride = geom.in_channels * chan_stride;
+
+    let mut row = 0;
+    for img in 0..n {
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let base = row * cols;
+                let mut col = 0;
+                for c in 0..geom.in_channels {
+                    let cbase = img * img_stride + c * chan_stride;
+                    for ky in 0..k {
+                        let y = (oy * s + ky) as isize - p as isize;
+                        for kx in 0..k {
+                            let x = (ox * s + kx) as isize - p as isize;
+                            if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
+                                dst[base + col] = src[cbase + y as usize * iw + x as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a patch-matrix gradient back onto the NCHW input gradient —
+/// the adjoint of [`im2col`]. Overlapping patches accumulate.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` is not
+/// `(N·out_h·out_w) × (C·kh·kw)` for the given `geom` and `batch`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Result<Tensor, TensorError> {
+    let want_rows = batch * geom.patches_per_image();
+    let want_cols = geom.patch_len();
+    if cols.dims() != [want_rows, want_cols] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.dims().to_vec(),
+            rhs: vec![want_rows, want_cols],
+        });
+    }
+    let mut out = Tensor::zeros(&[batch, geom.in_channels, geom.in_h, geom.in_w]);
+    let src = cols.as_slice();
+    let dst = out.as_mut_slice();
+    let (ih, iw, k, s, p) = (geom.in_h, geom.in_w, geom.kernel, geom.stride, geom.padding);
+    let chan_stride = ih * iw;
+    let img_stride = geom.in_channels * chan_stride;
+
+    let mut row = 0;
+    for img in 0..batch {
+        for oy in 0..geom.out_h {
+            for ox in 0..geom.out_w {
+                let base = row * want_cols;
+                let mut col = 0;
+                for c in 0..geom.in_channels {
+                    let cbase = img * img_stride + c * chan_stride;
+                    for ky in 0..k {
+                        let y = (oy * s + ky) as isize - p as isize;
+                        for kx in 0..k {
+                            let x = (ox * s + kx) as isize - p as isize;
+                            if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
+                                dst[cbase + y as usize * iw + x as usize] += src[base + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(3, 8, 8, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        assert_eq!(g.patch_len(), 27);
+        assert_eq!(g.patches_per_image(), 64);
+    }
+
+    #[test]
+    fn geometry_stride_two_halves_output() {
+        let g = Conv2dGeometry::new(1, 8, 8, 2, 2, 0).unwrap();
+        assert_eq!((g.out_h, g.out_w), (4, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_bad_inputs() {
+        assert!(Conv2dGeometry::new(0, 8, 8, 3, 1, 1).is_err());
+        assert!(Conv2dGeometry::new(1, 8, 8, 3, 0, 1).is_err());
+        assert!(Conv2dGeometry::new(1, 2, 2, 5, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: patch matrix is the image itself
+        // with channels spread across columns.
+        let g = Conv2dGeometry::new(2, 2, 2, 1, 1, 0).unwrap();
+        let input =
+            Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 2]);
+        // row = pixel position, col = channel
+        assert_eq!(cols.as_slice(), &[0.0, 4.0, 1.0, 5.0, 2.0, 6.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let g = Conv2dGeometry::new(1, 1, 1, 3, 1, 1).unwrap();
+        let input = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[1, 9]);
+        // center of 3x3 patch holds the pixel, rest is padding
+        let mut want = [0.0f32; 9];
+        want[4] = 5.0;
+        assert_eq!(cols.as_slice(), &want[..]);
+    }
+
+    #[test]
+    fn im2col_rejects_wrong_shape() {
+        let g = Conv2dGeometry::new(3, 4, 4, 3, 1, 1).unwrap();
+        assert!(im2col(&Tensor::zeros(&[1, 2, 4, 4]), &g).is_err());
+        assert!(im2col(&Tensor::zeros(&[3, 4, 4]), &g).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is exactly what backprop needs.
+        use crate::init::SeedStream;
+        let g = Conv2dGeometry::new(2, 5, 4, 3, 2, 1).unwrap();
+        let mut rng = SeedStream::new(1234);
+        let mut x = Tensor::zeros(&[2, 2, 5, 4]);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let cols_rows = 2 * g.patches_per_image();
+        let mut y = Tensor::zeros(&[cols_rows, g.patch_len()]);
+        for v in y.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let ax = im2col(&x, &g).unwrap();
+        let aty = col2im(&y, &g, 2).unwrap();
+        let lhs = ax.dot(&y).unwrap();
+        let rhs = x.dot(&aty).unwrap();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_rejects_wrong_shape() {
+        let g = Conv2dGeometry::new(1, 4, 4, 3, 1, 1).unwrap();
+        assert!(col2im(&Tensor::zeros(&[3, 3]), &g, 1).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by tensor construction and kernel operations.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, TensorError>`; the variants carry enough context to state
+/// which shapes disagreed.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_tensor::Tensor;
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(err.to_string().contains("length"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The flat data length does not match the product of the shape dims.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Shape the caller asked for.
+        shape: Vec<usize>,
+    },
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+    },
+    /// A convolution geometry was invalid (e.g. kernel larger than input).
+    InvalidGeometry(String),
+    /// An empty tensor was supplied where at least one element is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, shape } => write!(
+                f,
+                "data length {len} does not match shape {shape:?} (needs {})",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "rank mismatch in {op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch_mentions_both_sides() {
+        let err = TensorError::LengthMismatch { len: 3, shape: vec![2, 2] };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn display_shape_mismatch_names_op() {
+        let err = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Seeded random initialization for model parameters.
+//!
+//! Experiments in this repo must be exactly reproducible, so all randomness
+//! flows from a [`SeedStream`] backed by ChaCha8 — a stable algorithm whose
+//! output will not change across `rand` releases the way `StdRng`'s may.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::tensor::Tensor;
+
+/// Parameter initialization schemes.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_tensor::{Initializer, SeedStream};
+///
+/// let mut rng = SeedStream::new(42);
+/// let w = Initializer::XavierUniform { fan_in: 64, fan_out: 32 }.init(&[64, 32], &mut rng);
+/// assert_eq!(w.dims(), &[64, 32]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform {
+        /// Input fan of the layer.
+        fan_in: usize,
+        /// Output fan of the layer.
+        fan_out: usize,
+    },
+    /// Gaussian with `std = sqrt(2 / fan_in)` (He initialization for ReLU nets).
+    HeNormal {
+        /// Input fan of the layer.
+        fan_in: usize,
+    },
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f32,
+        /// Inclusive upper bound.
+        hi: f32,
+    },
+}
+
+impl Initializer {
+    /// Draws a tensor of the given shape from this distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform` initializer has `lo > hi`.
+    pub fn init(self, dims: &[usize], rng: &mut SeedStream) -> Tensor {
+        let mut t = Tensor::zeros(dims);
+        match self {
+            Initializer::Zeros => {}
+            Initializer::XavierUniform { fan_in, fan_out } => {
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                for v in t.as_mut_slice() {
+                    *v = rng.uniform(-limit, limit);
+                }
+            }
+            Initializer::HeNormal { fan_in } => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                for v in t.as_mut_slice() {
+                    *v = rng.normal() * std;
+                }
+            }
+            Initializer::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform bounds out of order: [{lo}, {hi}]");
+                for v in t.as_mut_slice() {
+                    *v = rng.uniform(lo, hi);
+                }
+            }
+        }
+        t
+    }
+}
+
+/// A deterministic, forkable random-number stream.
+///
+/// `SeedStream` wraps a ChaCha8 generator and adds [`fork`](Self::fork),
+/// which derives an independent child stream — this is how per-device RNGs
+/// are split from a single experiment seed without correlation.
+#[derive(Debug, Clone)]
+pub struct SeedStream {
+    rng: ChaCha8Rng,
+}
+
+impl SeedStream {
+    /// Creates a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeedStream { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child stream labelled by `salt`.
+    ///
+    /// Two forks of the same parent with different salts produce
+    /// uncorrelated sequences; the parent stream is not advanced.
+    pub fn fork(&self, salt: u64) -> Self {
+        let mut seed = self.rng.get_seed();
+        // Mix the salt into the seed words with splitmix-style finalization
+        // so adjacent salts produce unrelated child seeds.
+        let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        for (i, b) in z.to_le_bytes().iter().enumerate() {
+            seed[i] ^= b;
+            seed[i + 8] ^= b.rotate_left(3);
+        }
+        SeedStream { rng: ChaCha8Rng::from_seed(seed) }
+    }
+
+    /// Uniform sample in `[lo, hi)` (or exactly `lo` when `lo == hi`).
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo == hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform `u64` (for deriving sub-seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SeedStream::new(7);
+        let mut b = SeedStream::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeedStream::new(7);
+        let mut b = SeedStream::new(8);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let parent = SeedStream::new(1);
+        let mut c1 = parent.fork(0);
+        let mut c1_again = parent.fork(0);
+        let c2 = parent.fork(1);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        let mut a = parent.fork(0);
+        let mut b = c2.clone();
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "sibling forks must not be correlated");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SeedStream::new(3);
+        for _ in 0..1000 {
+            let v = rng.uniform(-0.5, 0.5);
+            assert!((-0.5..0.5).contains(&v));
+        }
+        assert_eq!(rng.uniform(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SeedStream::new(11);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = SeedStream::new(5);
+        let w = Initializer::XavierUniform { fan_in: 10, fan_out: 10 }.init(&[10, 10], &mut rng);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        // and it is not degenerate
+        assert!(w.norm_l2() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = SeedStream::new(5);
+        let w = Initializer::HeNormal { fan_in: 1_000_000 }.init(&[100], &mut rng);
+        assert!(w.norm_l2() < 1.0, "large fan-in must shrink weights");
+    }
+
+    #[test]
+    fn zeros_initializer_is_zero() {
+        let mut rng = SeedStream::new(5);
+        let w = Initializer::Zeros.init(&[4, 4], &mut rng);
+        assert_eq!(w, Tensor::zeros(&[4, 4]));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SeedStream::new(9);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

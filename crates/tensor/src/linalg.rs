@@ -1,0 +1,234 @@
+//! Dense matrix kernels: plain, transposed-operand, and outer products.
+//!
+//! The matmul kernels use an ikj loop order so the innermost loop streams
+//! both the output row and the `b` row contiguously; that is enough to keep
+//! the lite CNN workloads in this repo CPU-bound rather than cache-bound
+//! without bringing in a BLAS.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize), TensorError> {
+    if t.dims().len() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.dims().len() });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Matrix product `a (m×k) · b (k×n) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_tensor::{matmul, Tensor};
+///
+/// # fn main() -> Result<(), hadfl_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = check_matrix(a, "matmul")?;
+    let (kb, n) = check_matrix(b, "matmul")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        for k in 0..ka {
+            let aik = av[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[k * n..(k + 1) * n];
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix product with the left operand transposed: `aᵀ (k×m)ᵀ · b (k×n) → (m×n)`.
+///
+/// Used by backward passes to form weight gradients without materializing a
+/// transposed copy.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// under the same conditions as [`matmul`].
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ka, m) = check_matrix(a, "matmul_at_b")?;
+    let (kb, n) = check_matrix(b, "matmul_at_b")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix product with the right operand transposed: `a (m×k) · bᵀ (n×k)ᵀ → (m×n)`.
+///
+/// Used by backward passes to propagate gradients to layer inputs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// under the same conditions as [`matmul`].
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = check_matrix(a, "matmul_a_bt")?;
+    let (n, kb) = check_matrix(b, "matmul_a_bt")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bv[j * ka..(j + 1) * ka];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            ov[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Outer product of two vectors: `a (m) ⊗ b (n) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 1.
+pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.dims().len() != 1 {
+        return Err(TensorError::RankMismatch { op: "outer", expected: 1, actual: a.dims().len() });
+    }
+    if b.dims().len() != 1 {
+        return Err(TensorError::RankMismatch { op: "outer", expected: 1, actual: b.dims().len() });
+    }
+    let (m, n) = (a.len(), b.len());
+    let mut out = Tensor::zeros(&[m, n]);
+    let ov = out.as_mut_slice();
+    for (i, &x) in a.as_slice().iter().enumerate() {
+        for (j, &y) in b.as_slice().iter().enumerate() {
+            ov[i * n + j] = x * y;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = matmul(&a, &Tensor::eye(3)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_rejects_non_matrix() {
+        let a = Tensor::zeros(&[6]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]); // aᵀ is 2x3
+        let b = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let got = matmul_at_b(&a, &b).unwrap();
+        // explicit transpose of a
+        let at = t(&[1.0, 3.0, 5.0, 2.0, 4.0, 6.0], &[2, 3]);
+        let want = matmul(&at, &b).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let got = matmul_a_bt(&a, &b).unwrap();
+        let bt = t(&[5.0, 7.0, 6.0, 8.0], &[2, 2]);
+        let want = matmul(&a, &bt).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn outer_shape_and_values() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0, 5.0], &[3]);
+        let c = outer(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn outer_rejects_matrices() {
+        assert!(outer(&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[2])).is_err());
+    }
+}

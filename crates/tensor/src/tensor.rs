@@ -1,0 +1,404 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+
+/// A dense, row-major `f32` tensor.
+///
+/// `Tensor` owns its storage (a flat `Vec<f32>`) and a [`Shape`]. All
+/// elementwise arithmetic is provided both as allocating methods (`add`,
+/// `sub`, …) and in-place methods (`add_assign_t`, `scale_inplace`, …); the
+/// training loops in the layers above use the in-place variants to avoid
+/// per-step allocation.
+///
+/// # Example
+///
+/// ```
+/// use hadfl_tensor::Tensor;
+///
+/// # fn main() -> Result<(), hadfl_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0], &[2])?;
+/// let b = Tensor::full(&[2], 10.0);
+/// let c = a.add(&b)?;
+/// assert_eq!(c.as_slice(), &[11.0, 12.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from flat data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { len: data.len(), shape: dims.to_vec() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor { shape: Shape::new(dims), data: vec![0.0; Shape::new(dims).len()] }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Tensor { shape: Shape::new(dims), data: vec![value; Shape::new(dims).len()] }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the flat storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// Returns a reshaped copy sharing the same flat data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self, TensorError> {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    /// Reinterprets the shape in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape_inplace(&mut self, dims: &[usize]) -> Result<(), TensorError> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch { len: self.data.len(), shape: dims.to_vec() });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    fn check_same_shape(&self, rhs: &Tensor, op: &'static str) -> Result<(), TensorError> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum, allocating a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(rhs, "add")?;
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Elementwise difference, allocating a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(rhs, "sub")?;
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Elementwise (Hadamard) product, allocating a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(rhs, "mul")?;
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Multiplies every element by `k`, allocating a new tensor.
+    pub fn scale(&self, k: f32) -> Tensor {
+        let data = self.data.iter().map(|a| a * k).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// In-place `self += rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign_t(&mut self, rhs: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(rhs, "add_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self -= rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub_assign_t(&mut self, rhs: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(rhs, "sub_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += k * rhs` (the SGD update kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, k: f32, rhs: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(rhs, "axpy")?;
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += k * b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self *= k`.
+    pub fn scale_inplace(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Applies `f` to every element, allocating a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Dot product of the flattened tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        self.check_same_shape(rhs, "dot")?;
+        Ok(self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|a| !a.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor of length zero.
+    fn default() -> Self {
+        Tensor { shape: Shape::new(&[0]), data: Vec::new() }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{} [", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 3], &[2, 2]),
+            Err(TensorError::LengthMismatch { len: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn eye_is_identity_under_indexing() {
+        let id = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(id.at(&[i, j]), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3]).unwrap();
+        let back = a.add(&b).unwrap().sub(&b).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { op: "add", .. })));
+    }
+
+    #[test]
+    fn axpy_matches_manual_update() {
+        let mut w = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap();
+        w.axpy(-0.1, &g).unwrap();
+        assert_eq!(w.as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let b = a.reshape(&[3, 2]).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn norm_and_dot_agree() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert!((a.norm_l2() - 5.0).abs() < 1e-6);
+        assert!((a.dot(&a).unwrap() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_inplace_matches_map() {
+        let a = Tensor::from_vec(vec![-1.0, 2.0, -3.0], &[3]).unwrap();
+        let mapped = a.map(|x| x.max(0.0));
+        let mut b = a.clone();
+        b.map_inplace(|x| x.max(0.0));
+        assert_eq!(mapped, b);
+        assert_eq!(b.as_slice(), &[0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        let mut a = Tensor::zeros(&[2]);
+        assert!(!a.has_non_finite());
+        a.as_mut_slice()[0] = f32::NAN;
+        assert!(a.has_non_finite());
+        a.as_mut_slice()[0] = f32::INFINITY;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn display_truncates_long_tensors() {
+        let t = Tensor::zeros(&[100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.len() < 200);
+    }
+
+    #[test]
+    fn fill_zero_keeps_shape() {
+        let mut t = Tensor::ones(&[2, 2]);
+        t.fill_zero();
+        assert_eq!(t, Tensor::zeros(&[2, 2]));
+    }
+}

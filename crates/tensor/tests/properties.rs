@@ -1,0 +1,116 @@
+//! Property-based tests for the tensor kernels.
+
+use hadfl_tensor::{
+    argmax, col2im, im2col, matmul, matmul_a_bt, matmul_at_b, softmax_rows, Conv2dGeometry,
+    SeedStream, Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(xs in tensor_strategy(16), ys in tensor_strategy(16)) {
+        let a = Tensor::from_vec(xs, &[4, 4]).unwrap();
+        let b = Tensor::from_vec(ys, &[4, 4]).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(xs in tensor_strategy(8), ys in tensor_strategy(8), k in -4.0f32..4.0) {
+        let a = Tensor::from_vec(xs, &[8]).unwrap();
+        let b = Tensor::from_vec(ys, &[8]).unwrap();
+        let lhs = a.add(&b).unwrap().scale(k);
+        let rhs = a.scale(k).add(&b.scale(k)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_right(xs in tensor_strategy(12)) {
+        let a = Tensor::from_vec(xs, &[3, 4]).unwrap();
+        let c = matmul(&a, &Tensor::eye(4)).unwrap();
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_associates_with_scaling(xs in tensor_strategy(6), ys in tensor_strategy(6), k in -3.0f32..3.0) {
+        let a = Tensor::from_vec(xs, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(ys, &[3, 2]).unwrap();
+        let lhs = matmul(&a.scale(k), &b).unwrap();
+        let rhs = matmul(&a, &b).unwrap().scale(k);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_plain(xs in tensor_strategy(12), ys in tensor_strategy(12)) {
+        // a: 3x4 (stored transposed as 4x3 too), b: 4x3
+        let a = Tensor::from_vec(xs.clone(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec(ys, &[4, 3]).unwrap();
+        // explicit transpose of a (4x3)
+        let mut at_data = vec![0.0; 12];
+        for i in 0..3 {
+            for j in 0..4 {
+                at_data[j * 3 + i] = xs[i * 4 + j];
+            }
+        }
+        let at = Tensor::from_vec(at_data, &[4, 3]).unwrap();
+        let plain = matmul(&a, &b).unwrap();
+        let via_at = matmul_at_b(&at, &b).unwrap();
+        for (x, y) in plain.as_slice().iter().zip(via_at.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+        // and a_bt: a (3x4) * (bᵀ)ᵀ where we pass bᵀ (3x4)
+        let mut bt_data = vec![0.0; 12];
+        for i in 0..4 {
+            for j in 0..3 {
+                bt_data[j * 4 + i] = b.as_slice()[i * 3 + j];
+            }
+        }
+        let bt = Tensor::from_vec(bt_data, &[3, 4]).unwrap();
+        let via_bt = matmul_a_bt(&a, &bt).unwrap();
+        for (x, y) in plain.as_slice().iter().zip(via_bt.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(xs in tensor_strategy(20)) {
+        let t = Tensor::from_vec(xs, &[4, 5]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        for r in 0..4 {
+            let row = &s.as_slice()[r * 5..(r + 1) * 5];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(xs in tensor_strategy(10)) {
+        let t = Tensor::from_vec(xs.clone(), &[1, 10]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        prop_assert_eq!(argmax(&xs).unwrap(), argmax(s.as_slice()).unwrap());
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..1000, k in 1usize..4, s in 1usize..3, p in 0usize..2) {
+        let geom = match Conv2dGeometry::new(2, 6, 5, k, s, p) {
+            Ok(g) => g,
+            Err(_) => return Ok(()),
+        };
+        let mut rng = SeedStream::new(seed);
+        let mut x = Tensor::zeros(&[1, 2, 6, 5]);
+        for v in x.as_mut_slice() { *v = rng.normal(); }
+        let mut y = Tensor::zeros(&[geom.patches_per_image(), geom.patch_len()]);
+        for v in y.as_mut_slice() { *v = rng.normal(); }
+        let lhs = im2col(&x, &geom).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, &geom, 1).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+}

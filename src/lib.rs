@@ -1,0 +1,37 @@
+//! Umbrella crate for the HADFL reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so downstream users
+//! (and this repo's own integration tests and examples) can depend on a
+//! single package:
+//!
+//! - [`hadfl`] — the framework itself (configuration, coordinator,
+//!   drivers, traces);
+//! - [`nn`] — the from-scratch training substrate (layers, SGD, model
+//!   zoo, synthetic data);
+//! - [`simnet`] — the virtual-time cluster simulator (compute, links,
+//!   faults, accounting);
+//! - [`tensor`] — the dense `f32` tensor kernels;
+//! - [`baselines`] — the paper's comparison schemes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hadfl_suite::hadfl::driver::{run_hadfl, SimOptions};
+//! use hadfl_suite::hadfl::{HadflConfig, Workload};
+//!
+//! # fn main() -> Result<(), hadfl_suite::hadfl::HadflError> {
+//! let run = run_hadfl(
+//!     &Workload::quick("mlp", 0),
+//!     &HadflConfig::builder().build()?,
+//!     &SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]),
+//! )?;
+//! println!("{:.1}%", run.trace.max_accuracy() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use hadfl_baselines as baselines;
+pub use hadfl_nn as nn;
+pub use hadfl_simnet as simnet;
+pub use hadfl_tensor as tensor;
+pub extern crate hadfl;

@@ -1,0 +1,118 @@
+//! Integration tests of the advanced execution modes: hierarchical
+//! grouping, the threaded executor, non-IID weighted aggregation, and
+//! the heterogeneous-bandwidth ring.
+
+use std::time::Duration;
+
+use hadfl::driver::{run_hadfl, SimOptions};
+use hadfl::exec::{run_threaded, ThreadedOptions};
+use hadfl::group::run_hadfl_grouped;
+use hadfl::topology::Ring;
+use hadfl::workload::ShardKind;
+use hadfl::{HadflConfig, Workload};
+use hadfl_simnet::{BandwidthMatrix, DeviceId};
+use hadfl_tensor::SeedStream;
+
+#[test]
+fn grouped_and_flat_reach_similar_accuracy() {
+    let mut workload = Workload::quick("mlp", 71);
+    workload.train_size = 768;
+    workload.test_size = 192;
+    let mut opts = SimOptions::quick(&[2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 1.0, 1.0]);
+    opts.epochs_total = 10.0;
+
+    let flat_cfg = HadflConfig::builder().num_selected(4).seed(71).build().unwrap();
+    let flat = run_hadfl(&workload, &flat_cfg, &opts).unwrap();
+
+    let grouped_cfg = HadflConfig::builder()
+        .group_size(Some(4))
+        .inter_group_every(2)
+        .num_selected(2)
+        .seed(71)
+        .build()
+        .unwrap();
+    let grouped = run_hadfl_grouped(&workload, &grouped_cfg, &opts).unwrap();
+
+    let fa = flat.trace.max_accuracy();
+    let ga = grouped.trace.max_accuracy();
+    assert!(fa > 0.5 && ga > 0.5, "flat {fa} grouped {ga}");
+    assert!((f64::from(fa) - f64::from(ga)).abs() < 0.25, "flat {fa} vs grouped {ga}");
+}
+
+#[test]
+fn grouped_run_is_deterministic() {
+    let workload = Workload::quick("mlp", 72);
+    let config = HadflConfig::builder()
+        .group_size(Some(2))
+        .inter_group_every(2)
+        .seed(72)
+        .build()
+        .unwrap();
+    let opts = SimOptions::quick(&[2.0, 1.0, 2.0, 1.0]);
+    let a = run_hadfl_grouped(&workload, &config, &opts).unwrap();
+    let b = run_hadfl_grouped(&workload, &config, &opts).unwrap();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.inter_sync_rounds, b.inter_sync_rounds);
+}
+
+#[test]
+fn threaded_executor_matches_virtual_time_protocol() {
+    // Same workload through both executors: both must select 2-device
+    // rings, accumulate versions, and produce a finite consensus.
+    let workload = Workload::quick("mlp", 73);
+    let config = HadflConfig::builder().num_selected(2).seed(73).build().unwrap();
+
+    let virtual_run =
+        run_hadfl(&workload, &config, &SimOptions::quick(&[2.0, 1.0, 1.0])).unwrap();
+    let threaded = run_threaded(
+        &workload,
+        &config,
+        &ThreadedOptions {
+            powers: vec![2.0, 1.0, 1.0],
+            step_sleep: Duration::from_millis(4),
+            window: Duration::from_millis(50),
+            rounds: 3,
+        },
+    )
+    .unwrap();
+
+    for r in &virtual_run.trace.records {
+        assert_eq!(r.selected.len(), 2);
+    }
+    for r in &threaded.rounds {
+        assert_eq!(r.selected.len(), 2);
+    }
+    assert!(threaded.final_accuracy.is_finite());
+    assert!(threaded.peer_bytes > 0);
+}
+
+#[test]
+fn noniid_weighted_aggregation_end_to_end() {
+    let mut workload = Workload::quick("mlp", 74);
+    workload.shard = ShardKind::Dirichlet { alpha: 0.5 };
+    let mut opts = SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]);
+    opts.epochs_total = 10.0;
+    let config = HadflConfig::builder().weight_by_samples(true).seed(74).build().unwrap();
+    let run = run_hadfl(&workload, &config, &opts).unwrap();
+    assert!(run.trace.max_accuracy() > 0.3, "accuracy {}", run.trace.max_accuracy());
+}
+
+#[test]
+fn bandwidth_aware_ring_avoids_slow_links_when_possible() {
+    let net = BandwidthMatrix::two_clusters(6, 3, 0.0, 1e9, 1e5).unwrap();
+    let members: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+    let mut rng = SeedStream::new(75);
+    for _ in 0..5 {
+        let ring = Ring::greedy_bandwidth(&members, &net, &mut rng).unwrap();
+        let crossings = ring
+            .members()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &from)| {
+                let to = ring.members()[(i + 1) % ring.len()];
+                net.bandwidth(from, to).unwrap() < 1e9
+            })
+            .count();
+        assert_eq!(crossings, 2, "minimum crossings for two clusters: {ring}");
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration tests of the full HADFL workflow across the
+//! workspace crates.
+
+use hadfl::driver::{run_hadfl, SimOptions};
+use hadfl::{HadflConfig, Workload};
+
+fn quick_opts(powers: &[f64], epochs: f64) -> SimOptions {
+    let mut opts = SimOptions::quick(powers);
+    opts.epochs_total = epochs;
+    opts
+}
+
+#[test]
+fn hadfl_learns_the_synthetic_task() {
+    let config = HadflConfig::builder().seed(21).build().unwrap();
+    let run = run_hadfl(
+        &Workload::quick("mlp", 21),
+        &config,
+        &quick_opts(&[3.0, 3.0, 1.0, 1.0], 10.0),
+    )
+    .unwrap();
+    let last = run.trace.records.last().unwrap();
+    assert!(last.test_accuracy > 0.5, "accuracy {}", last.test_accuracy);
+    assert!(last.epoch_equiv >= 10.0);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let config = HadflConfig::builder().seed(22).build().unwrap();
+    let opts = quick_opts(&[4.0, 2.0, 2.0, 1.0], 6.0);
+    let a = run_hadfl(&Workload::quick("mlp", 22), &config, &opts).unwrap();
+    let b = run_hadfl(&Workload::quick("mlp", 22), &config, &opts).unwrap();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.setup_comm, b.setup_comm);
+    assert_eq!(a.strategy, b.strategy);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    // 4 devices, N_p = 2: the framework seed drives which pair gossips,
+    // so two seeds must diverge. (With K = N_p the seed has no visible
+    // effect — everyone is always selected.)
+    let opts = quick_opts(&[2.0, 1.0, 2.0, 1.0], 8.0);
+    let a = run_hadfl(
+        &Workload::quick("mlp", 23),
+        &HadflConfig::builder().seed(1).build().unwrap(),
+        &opts,
+    )
+    .unwrap();
+    let b = run_hadfl(
+        &Workload::quick("mlp", 23),
+        &HadflConfig::builder().seed(2).build().unwrap(),
+        &opts,
+    )
+    .unwrap();
+    // Same workload, different framework seeds: selection and rings
+    // differ, so the traces should not be identical.
+    assert_ne!(a.trace, b.trace);
+}
+
+#[test]
+fn strategy_matches_power_ratio() {
+    let config = HadflConfig::builder().seed(24).build().unwrap();
+    let run = run_hadfl(
+        &Workload::quick("mlp", 24),
+        &config,
+        &quick_opts(&[3.0, 3.0, 1.0, 1.0], 4.0),
+    )
+    .unwrap();
+    let steps = &run.strategy.local_steps;
+    // Fast devices get ~3x the local step budget of the stragglers.
+    let ratio = steps[0] as f64 / steps[3] as f64;
+    assert!((2.5..=3.5).contains(&ratio), "steps {steps:?}");
+}
+
+#[test]
+fn versions_track_cumulative_updates() {
+    let config = HadflConfig::builder().seed(25).build().unwrap();
+    let run = run_hadfl(
+        &Workload::quick("mlp", 25),
+        &config,
+        &quick_opts(&[2.0, 1.0], 6.0),
+    )
+    .unwrap();
+    // Versions are cumulative, so they must be non-decreasing round over
+    // round for every device.
+    for pair in run.trace.records.windows(2) {
+        for (prev, next) in pair[0].versions.iter().zip(&pair[1].versions) {
+            assert!(next >= prev, "version went backwards: {prev} -> {next}");
+        }
+    }
+}
+
+#[test]
+fn selected_sets_vary_over_rounds() {
+    let config = HadflConfig::builder().seed(26).build().unwrap();
+    let run = run_hadfl(
+        &Workload::quick("mlp", 26),
+        &config,
+        &quick_opts(&[1.0, 1.0, 1.0, 1.0], 16.0),
+    )
+    .unwrap();
+    let distinct: std::collections::HashSet<&Vec<usize>> =
+        run.trace.records.iter().map(|r| &r.selected).collect();
+    assert!(
+        distinct.len() > 1,
+        "probabilistic selection should vary: {:?}",
+        run.trace.records.iter().map(|r| &r.selected).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn umbrella_crate_reexports_compile() {
+    // hadfl_suite re-exports every workspace crate; touch each path.
+    let _spec = hadfl_suite::nn::SyntheticSpec::tiny();
+    let _t = hadfl_suite::tensor::Tensor::zeros(&[2, 2]);
+    let _d = hadfl_suite::simnet::DeviceId(0);
+    let _c = hadfl_suite::hadfl::HadflConfig::builder().build().unwrap();
+    let _b = hadfl_suite::baselines::BaselineConfig::default();
+}

@@ -1,0 +1,114 @@
+//! Fault-injection integration tests: the §III-D tolerance machinery
+//! must keep training alive through crashes and transient outages.
+
+use hadfl::driver::{run_hadfl, SimOptions};
+use hadfl::{HadflConfig, HadflError, Workload};
+use hadfl_simnet::{DeviceId, FaultPlan, Outage, VirtualTime};
+
+fn opts(powers: &[f64], epochs: f64, faults: FaultPlan) -> SimOptions {
+    let mut o = SimOptions::quick(powers);
+    o.epochs_total = epochs;
+    o.faults = faults;
+    o
+}
+
+/// Workload::quick with 3 equal devices: 128-sample shards, 8 batches,
+/// 10 ms steps ⇒ 80 ms windows starting at 0.08 s (after warm-up).
+fn three_device_workload() -> Workload {
+    Workload::quick("mlp", 41)
+}
+
+#[test]
+fn permanent_crash_is_survived_and_bypassed() {
+    let faults =
+        FaultPlan::new(vec![Outage::crash(DeviceId(2), VirtualTime::from_secs(0.20))]).unwrap();
+    let config = HadflConfig::builder().num_selected(3).seed(41).build().unwrap();
+    let run =
+        run_hadfl(&three_device_workload(), &config, &opts(&[1.0, 1.0, 1.0], 8.0, faults))
+            .unwrap();
+    assert!(!run.bypass_log.is_empty(), "the crash must trigger a bypass");
+    let last = run.trace.records.last().unwrap();
+    assert!(last.epoch_equiv >= 8.0, "training must finish");
+    assert!(last.test_accuracy > 0.4, "accuracy {}", last.test_accuracy);
+    // The dead device's version counter freezes.
+    let final_versions = &last.versions;
+    assert!(final_versions[2] < final_versions[0]);
+}
+
+#[test]
+fn transient_outage_lets_device_rejoin() {
+    // Down for two windows, then back.
+    let faults = FaultPlan::new(vec![Outage::window(
+        DeviceId(1),
+        VirtualTime::from_secs(0.16),
+        VirtualTime::from_secs(0.32),
+    )])
+    .unwrap();
+    let config = HadflConfig::builder().num_selected(2).seed(42).build().unwrap();
+    let run =
+        run_hadfl(&three_device_workload(), &config, &opts(&[1.0, 1.0, 1.0], 10.0, faults))
+            .unwrap();
+    let last = run.trace.records.last().unwrap();
+    // Device 1 lost some windows but kept training after recovery: its
+    // version is behind the healthy devices' but well above zero.
+    assert!(last.versions[1] > 20.0, "device 1 never rejoined: {:?}", last.versions);
+    assert!(last.versions[1] < last.versions[0], "{:?}", last.versions);
+}
+
+#[test]
+fn everyone_dead_is_a_clean_error() {
+    let faults = FaultPlan::new(vec![
+        Outage::crash(DeviceId(0), VirtualTime::from_secs(0.1)),
+        Outage::crash(DeviceId(1), VirtualTime::from_secs(0.1)),
+    ])
+    .unwrap();
+    let config = HadflConfig::builder().seed(43).build().unwrap();
+    let err = run_hadfl(
+        &Workload::quick("mlp", 43),
+        &config,
+        &opts(&[1.0, 1.0], 8.0, faults),
+    )
+    .unwrap_err();
+    assert!(matches!(err, HadflError::ClusterDead { .. }), "{err}");
+}
+
+#[test]
+fn training_continues_with_one_survivor_pair() {
+    // 4 devices, 2 crash: the remaining pair must still synchronize.
+    let faults = FaultPlan::new(vec![
+        Outage::crash(DeviceId(0), VirtualTime::from_secs(0.3)),
+        Outage::crash(DeviceId(3), VirtualTime::from_secs(0.3)),
+    ])
+    .unwrap();
+    let config = HadflConfig::builder().num_selected(2).seed(44).build().unwrap();
+    let run = run_hadfl(
+        &Workload::quick("mlp", 44),
+        &config,
+        &opts(&[1.0, 1.0, 1.0, 1.0], 10.0, faults),
+    )
+    .unwrap();
+    let last = run.trace.records.last().unwrap();
+    assert!(last.epoch_equiv >= 10.0);
+    // Late rounds can only ever select the two survivors.
+    let late = run.trace.records.iter().filter(|r| r.time_secs > 0.5).collect::<Vec<_>>();
+    for r in late {
+        assert!(
+            r.selected.iter().all(|&d| d == 1 || d == 2),
+            "round {} selected dead devices: {:?}",
+            r.round,
+            r.selected
+        );
+    }
+}
+
+#[test]
+fn fault_runs_remain_deterministic() {
+    let faults =
+        FaultPlan::new(vec![Outage::crash(DeviceId(1), VirtualTime::from_secs(0.25))]).unwrap();
+    let config = HadflConfig::builder().num_selected(3).seed(45).build().unwrap();
+    let o = opts(&[2.0, 1.0, 1.0], 8.0, faults);
+    let a = run_hadfl(&Workload::quick("mlp", 45), &config, &o).unwrap();
+    let b = run_hadfl(&Workload::quick("mlp", 45), &config, &o).unwrap();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.bypass_log, b.bypass_log);
+}
