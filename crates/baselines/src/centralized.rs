@@ -69,8 +69,11 @@ pub fn run_centralized_fedavg(
             stats.record(Endpoint::Device(DeviceId(i)), Endpoint::Server, wire_bytes);
             comm += opts.link.transfer_time(wire_bytes);
         }
-        let params: Vec<Vec<f32>> =
-            built.runtimes.iter().map(|rt| rt.model.param_vector()).collect();
+        let params: Vec<Vec<f32>> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.model.param_vector())
+            .collect();
         let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
         let merged = average_params(&refs)?;
         // Download: again serialized through the server's link.
@@ -84,7 +87,11 @@ pub fn run_centralized_fedavg(
         let samples: u64 = built.runtimes.iter().map(|rt| rt.samples_seen).sum();
         let epoch_equiv = samples as f64 / built.train_size as f64;
         let metrics = built.evaluate_params(&merged)?;
-        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        let versions: Vec<f64> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.steps_done as f64)
+            .collect();
         trace.push(RoundRecord {
             round,
             time_secs: now,
@@ -134,7 +141,10 @@ mod tests {
         .unwrap();
         let rounds = trace.records.len() as u64;
         let expected = 2 * trace.model_bytes * 4 * rounds; // 2·M·K·rounds
-        assert_eq!(trace.comm.server_bytes, expected, "the §II-B formula must hold exactly");
+        assert_eq!(
+            trace.comm.server_bytes, expected,
+            "the §II-B formula must hold exactly"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl Default for BaselineConfig {
     /// The paper's settings: lr 0.01, momentum 0.9, one local epoch per
     /// FedAvg round.
     fn default() -> Self {
-        BaselineConfig { lr: 0.01, momentum: 0.9, local_epochs: 1 }
+        BaselineConfig {
+            lr: 0.01,
+            momentum: 0.9,
+            local_epochs: 1,
+        }
     }
 }
 
@@ -39,7 +43,10 @@ impl BaselineConfig {
     /// out-of-range field.
     pub fn validate(&self) -> Result<(), HadflError> {
         if !(self.lr > 0.0) || !self.lr.is_finite() {
-            return Err(HadflError::InvalidConfig(format!("lr must be positive, got {}", self.lr)));
+            return Err(HadflError::InvalidConfig(format!(
+                "lr must be positive, got {}",
+                self.lr
+            )));
         }
         if !(0.0..1.0).contains(&self.momentum) {
             return Err(HadflError::InvalidConfig(format!(
@@ -48,7 +55,9 @@ impl BaselineConfig {
             )));
         }
         if self.local_epochs == 0 {
-            return Err(HadflError::InvalidConfig("local_epochs must be at least 1".into()));
+            return Err(HadflError::InvalidConfig(
+                "local_epochs must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -65,9 +74,29 @@ mod tests {
 
     #[test]
     fn rejects_bad_fields() {
-        assert!(BaselineConfig { lr: 0.0, ..Default::default() }.validate().is_err());
-        assert!(BaselineConfig { lr: f32::NAN, ..Default::default() }.validate().is_err());
-        assert!(BaselineConfig { momentum: 1.0, ..Default::default() }.validate().is_err());
-        assert!(BaselineConfig { local_epochs: 0, ..Default::default() }.validate().is_err());
+        assert!(BaselineConfig {
+            lr: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BaselineConfig {
+            lr: f32::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BaselineConfig {
+            momentum: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BaselineConfig {
+            local_epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -50,8 +50,11 @@ pub fn run_distributed(
 
     // Iterations per epoch: the max across shards (devices with smaller
     // shards simply wrap around, as DDP samplers do).
-    let iters_per_epoch =
-        built.batches_per_epoch().into_iter().max().expect("k >= 2 devices");
+    let iters_per_epoch = built
+        .batches_per_epoch()
+        .into_iter()
+        .max()
+        .expect("k >= 2 devices");
     let ring: Vec<DeviceId> = (0..k).map(DeviceId).collect();
     let mut trace = Trace::new("distributed_training", k, wire_bytes);
     let mut now = 0.0f64;
@@ -73,8 +76,7 @@ pub fn run_distributed(
             // Ring all-reduce of gradients.
             let refs: Vec<&[f32]> = grads.iter().map(Vec::as_slice).collect();
             let avg = average_params(&refs)?;
-            let cost =
-                record_gossip_traffic(&ring, wire_bytes, &opts.link, &mut stats)?;
+            let cost = record_gossip_traffic(&ring, wire_bytes, &opts.link, &mut stats)?;
             for i in 0..k {
                 built.runtimes[i].model.set_grad_vector(&avg)?;
                 built.runtimes[i].apply_step()?;
@@ -83,7 +85,11 @@ pub fn run_distributed(
         }
         let params = built.runtimes[0].model.param_vector();
         let metrics = built.evaluate_params(&params)?;
-        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        let versions: Vec<f64> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.steps_done as f64)
+            .collect();
         trace.push(RoundRecord {
             round: epoch,
             time_secs: now,
@@ -136,32 +142,28 @@ mod tests {
         )
         .unwrap();
         let last = trace.records.last().unwrap();
-        assert!(last.versions.windows(2).all(|w| w[0] == w[1]), "{:?}", last.versions);
+        assert!(
+            last.versions.windows(2).all(|w| w[0] == w[1]),
+            "{:?}",
+            last.versions
+        );
     }
 
     #[test]
     fn iteration_pace_is_set_by_the_straggler() {
         // Same workload under [1,1,1,1] vs [4,4,4,1]: the straggler-bound
         // run must take as long per epoch (the power-4 devices don't help).
-        let homo = run_distributed(
-            &Workload::quick("mlp", 3),
-            &BaselineConfig::default(),
-            &{
-                let mut o = quick_opts();
-                o.powers = vec![1.0, 1.0, 1.0, 1.0];
-                o
-            },
-        )
+        let homo = run_distributed(&Workload::quick("mlp", 3), &BaselineConfig::default(), &{
+            let mut o = quick_opts();
+            o.powers = vec![1.0, 1.0, 1.0, 1.0];
+            o
+        })
         .unwrap();
-        let hetero = run_distributed(
-            &Workload::quick("mlp", 3),
-            &BaselineConfig::default(),
-            &{
-                let mut o = quick_opts();
-                o.powers = vec![4.0, 4.0, 4.0, 1.0];
-                o
-            },
-        )
+        let hetero = run_distributed(&Workload::quick("mlp", 3), &BaselineConfig::default(), &{
+            let mut o = quick_opts();
+            o.powers = vec![4.0, 4.0, 4.0, 1.0];
+            o
+        })
         .unwrap();
         let t_homo = homo.records.last().unwrap().time_secs;
         let t_hetero = hetero.records.last().unwrap().time_secs;
@@ -190,7 +192,10 @@ mod tests {
         let mut o = quick_opts();
         o.powers = vec![1.0];
         assert!(run_distributed(&w, &BaselineConfig::default(), &o).is_err());
-        let bad = BaselineConfig { lr: -1.0, ..Default::default() };
+        let bad = BaselineConfig {
+            lr: -1.0,
+            ..Default::default()
+        };
         assert!(run_distributed(&w, &bad, &quick_opts()).is_err());
     }
 

@@ -67,8 +67,11 @@ pub fn run_decentralized_fedavg(
             slowest = slowest.max(secs);
         }
         // Synchronous gossip merge of parameters across all devices.
-        let params: Vec<Vec<f32>> =
-            built.runtimes.iter().map(|rt| rt.model.param_vector()).collect();
+        let params: Vec<Vec<f32>> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.model.param_vector())
+            .collect();
         let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
         let merged = average_params(&refs)?;
         let cost = record_gossip_traffic(&ring, wire_bytes, &opts.link, &mut stats)?;
@@ -80,7 +83,11 @@ pub fn run_decentralized_fedavg(
         let samples: u64 = built.runtimes.iter().map(|rt| rt.samples_seen).sum();
         let epoch_equiv = samples as f64 / built.train_size as f64;
         let metrics = built.evaluate_params(&merged)?;
-        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        let versions: Vec<f64> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.steps_done as f64)
+            .collect();
         trace.push(RoundRecord {
             round,
             time_secs: now,
@@ -143,26 +150,20 @@ mod tests {
     fn round_duration_is_straggler_bound() {
         // Doubling every power except the straggler's must leave round
         // times (and so total time) essentially unchanged.
-        let base = run_decentralized_fedavg(
-            &Workload::quick("mlp", 3),
-            &BaselineConfig::default(),
-            &{
+        let base =
+            run_decentralized_fedavg(&Workload::quick("mlp", 3), &BaselineConfig::default(), &{
                 let mut o = quick_opts();
                 o.powers = vec![1.0, 1.0, 1.0, 1.0];
                 o
-            },
-        )
-        .unwrap();
-        let boosted = run_decentralized_fedavg(
-            &Workload::quick("mlp", 3),
-            &BaselineConfig::default(),
-            &{
+            })
+            .unwrap();
+        let boosted =
+            run_decentralized_fedavg(&Workload::quick("mlp", 3), &BaselineConfig::default(), &{
                 let mut o = quick_opts();
                 o.powers = vec![2.0, 2.0, 2.0, 1.0];
                 o
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         let t1 = base.records.last().unwrap().time_secs;
         let t2 = boosted.records.last().unwrap().time_secs;
         assert!((t1 - t2).abs() / t1 < 0.05, "{t1} vs {t2}");
@@ -172,13 +173,19 @@ mod tests {
     fn local_epochs_scale_round_length() {
         let one = run_decentralized_fedavg(
             &Workload::quick("mlp", 4),
-            &BaselineConfig { local_epochs: 1, ..Default::default() },
+            &BaselineConfig {
+                local_epochs: 1,
+                ..Default::default()
+            },
             &quick_opts(),
         )
         .unwrap();
         let two = run_decentralized_fedavg(
             &Workload::quick("mlp", 4),
-            &BaselineConfig { local_epochs: 2, ..Default::default() },
+            &BaselineConfig {
+                local_epochs: 2,
+                ..Default::default()
+            },
             &quick_opts(),
         )
         .unwrap();

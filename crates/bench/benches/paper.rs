@@ -29,8 +29,7 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function("hadfl", |b| {
         let config = HadflConfig::builder().seed(1).build().expect("valid");
         b.iter(|| {
-            let run =
-                run_hadfl(&Workload::quick("mlp", 1), &config, &quick_opts()).expect("runs");
+            let run = run_hadfl(&Workload::quick("mlp", 1), &config, &quick_opts()).expect("runs");
             black_box(run.trace.time_to_max_accuracy())
         });
     });
@@ -64,8 +63,7 @@ fn bench_fig3_curves(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("hadfl_trace_extraction", |b| {
         let config = HadflConfig::builder().seed(2).build().expect("valid");
-        let run =
-            run_hadfl(&Workload::quick("mlp", 2), &config, &quick_opts()).expect("runs");
+        let run = run_hadfl(&Workload::quick("mlp", 2), &config, &quick_opts()).expect("runs");
         b.iter(|| {
             black_box((
                 run.trace.loss_vs_epoch(),
@@ -87,8 +85,7 @@ fn bench_worst_case(c: &mut Criterion) {
             .build()
             .expect("valid");
         b.iter(|| {
-            let run =
-                run_hadfl(&Workload::quick("mlp", 3), &config, &quick_opts()).expect("runs");
+            let run = run_hadfl(&Workload::quick("mlp", 3), &config, &quick_opts()).expect("runs");
             black_box(run.trace.max_accuracy())
         });
     });
@@ -129,8 +126,7 @@ fn bench_comm_volume(c: &mut Criterion) {
     group.bench_function("hadfl_server_bytes", |b| {
         let config = HadflConfig::builder().seed(4).build().expect("valid");
         b.iter(|| {
-            let run =
-                run_hadfl(&Workload::quick("mlp", 4), &config, &quick_opts()).expect("runs");
+            let run = run_hadfl(&Workload::quick("mlp", 4), &config, &quick_opts()).expect("runs");
             black_box(run.trace.comm.server_bytes)
         });
     });
@@ -150,8 +146,7 @@ fn bench_grouped(c: &mut Criterion) {
         let mut opts = SimOptions::quick(&[2.0, 1.0, 2.0, 1.0]);
         opts.epochs_total = 3.0;
         b.iter(|| {
-            let run = run_hadfl_grouped(&Workload::quick("mlp", 5), &config, &opts)
-                .expect("runs");
+            let run = run_hadfl_grouped(&Workload::quick("mlp", 5), &config, &opts).expect("runs");
             black_box(run.trace.max_accuracy())
         });
     });

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the wire codec the socket transport frames every
+//! message through: encode and decode across the size spectrum the
+//! protocol actually produces, from 5-byte heartbeats to full parameter
+//! payloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hadfl::wire::Message;
+
+/// The quick-profile MLP moves ~26k parameters; the experiment-scale
+/// models move hundreds of thousands. Cover both ends.
+const PARAM_SIZES: [usize; 3] = [1_024, 26_506, 262_144];
+
+fn param_vec(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32).sin()).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    group.bench_function("heartbeat", |b| {
+        let msg = Message::Heartbeat { from: 3 };
+        b.iter(|| black_box(black_box(&msg).encode()));
+    });
+    group.bench_function("round_plan_16", |b| {
+        let msg = Message::RoundPlan {
+            round: 7,
+            ring: (0..16).collect(),
+            broadcaster: 5,
+            unselected: (16..32).collect(),
+        };
+        b.iter(|| black_box(black_box(&msg).encode()));
+    });
+    for n in PARAM_SIZES {
+        let msg = Message::ParamSync {
+            round: 9,
+            params: param_vec(n),
+        };
+        group.bench_function(&format!("param_sync_{n}"), |b| {
+            b.iter(|| black_box(black_box(&msg).encode()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    group.bench_function("heartbeat", |b| {
+        let frame = Message::Heartbeat { from: 3 }.encode();
+        b.iter(|| black_box(Message::decode(black_box(&frame)).expect("valid frame")));
+    });
+    group.bench_function("round_plan_16", |b| {
+        let frame = Message::RoundPlan {
+            round: 7,
+            ring: (0..16).collect(),
+            broadcaster: 5,
+            unselected: (16..32).collect(),
+        }
+        .encode();
+        b.iter(|| black_box(Message::decode(black_box(&frame)).expect("valid frame")));
+    });
+    for n in PARAM_SIZES {
+        let frame = Message::ParamSync {
+            round: 9,
+            params: param_vec(n),
+        }
+        .encode();
+        group.bench_function(&format!("param_sync_{n}"), |b| {
+            b.iter(|| black_box(Message::decode(black_box(&frame)).expect("valid frame")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_roundtrip");
+    // The dominant per-round flow: one accumulate hop of the ring.
+    let msg = Message::ParamAccum {
+        hops: 2,
+        params: param_vec(26_506),
+    };
+    group.bench_function("param_accum_26506", |b| {
+        b.iter(|| {
+            let frame = black_box(&msg).encode();
+            black_box(Message::decode(&frame).expect("valid frame"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip);
+criterion_main!(benches);

@@ -33,8 +33,8 @@ fn main() {
         let alternating =
             Ring::from_order(vec![DeviceId(0), DeviceId(2), DeviceId(1), DeviceId(3)])
                 .expect("valid ring");
-        let alt_cost = ring_token_pass_cost(alternating.members(), model_bytes, &net)
-            .expect("cost");
+        let alt_cost =
+            ring_token_pass_cost(alternating.members(), model_bytes, &net).expect("cost");
         // Random: average over seeds.
         let mut rand_total = 0.0;
         const SEEDS: u64 = 16;
@@ -44,10 +44,8 @@ fn main() {
                 .expect("cost")
                 .secs;
         }
-        let greedy = Ring::greedy_bandwidth(&members, &net, &mut SeedStream::new(1))
-            .expect("ring");
-        let greedy_cost =
-            ring_token_pass_cost(greedy.members(), model_bytes, &net).expect("cost");
+        let greedy = Ring::greedy_bandwidth(&members, &net, &mut SeedStream::new(1)).expect("ring");
+        let greedy_cost = ring_token_pass_cost(greedy.members(), model_bytes, &net).expect("cost");
         println!(
             "{:>14.1} {:>16.3} {:>14.3} {:>14.3}",
             inter_mbs,

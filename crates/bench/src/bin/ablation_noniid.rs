@@ -16,9 +16,21 @@ fn main() {
     let model = "resnet18_lite";
     let cases: [(&str, ShardKind, bool); 4] = [
         ("iid_uniform", ShardKind::Iid, false),
-        ("dirichlet0.3_uniform", ShardKind::Dirichlet { alpha: 0.3 }, false),
-        ("dirichlet0.3_weighted", ShardKind::Dirichlet { alpha: 0.3 }, true),
-        ("dirichlet1.0_uniform", ShardKind::Dirichlet { alpha: 1.0 }, false),
+        (
+            "dirichlet0.3_uniform",
+            ShardKind::Dirichlet { alpha: 0.3 },
+            false,
+        ),
+        (
+            "dirichlet0.3_weighted",
+            ShardKind::Dirichlet { alpha: 0.3 },
+            true,
+        ),
+        (
+            "dirichlet1.0_uniform",
+            ShardKind::Dirichlet { alpha: 1.0 },
+            false,
+        ),
     ];
     println!("Non-IID ablation — {model}, powers {powers:?}");
     println!("{:<24} {:>9} {:>14}", "case", "max acc", "final acc");
@@ -36,9 +48,17 @@ fn main() {
         let run = run_hadfl(&workload, &config, &opts).expect("run failed");
         let max_acc = run.trace.max_accuracy();
         let final_acc = run.trace.last().map_or(0.0, |r| r.test_accuracy);
-        println!("{name:<24} {:>8.1}% {:>13.1}%", max_acc * 100.0, final_acc * 100.0);
+        println!(
+            "{name:<24} {:>8.1}% {:>13.1}%",
+            max_acc * 100.0,
+            final_acc * 100.0
+        );
         rows.push(format!("{name},{max_acc:.4},{final_acc:.4}"));
     }
-    write_csv("ablation_noniid.csv", "case,max_accuracy,final_accuracy", &rows);
+    write_csv(
+        "ablation_noniid.csv",
+        "case,max_accuracy,final_accuracy",
+        &rows,
+    );
     println!("\nLabel skew costs accuracy; Eq. (2) weighting recovers part of it.");
 }

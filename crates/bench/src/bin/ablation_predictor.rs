@@ -43,7 +43,10 @@ fn main() {
     let rounds = 40;
     let mut rows = Vec::new();
     println!("Version-predictor ablation — mean absolute 1-ahead forecast error");
-    println!("{:<8} {:>22} {:>14} {:>16}", "series", "double-exp (Eq. 7)", "last-value", "static warm-up");
+    println!(
+        "{:<8} {:>22} {:>14} {:>16}",
+        "series", "double-exp (Eq. 7)", "last-value", "static warm-up"
+    );
     for kind in ["steady", "ramp", "step"] {
         let mut rng = SeedStream::new(42);
         let vs = series(kind, rounds, &mut rng);

@@ -22,7 +22,10 @@ fn main() {
         ("worst_case", SelectionPolicy::WorstCase),
     ];
     println!("Selection-policy ablation — {model}, powers {powers:?}");
-    println!("{:<18} {:>9} {:>14} {:>14}", "policy", "max acc", "time to max", "final acc");
+    println!(
+        "{:<18} {:>9} {:>14} {:>14}",
+        "policy", "max acc", "time to max", "final acc"
+    );
     let mut rows = Vec::new();
     for (name, policy) in policies {
         let workload = profile.workload(model, 400);
@@ -36,7 +39,12 @@ fn main() {
         let run = run_hadfl(&workload, &config, &opts).expect("run failed");
         let (acc, time) = run.trace.time_to_max_accuracy().unwrap_or((0.0, 0.0));
         let final_acc = run.trace.last().map_or(0.0, |r| r.test_accuracy);
-        println!("{name:<18} {:>8.1}% {:>13.2}s {:>13.1}%", acc * 100.0, time, final_acc * 100.0);
+        println!(
+            "{name:<18} {:>8.1}% {:>13.2}s {:>13.1}%",
+            acc * 100.0,
+            time,
+            final_acc * 100.0
+        );
         rows.push(format!("{name},{acc:.4},{time:.3},{final_acc:.4}"));
     }
     write_csv(

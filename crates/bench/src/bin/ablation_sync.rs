@@ -15,7 +15,10 @@ fn main() {
     let powers = [4.0, 2.0, 2.0, 1.0];
     let model = "resnet18_lite";
     println!("T_sync × N_p sweep — {model}, powers {powers:?}");
-    println!("{:>7} {:>5} {:>9} {:>14} {:>11}", "t_sync", "n_p", "max acc", "time to max", "rounds");
+    println!(
+        "{:>7} {:>5} {:>9} {:>14} {:>11}",
+        "t_sync", "n_p", "max acc", "time to max", "rounds"
+    );
     let mut rows = Vec::new();
     for t_sync in [1u32, 2, 4] {
         for n_p in [2usize, 3, 4] {

@@ -20,7 +20,11 @@ fn main() {
 
     let central = run_centralized_fedavg(&workload, &BaselineConfig::default(), &opts)
         .expect("centralized run failed");
-    let config = HadflConfig::builder().num_selected(2).seed(700).build().expect("valid");
+    let config = HadflConfig::builder()
+        .num_selected(2)
+        .seed(700)
+        .build()
+        .expect("valid");
     let hadfl = run_hadfl(&workload, &config, &opts).expect("hadfl run failed");
 
     let m = central.model_bytes;
@@ -29,7 +33,10 @@ fn main() {
     let hadfl_rounds = hadfl.trace.records.len() as u64;
 
     println!("communication volume (model size M = {m} bytes, K = {k} devices)\n");
-    println!("{:<24} {:>8} {:>16} {:>16} {:>16}", "scheme", "rounds", "server bytes", "max device", "total");
+    println!(
+        "{:<24} {:>8} {:>16} {:>16} {:>16}",
+        "scheme", "rounds", "server bytes", "max device", "total"
+    );
     println!(
         "{:<24} {:>8} {:>16} {:>16} {:>16}",
         "centralized_fedavg",

@@ -5,9 +5,7 @@
 //!
 //! Run: `cargo run --release -p hadfl-bench --bin fig1_schedule`
 
-use hadfl::schedule::{
-    distributed_timeline, fedavg_timeline, hadfl_timeline, Activity, Timeline,
-};
+use hadfl::schedule::{distributed_timeline, fedavg_timeline, hadfl_timeline, Activity, Timeline};
 use hadfl_bench::write_csv;
 
 fn print_timeline(tl: &Timeline, step_times: &[f64]) {
@@ -61,7 +59,11 @@ fn main() {
             rows.push(format!("{},{i},{:.4},{}", tl.scheme, util[i], steps[i]));
         }
     }
-    write_csv("fig1_schedule.csv", "scheme,device,utilization,local_steps", &rows);
+    write_csv(
+        "fig1_schedule.csv",
+        "scheme,device,utilization,local_steps",
+        &rows,
+    );
     println!(
         "\nHADFL keeps every device busy: the 4:2:1 ratio shows up as 4:2:1 local steps \
          in the same window instead of 3x idle time on the fast device."

@@ -12,9 +12,18 @@ use hadfl_bench::{ascii_curve, run_scheme_cached, write_csv, Profile, Scheme};
 fn main() {
     let profile = Profile::from_args();
     let panels = [
-        ("fig3_ab_loss_vs_epoch.csv", "panel a/b: training loss vs epoch"),
-        ("fig3_de_acc_vs_epoch.csv", "panel d/e: test accuracy vs epoch"),
-        ("fig3_cf_acc_vs_time.csv", "panel c/f: test accuracy vs time"),
+        (
+            "fig3_ab_loss_vs_epoch.csv",
+            "panel a/b: training loss vs epoch",
+        ),
+        (
+            "fig3_de_acc_vs_epoch.csv",
+            "panel d/e: test accuracy vs epoch",
+        ),
+        (
+            "fig3_cf_acc_vs_time.csv",
+            "panel c/f: test accuracy vs time",
+        ),
     ];
     let mut loss_rows = Vec::new();
     let mut acc_epoch_rows = Vec::new();
@@ -39,15 +48,26 @@ fn main() {
                     loss_rows.push(format!("{key},{:.4},{:.5}", r.epoch_equiv, r.train_loss));
                     acc_epoch_rows
                         .push(format!("{key},{:.4},{:.5}", r.epoch_equiv, r.test_accuracy));
-                    acc_time_rows
-                        .push(format!("{key},{:.4},{:.5}", r.time_secs, r.test_accuracy));
+                    acc_time_rows.push(format!("{key},{:.4},{:.5}", r.time_secs, r.test_accuracy));
                 }
             }
         }
     }
-    write_csv(panels[0].0, "model,powers,scheme,epoch,train_loss", &loss_rows);
-    write_csv(panels[1].0, "model,powers,scheme,epoch,test_accuracy", &acc_epoch_rows);
-    write_csv(panels[2].0, "model,powers,scheme,time_secs,test_accuracy", &acc_time_rows);
+    write_csv(
+        panels[0].0,
+        "model,powers,scheme,epoch,train_loss",
+        &loss_rows,
+    );
+    write_csv(
+        panels[1].0,
+        "model,powers,scheme,epoch,test_accuracy",
+        &acc_epoch_rows,
+    );
+    write_csv(
+        panels[2].0,
+        "model,powers,scheme,time_secs,test_accuracy",
+        &acc_time_rows,
+    );
     for (file, desc) in panels {
         println!("{desc} → target/experiments/{file}");
     }

@@ -48,33 +48,38 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--scheme" => args.scheme = value("--scheme")?,
             "--model" => args.model = value("--model")?,
             "--powers" => {
                 args.powers = value("--powers")?
                     .split(',')
-                    .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad power '{s}': {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad power '{s}': {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--epochs" => {
-                args.epochs =
-                    value("--epochs")?.parse().map_err(|e| format!("bad epochs: {e}"))?;
+                args.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("bad epochs: {e}"))?;
             }
             "--np" => args.np = value("--np")?.parse().map_err(|e| format!("bad np: {e}"))?,
             "--tsync" => {
-                args.tsync = value("--tsync")?.parse().map_err(|e| format!("bad tsync: {e}"))?;
+                args.tsync = value("--tsync")?
+                    .parse()
+                    .map_err(|e| format!("bad tsync: {e}"))?;
             }
             "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?;
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--json" => args.json = true,
-            "--help" | "-h" => {
-                return Err("see the module docs at the top of hadfl_sim.rs".into())
-            }
+            "--help" | "-h" => return Err("see the module docs at the top of hadfl_sim.rs".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -150,7 +155,10 @@ fn main() {
         trace.last().map_or(0.0, |r| r.epoch_equiv)
     );
     if let Some((acc, secs)) = trace.time_to_max_accuracy() {
-        println!("max test accuracy {:.2}% first reached at {secs:.3} virtual s", acc * 100.0);
+        println!(
+            "max test accuracy {:.2}% first reached at {secs:.3} virtual s",
+            acc * 100.0
+        );
     }
     println!(
         "communication: server {} B, busiest device {} B, total {} B over {} messages",
@@ -160,6 +168,9 @@ fn main() {
         trace.comm.messages
     );
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&trace).expect("trace serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&trace).expect("trace serializes")
+        );
     }
 }

@@ -27,7 +27,10 @@ fn main() {
     let mut rows = Vec::new();
 
     println!("Table I — time required to reach the maximum test accuracy");
-    println!("{:<22} {:<14} {:<24} {:>9} {:>12}", "model", "powers", "scheme", "max acc", "time (s)");
+    println!(
+        "{:<22} {:<14} {:<24} {:>9} {:>12}",
+        "model", "powers", "scheme", "max acc", "time (s)"
+    );
     for model in models {
         for powers in distributions {
             for scheme in Scheme::paper_trio() {
@@ -48,7 +51,11 @@ fn main() {
                 );
                 rows.push(format!(
                     "{model},{},{},{:.4},{:.3}",
-                    powers.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("|"),
+                    powers
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join("|"),
                     scheme.label(),
                     acc,
                     time

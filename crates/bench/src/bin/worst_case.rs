@@ -19,9 +19,10 @@ fn main() {
     println!("Upper bound of accuracy loss — worst-two selection vs normal HADFL, [3,3,1,1]");
     for model in ["resnet18_lite", "vgg16_lite"] {
         let mut results = Vec::new();
-        for (name, policy) in
-            [("hadfl", SelectionPolicy::VersionGaussian), ("worst_case", SelectionPolicy::WorstCase)]
-        {
+        for (name, policy) in [
+            ("hadfl", SelectionPolicy::VersionGaussian),
+            ("worst_case", SelectionPolicy::WorstCase),
+        ] {
             let workload = profile.workload(model, 300);
             let opts: SimOptions = experiment_opts(model, &powers, profile);
             let config = HadflConfig::builder()

@@ -44,7 +44,11 @@ impl Scheme {
 
     /// The three schemes of Table I / Fig. 3.
     pub fn paper_trio() -> [Scheme; 3] {
-        [Scheme::DistributedTraining, Scheme::DecentralizedFedAvg, Scheme::Hadfl]
+        [
+            Scheme::DistributedTraining,
+            Scheme::DecentralizedFedAvg,
+            Scheme::Hadfl,
+        ]
     }
 }
 
@@ -201,13 +205,19 @@ pub fn run_scheme_cached(
 ) -> Result<Trace, HadflError> {
     let dir = out_dir().join("traces");
     fs::create_dir_all(&dir).expect("create trace cache dir");
-    let dist: String =
-        powers.iter().map(|p| format!("{p:.0}")).collect::<Vec<_>>().join("");
+    let dist: String = powers
+        .iter()
+        .map(|p| format!("{p:.0}"))
+        .collect::<Vec<_>>()
+        .join("");
     let profile_tag = match profile {
         Profile::Quick => "quick",
         Profile::Paper => "paper",
     };
-    let path = dir.join(format!("{model}_{dist}_{}_{profile_tag}_{seed}.json", scheme.label()));
+    let path = dir.join(format!(
+        "{model}_{dist}_{}_{profile_tag}_{seed}.json",
+        scheme.label()
+    ));
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(trace) = serde_json::from_str::<Trace>(&text) {
             return Ok(trace);
@@ -369,8 +379,7 @@ mod tests {
 
     #[test]
     fn ascii_curve_has_requested_width_and_monotone_levels() {
-        let rising: Vec<(f64, f32)> =
-            (0..20).map(|i| (i as f64, i as f32 / 19.0)).collect();
+        let rising: Vec<(f64, f32)> = (0..20).map(|i| (i as f64, i as f32 / 19.0)).collect();
         let s = ascii_curve(&rising, 0.0, 1.0, 16);
         assert_eq!(s.chars().count(), 16);
         let levels: Vec<u32> = s.chars().map(|c| c as u32).collect();
@@ -388,8 +397,7 @@ mod tests {
     #[test]
     fn quick_scheme_runs_end_to_end() {
         for scheme in [Scheme::Hadfl, Scheme::DecentralizedFedAvg] {
-            let trace =
-                run_scheme(scheme, "mlp", &[2.0, 1.0], Profile::Quick, 1).unwrap();
+            let trace = run_scheme(scheme, "mlp", &[2.0, 1.0], Profile::Quick, 1).unwrap();
             assert_eq!(trace.scheme, scheme.label());
             assert!(!trace.records.is_empty());
         }

@@ -37,7 +37,9 @@ pub fn average_params(params: &[&[f32]]) -> Result<Vec<f32>, HadflError> {
         .ok_or_else(|| HadflError::InvalidConfig("averaging zero models".into()))?;
     let len = first.len();
     if params.iter().any(|p| p.len() != len) {
-        return Err(HadflError::InvalidConfig("parameter vectors differ in length".into()));
+        return Err(HadflError::InvalidConfig(
+            "parameter vectors differ in length".into(),
+        ));
     }
     let scale = 1.0 / params.len() as f32;
     let mut out = vec![0.0f32; len];
@@ -75,16 +77,15 @@ pub fn average_params(params: &[&[f32]]) -> Result<Vec<f32>, HadflError> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn weighted_average_params(
-    params: &[&[f32]],
-    weights: &[f64],
-) -> Result<Vec<f32>, HadflError> {
+pub fn weighted_average_params(params: &[&[f32]], weights: &[f64]) -> Result<Vec<f32>, HadflError> {
     let first = params
         .first()
         .ok_or_else(|| HadflError::InvalidConfig("averaging zero models".into()))?;
     let len = first.len();
     if params.iter().any(|p| p.len() != len) {
-        return Err(HadflError::InvalidConfig("parameter vectors differ in length".into()));
+        return Err(HadflError::InvalidConfig(
+            "parameter vectors differ in length".into(),
+        ));
     }
     if weights.len() != params.len() {
         return Err(HadflError::InvalidConfig(format!(
@@ -94,7 +95,9 @@ pub fn weighted_average_params(
         )));
     }
     if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
-        return Err(HadflError::InvalidConfig(format!("invalid weights {weights:?}")));
+        return Err(HadflError::InvalidConfig(format!(
+            "invalid weights {weights:?}"
+        )));
     }
     let total: f64 = weights.iter().sum();
     let mut out = vec![0.0f32; len];
@@ -125,7 +128,9 @@ pub fn blend_params(local: &mut [f32], incoming: &[f32], beta: f32) -> Result<()
         )));
     }
     if !(0.0..=1.0).contains(&beta) {
-        return Err(HadflError::InvalidConfig(format!("blend beta {beta} outside [0, 1]")));
+        return Err(HadflError::InvalidConfig(format!(
+            "blend beta {beta} outside [0, 1]"
+        )));
     }
     for (l, &inc) in local.iter_mut().zip(incoming) {
         *l = beta * inc + (1.0 - beta) * *l;
@@ -158,15 +163,23 @@ pub fn ring_allreduce_cost(
     link: &LinkModel,
 ) -> Result<GossipCost, HadflError> {
     if n == 0 {
-        return Err(HadflError::InvalidConfig("all-reduce over zero members".into()));
+        return Err(HadflError::InvalidConfig(
+            "all-reduce over zero members".into(),
+        ));
     }
     if n == 1 {
-        return Ok(GossipCost { secs: 0.0, bytes_per_member: 0 });
+        return Ok(GossipCost {
+            secs: 0.0,
+            bytes_per_member: 0,
+        });
     }
     let chunk = (model_bytes as f64 / n as f64).ceil() as u64;
     let steps = 2 * (n - 1);
     let secs = steps as f64 * link.transfer_time(chunk);
-    Ok(GossipCost { secs, bytes_per_member: steps as u64 * chunk })
+    Ok(GossipCost {
+        secs,
+        bytes_per_member: steps as u64 * chunk,
+    })
 }
 
 /// Ring scatter-gather cost under a heterogeneous [`BandwidthMatrix`]:
@@ -211,7 +224,10 @@ pub fn ring_allreduce_cost_hetero(
     let bottleneck = net.ring_bottleneck(order)?;
     let steps = 2 * (n - 1);
     let per_step = net.latency_secs() + chunk as f64 / bottleneck;
-    Ok(GossipCost { secs: steps as f64 * per_step, bytes_per_member: steps as u64 * chunk })
+    Ok(GossipCost {
+        secs: steps as f64 * per_step,
+        bytes_per_member: steps as u64 * chunk,
+    })
 }
 
 /// Sequential token-pass ring aggregation cost under a heterogeneous
@@ -241,7 +257,10 @@ pub fn ring_token_pass_cost(
         let to = order[(i + 1) % order.len()];
         secs += 2.0 * net.transfer_time(from, to, model_bytes)?;
     }
-    Ok(GossipCost { secs, bytes_per_member: 2 * model_bytes })
+    Ok(GossipCost {
+        secs,
+        bytes_per_member: 2 * model_bytes,
+    })
 }
 
 /// Records the gossip traffic of one partial synchronization in
@@ -265,7 +284,11 @@ pub fn record_gossip_traffic(
     if ring_order.len() >= 2 {
         for (i, &from) in ring_order.iter().enumerate() {
             let to = ring_order[(i + 1) % ring_order.len()];
-            stats.record(Endpoint::Device(from), Endpoint::Device(to), cost.bytes_per_member);
+            stats.record(
+                Endpoint::Device(from),
+                Endpoint::Device(to),
+                cost.bytes_per_member,
+            );
         }
     }
     Ok(cost)
@@ -284,7 +307,10 @@ mod tests {
 
     #[test]
     fn average_of_one_is_identity() {
-        assert_eq!(average_params(&[&[1.5, -2.0][..]]).unwrap(), vec![1.5, -2.0]);
+        assert_eq!(
+            average_params(&[&[1.5, -2.0][..]]).unwrap(),
+            vec![1.5, -2.0]
+        );
     }
 
     #[test]
@@ -303,8 +329,7 @@ mod tests {
 
     #[test]
     fn weighted_average_follows_weights() {
-        let merged =
-            weighted_average_params(&[&[0.0][..], &[10.0][..]], &[9.0, 1.0]).unwrap();
+        let merged = weighted_average_params(&[&[0.0][..], &[10.0][..]], &[9.0, 1.0]).unwrap();
         assert!((merged[0] - 1.0).abs() < 1e-6);
     }
 
@@ -314,9 +339,7 @@ mod tests {
         assert!(weighted_average_params(&[&[1.0][..]], &[1.0, 2.0]).is_err());
         assert!(weighted_average_params(&[&[1.0][..]], &[0.0]).is_err());
         assert!(weighted_average_params(&[&[1.0][..]], &[f64::NAN]).is_err());
-        assert!(
-            weighted_average_params(&[&[1.0][..], &[1.0, 2.0][..]], &[1.0, 1.0]).is_err()
-        );
+        assert!(weighted_average_params(&[&[1.0][..], &[1.0, 2.0][..]], &[1.0, 1.0]).is_err());
     }
 
     #[test]
@@ -396,7 +419,10 @@ mod tests {
         assert_eq!(stats.server_bytes(), 0, "gossip must not touch the server");
         // every member sends and receives the same volume
         for d in ring {
-            assert_eq!(stats.sent_by(Endpoint::Device(d)), stats.received_by(Endpoint::Device(d)));
+            assert_eq!(
+                stats.sent_by(Endpoint::Device(d)),
+                stats.received_by(Endpoint::Device(d))
+            );
             assert!(stats.device_bytes(d) > 0);
         }
     }

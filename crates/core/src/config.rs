@@ -81,7 +81,9 @@ impl HadflConfig {
 
     fn validate(&self) -> Result<(), HadflError> {
         if self.t_sync == 0 {
-            return Err(HadflError::InvalidConfig("t_sync must be at least 1".into()));
+            return Err(HadflError::InvalidConfig(
+                "t_sync must be at least 1".into(),
+            ));
         }
         if self.num_selected < 2 {
             return Err(HadflError::InvalidConfig(
@@ -89,11 +91,15 @@ impl HadflConfig {
             ));
         }
         if self.warmup_epochs == 0 {
-            return Err(HadflError::InvalidConfig("warmup_epochs must be at least 1".into()));
+            return Err(HadflError::InvalidConfig(
+                "warmup_epochs must be at least 1".into(),
+            ));
         }
         for (name, v) in [("warmup_lr", self.warmup_lr), ("lr", self.lr)] {
             if !(v > 0.0) || !v.is_finite() {
-                return Err(HadflError::InvalidConfig(format!("{name} must be positive, got {v}")));
+                return Err(HadflError::InvalidConfig(format!(
+                    "{name} must be positive, got {v}"
+                )));
             }
         }
         if !(0.0..1.0).contains(&self.momentum) {
@@ -121,10 +127,14 @@ impl HadflConfig {
             )));
         }
         if self.group_size == Some(0) {
-            return Err(HadflError::InvalidConfig("group_size must be at least 1".into()));
+            return Err(HadflError::InvalidConfig(
+                "group_size must be at least 1".into(),
+            ));
         }
         if self.inter_group_every == 0 {
-            return Err(HadflError::InvalidConfig("inter_group_every must be at least 1".into()));
+            return Err(HadflError::InvalidConfig(
+                "inter_group_every must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -272,7 +282,10 @@ mod tests {
         assert!(HadflConfig::builder().smoothing_alpha(0.0).build().is_err());
         assert!(HadflConfig::builder().smoothing_alpha(1.0).build().is_err());
         assert!(HadflConfig::builder().blend_beta(1.5).build().is_err());
-        assert!(HadflConfig::builder().handshake_timeout_secs(0.0).build().is_err());
+        assert!(HadflConfig::builder()
+            .handshake_timeout_secs(0.0)
+            .build()
+            .is_err());
         assert!(HadflConfig::builder().group_size(Some(0)).build().is_err());
         assert!(HadflConfig::builder().inter_group_every(0).build().is_err());
     }
@@ -286,6 +299,9 @@ mod tests {
             .seed(99)
             .build()
             .unwrap();
-        assert_eq!((cfg.t_sync, cfg.num_selected, cfg.blend_beta, cfg.seed), (3, 4, 1.0, 99));
+        assert_eq!(
+            (cfg.t_sync, cfg.num_selected, cfg.blend_beta, cfg.seed),
+            (3, 4, 1.0, 99)
+        );
     }
 }

@@ -169,10 +169,18 @@ impl StrategyGenerator {
             &mut self.rng,
         )?;
         let ring = Ring::random(&selected, &mut self.rng)?;
-        let unselected: Vec<DeviceId> =
-            available.iter().copied().filter(|d| !selected.contains(d)).collect();
+        let unselected: Vec<DeviceId> = available
+            .iter()
+            .copied()
+            .filter(|d| !selected.contains(d))
+            .collect();
         let broadcaster = selected[self.rng.index(selected.len())];
-        Ok(RoundPlan { selected, ring, unselected, broadcaster })
+        Ok(RoundPlan {
+            selected,
+            ring,
+            unselected,
+            broadcaster,
+        })
     }
 }
 
@@ -203,7 +211,10 @@ impl ModelManager {
     /// Panics if `every_rounds` is zero.
     pub fn new(every_rounds: usize) -> Self {
         assert!(every_rounds > 0, "backup period must be positive");
-        ModelManager { every_rounds, backups: Vec::new() }
+        ModelManager {
+            every_rounds,
+            backups: Vec::new(),
+        }
     }
 
     /// Offers the round's merged model; stores it when the period elapses.
@@ -211,7 +222,11 @@ impl ModelManager {
     /// device→server transfer).
     pub fn maybe_backup(&mut self, round: usize, time: VirtualTime, params: &[f32]) -> bool {
         if round.is_multiple_of(self.every_rounds) {
-            self.backups.push(ModelBackup { round, time, params: to_owned(params) });
+            self.backups.push(ModelBackup {
+                round,
+                time,
+                params: to_owned(params),
+            });
             true
         } else {
             false
@@ -244,8 +259,7 @@ mod tests {
 
     #[test]
     fn liveness_monitor_reflects_fault_plan() {
-        let plan =
-            FaultPlan::new(vec![Outage::window(DeviceId(1), t(1.0), t(2.0))]).unwrap();
+        let plan = FaultPlan::new(vec![Outage::window(DeviceId(1), t(1.0), t(2.0))]).unwrap();
         let monitor = LivenessMonitor::new(plan);
         assert_eq!(monitor.available(3, t(1.5)), vec![DeviceId(0), DeviceId(2)]);
         assert!(monitor.is_up(DeviceId(1), t(2.5)));
@@ -264,10 +278,16 @@ mod tests {
 
     #[test]
     fn round_plan_partitions_devices() {
-        let cfg = HadflConfig::builder().num_selected(2).seed(5).build().unwrap();
+        let cfg = HadflConfig::builder()
+            .num_selected(2)
+            .seed(5)
+            .build()
+            .unwrap();
         let mut gen = StrategyGenerator::new(&cfg);
         let available: Vec<DeviceId> = (0..4).map(DeviceId).collect();
-        let plan = gen.plan_round(&available, &[10.0, 20.0, 30.0, 40.0]).unwrap();
+        let plan = gen
+            .plan_round(&available, &[10.0, 20.0, 30.0, 40.0])
+            .unwrap();
         assert_eq!(plan.selected.len(), 2);
         assert_eq!(plan.unselected.len(), 2);
         assert!(plan.selected.contains(&plan.broadcaster));
@@ -279,12 +299,17 @@ mod tests {
 
     #[test]
     fn round_plans_vary_across_rounds() {
-        let cfg = HadflConfig::builder().num_selected(2).seed(5).build().unwrap();
+        let cfg = HadflConfig::builder()
+            .num_selected(2)
+            .seed(5)
+            .build()
+            .unwrap();
         let mut gen = StrategyGenerator::new(&cfg);
         let available: Vec<DeviceId> = (0..6).map(DeviceId).collect();
         let versions = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0];
-        let plans: Vec<_> =
-            (0..12).map(|_| gen.plan_round(&available, &versions).unwrap()).collect();
+        let plans: Vec<_> = (0..12)
+            .map(|_| gen.plan_round(&available, &versions).unwrap())
+            .collect();
         let distinct: std::collections::HashSet<Vec<DeviceId>> =
             plans.iter().map(|p| p.selected.clone()).collect();
         assert!(distinct.len() > 1, "selection never varied");

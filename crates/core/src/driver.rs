@@ -83,7 +83,10 @@ impl SimOptions {
 
     /// Experiment-scale options used by the table/figure harnesses.
     pub fn experiment(powers: &[f64], epochs_total: f64) -> Self {
-        SimOptions { epochs_total, ..SimOptions::quick(powers) }
+        SimOptions {
+            epochs_total,
+            ..SimOptions::quick(powers)
+        }
     }
 
     fn validate(&self) -> Result<(), HadflError> {
@@ -94,7 +97,9 @@ impl SimOptions {
             )));
         }
         if !(self.epochs_total > 0.0) {
-            return Err(HadflError::InvalidConfig("epochs_total must be positive".into()));
+            return Err(HadflError::InvalidConfig(
+                "epochs_total must be positive".into(),
+            ));
         }
         if self.eval_every == 0 || self.max_rounds == 0 {
             return Err(HadflError::InvalidConfig(
@@ -102,7 +107,9 @@ impl SimOptions {
             ));
         }
         if self.backup_every == Some(0) {
-            return Err(HadflError::InvalidConfig("backup_every must be positive".into()));
+            return Err(HadflError::InvalidConfig(
+                "backup_every must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -171,8 +178,7 @@ pub fn run_hadfl(
     let compute = ComputeModel::new(opts.base_step_secs, &opts.powers)?.with_jitter(opts.jitter);
     let monitor = LivenessMonitor::new(opts.faults.clone());
     let master_rng = SeedStream::new(config.seed ^ 0xD21E_2E00);
-    let mut device_rngs: Vec<SeedStream> =
-        (0..k).map(|i| master_rng.fork(i as u64)).collect();
+    let mut device_rngs: Vec<SeedStream> = (0..k).map(|i| master_rng.fork(i as u64)).collect();
 
     let mut setup_stats = NetStats::new();
     let mut train_stats = NetStats::new();
@@ -192,7 +198,11 @@ pub fn run_hadfl(
         rt.train_steps(steps)?;
         let secs = compute.steps_time(DeviceId(i), steps, Some(&mut device_rngs[i]))?;
         warmup_end = warmup_end.max(VirtualTime::ZERO.after(secs));
-        setup_stats.record(Endpoint::Device(DeviceId(i)), Endpoint::Server, CONTROL_MSG_BYTES);
+        setup_stats.record(
+            Endpoint::Device(DeviceId(i)),
+            Endpoint::Server,
+            CONTROL_MSG_BYTES,
+        );
     }
 
     // --- Strategy generation. ---
@@ -246,7 +256,11 @@ pub fn run_hadfl(
             round_losses.push(if steps > 0 { Some(loss) } else { None });
             device_free[i] = window_end;
         }
-        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        let versions: Vec<f64> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.steps_done as f64)
+            .collect();
 
         // --- Coordinator: liveness at round start, plan, control traffic. ---
         let available = monitor.available(k, window_start);
@@ -292,6 +306,7 @@ pub fn run_hadfl(
                 window_end,
                 &opts.link,
                 config.handshake_timeout_secs,
+                built.model_bytes,
                 wire_bytes,
                 &mut train_stats,
             ) {
@@ -302,11 +317,12 @@ pub fn run_hadfl(
                 Err(e) => return Err(e),
             };
             if !outcome.bypassed.is_empty() {
-                bypass_log
-                    .push((round, outcome.bypassed.iter().map(|d| d.index()).collect()));
+                bypass_log.push((round, outcome.bypassed.iter().map(|d| d.index()).collect()));
             }
             for d in &outcome.participants {
-                built.runtimes[d.index()].model.set_param_vector(&outcome.merged)?;
+                built.runtimes[d.index()]
+                    .model
+                    .set_param_vector(&outcome.merged)?;
                 device_free[d.index()] = window_end.after(outcome.comm_secs);
             }
             sync_end = window_end.after(outcome.comm_secs);
@@ -353,11 +369,7 @@ pub fn run_hadfl(
                 backups_taken += 1;
                 // A random live device uploads the latest model.
                 let uploader = available[0];
-                backup_stats.record(
-                    Endpoint::Device(uploader),
-                    Endpoint::Server,
-                    wire_bytes,
-                );
+                backup_stats.record(Endpoint::Device(uploader), Endpoint::Server, wire_bytes);
             }
         }
 
@@ -490,15 +502,21 @@ mod tests {
         let mut opts = SimOptions::quick(&[1.0, 1.0, 1.0]);
         // Force every sync to include all three devices so the dead one is
         // always in the ring.
-        let config = HadflConfig::builder().num_selected(3).seed(5).build().unwrap();
+        let config = HadflConfig::builder()
+            .num_selected(3)
+            .seed(5)
+            .build()
+            .unwrap();
         // Timing under Workload::quick with 3 equal devices: 128-sample
         // shards, 8 batches, 10 ms steps ⇒ 80 ms epochs, 80 ms windows,
         // warm-up ends at 0.08 s. A crash at 0.20 s lands mid-window-2:
         // the device was up when the coordinator planned the round (0.16 s)
         // but dead at sync time (0.24 s) — exactly the §III-D scenario.
-        opts.faults =
-            FaultPlan::new(vec![Outage::crash(DeviceId(2), VirtualTime::from_secs(0.20))])
-                .unwrap();
+        opts.faults = FaultPlan::new(vec![Outage::crash(
+            DeviceId(2),
+            VirtualTime::from_secs(0.20),
+        )])
+        .unwrap();
         opts.epochs_total = 8.0;
         let run = run_hadfl(&Workload::quick("mlp", 4), &config, &opts).unwrap();
         assert!(
@@ -536,11 +554,16 @@ mod tests {
         let run = run_hadfl(&Workload::quick("mlp", 5), &config, &opts).unwrap();
         // The worst-case policy must always pick the two stragglers
         // (devices 2 and 3) once versions separate.
-        let late_rounds: Vec<_> =
-            run.trace.records.iter().filter(|r| r.round > 2).collect();
+        let late_rounds: Vec<_> = run.trace.records.iter().filter(|r| r.round > 2).collect();
         assert!(!late_rounds.is_empty());
         for r in late_rounds {
-            assert_eq!(r.selected, vec![2, 3], "round {}: {:?}", r.round, r.selected);
+            assert_eq!(
+                r.selected,
+                vec![2, 3],
+                "round {}: {:?}",
+                r.round,
+                r.selected
+            );
         }
     }
 
@@ -548,17 +571,28 @@ mod tests {
     fn weighted_aggregation_runs_on_noniid_shards() {
         let mut workload = Workload::quick("mlp", 7);
         workload.shard = crate::workload::ShardKind::Dirichlet { alpha: 0.3 };
-        let config = HadflConfig::builder().weight_by_samples(true).seed(7).build().unwrap();
-        let run =
-            run_hadfl(&workload, &config, &SimOptions::quick(&[2.0, 1.0, 2.0, 1.0])).unwrap();
+        let config = HadflConfig::builder()
+            .weight_by_samples(true)
+            .seed(7)
+            .build()
+            .unwrap();
+        let run = run_hadfl(
+            &workload,
+            &config,
+            &SimOptions::quick(&[2.0, 1.0, 2.0, 1.0]),
+        )
+        .unwrap();
         let last = run.trace.records.last().unwrap();
         assert!(last.epoch_equiv >= 6.0);
         assert!(last.test_accuracy > 0.15, "accuracy {}", last.test_accuracy);
         // And the weighted run differs from the uniform one.
         let uniform_cfg = HadflConfig::builder().seed(7).build().unwrap();
-        let uniform =
-            run_hadfl(&workload, &uniform_cfg, &SimOptions::quick(&[2.0, 1.0, 2.0, 1.0]))
-                .unwrap();
+        let uniform = run_hadfl(
+            &workload,
+            &uniform_cfg,
+            &SimOptions::quick(&[2.0, 1.0, 2.0, 1.0]),
+        )
+        .unwrap();
         assert_ne!(run.trace, uniform.trace);
     }
 

@@ -79,7 +79,9 @@ mod tests {
 
     #[test]
     fn cluster_dead_names_round() {
-        assert!(HadflError::ClusterDead { round: 7 }.to_string().contains('7'));
+        assert!(HadflError::ClusterDead { round: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -1,32 +1,84 @@
-//! Threaded executor: HADFL over real OS threads and channels.
+//! Deployed executor: HADFL over a real message fabric.
 //!
 //! The virtual-time [`crate::driver`] is what the experiments use; this
 //! module runs the same protocol with *actual concurrency*, the way the
-//! paper deploys it — one thread per device, heterogeneity emulated with
-//! `sleep()` (exactly the paper's method), parameters moving as encoded
-//! [`crate::wire::Message`] frames over crossbeam channels, and the
-//! ring reduce/distribute executed hop by hop between device threads.
-//! The coordinator thread only ever sees control-plane messages.
+//! paper deploys it — one participant per thread or process,
+//! heterogeneity emulated with `sleep()` (exactly the paper's method),
+//! parameters moving as encoded [`crate::wire::Message`] frames over a
+//! [`Port`](crate::transport::Port), and the ring reduce/distribute
+//! executed hop by hop between devices. The coordinator only ever sees
+//! control-plane messages plus the final parameter uploads.
 //!
-//! Fault injection is a virtual-time-only feature; the threaded executor
-//! assumes live devices (a networked deployment would reuse the §III-D
-//! handshake messages already defined in [`crate::wire`]).
+//! The protocol loops — [`run_device`] and [`run_coordinator`] — are
+//! transport-agnostic. [`run_threaded`] wires them to the in-process
+//! [`ChannelTransport`]; `hadfl-net` wires the same loops to TCP
+//! sockets for multi-process clusters.
+//!
+//! Fault tolerance follows §III-D: a ring member that goes silent is
+//! probed with [`Message::Handshake`]; absent an ack, the prober
+//! broadcasts [`Message::BypassWarning`] and the ring closes around the
+//! dead device, the dead device's upstream re-sending its last frame to
+//! its new downstream. The coordinator also drops devices that miss a
+//! report deadline and excludes them from later plans.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hadfl_nn::LrSchedule;
-use parking_lot::Mutex;
 
 use crate::aggregate::blend_params;
 use crate::config::HadflConfig;
 use crate::coordinator::StrategyGenerator;
 use crate::error::HadflError;
+use crate::trace::CommSummary;
+use crate::transport::{coordinator_id, ChannelTransport, Port};
 use crate::wire::Message;
-use crate::workload::Workload;
+use crate::workload::{DeviceRuntime, Workload};
 use hadfl_simnet::DeviceId;
+
+/// Failure-detection and deadline knobs of the deployed protocol.
+#[derive(Debug, Clone)]
+pub struct ProtocolTiming {
+    /// Ring silence before the downstream probes its upstream (§III-D).
+    pub ring_wait: Duration,
+    /// Wait after a [`Message::Handshake`] before declaring the peer
+    /// dead.
+    pub handshake_wait: Duration,
+    /// Coordinator's deadline for a round's version reports; devices
+    /// that miss it are dropped from future plans.
+    pub report_deadline: Duration,
+    /// Coordinator's deadline for final parameter uploads at shutdown.
+    pub final_deadline: Duration,
+    /// Hard cap on one ring synchronization before a member gives up.
+    pub ring_hard_limit: Duration,
+}
+
+impl Default for ProtocolTiming {
+    fn default() -> Self {
+        ProtocolTiming {
+            ring_wait: Duration::from_secs(10),
+            handshake_wait: Duration::from_secs(2),
+            report_deadline: Duration::from_secs(10),
+            final_deadline: Duration::from_secs(30),
+            ring_hard_limit: Duration::from_secs(120),
+        }
+    }
+}
+
+impl ProtocolTiming {
+    /// Tight timeouts for in-process tests: failures are detected in
+    /// hundreds of milliseconds instead of tens of seconds.
+    pub fn quick() -> Self {
+        ProtocolTiming {
+            ring_wait: Duration::from_millis(400),
+            handshake_wait: Duration::from_millis(250),
+            report_deadline: Duration::from_secs(5),
+            final_deadline: Duration::from_secs(10),
+            ring_hard_limit: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Options of a threaded run.
 #[derive(Debug, Clone)]
@@ -40,6 +92,8 @@ pub struct ThreadedOptions {
     pub window: Duration,
     /// Number of synchronization rounds to run.
     pub rounds: usize,
+    /// Failure-detection and deadline knobs.
+    pub timing: ProtocolTiming,
 }
 
 impl ThreadedOptions {
@@ -50,16 +104,18 @@ impl ThreadedOptions {
             step_sleep: Duration::from_millis(4),
             window: Duration::from_millis(60),
             rounds: 3,
+            timing: ProtocolTiming::quick(),
         }
     }
 }
 
-/// One synchronization round of a threaded run.
+/// One synchronization round of a deployed run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadedRound {
     /// Round index from 1.
     pub round: usize,
-    /// Cumulative local steps per device at sync time.
+    /// Cumulative local steps per device at sync time (0 for devices
+    /// already dropped).
     pub versions: Vec<u64>,
     /// Devices selected for the ring.
     pub selected: Vec<usize>,
@@ -70,39 +126,569 @@ pub struct ThreadedRound {
 pub struct ThreadedReport {
     /// Per-round records.
     pub rounds: Vec<ThreadedRound>,
-    /// Test accuracy of the post-run consensus (average of all device
-    /// models).
+    /// Test accuracy of the post-run consensus (average of the final
+    /// models the coordinator collected).
     pub final_accuracy: f32,
     /// Total bytes moved between device threads (encoded frames).
     pub peer_bytes: u64,
+    /// Full per-participant byte ledger of the run, comparable with the
+    /// analytical driver's [`CommSummary`].
+    pub comm: CommSummary,
+    /// Devices the coordinator dropped (missed reports or bypass
+    /// warnings), with the round they were dropped in.
+    pub dropped: Vec<(usize, usize)>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
 
-/// Commands on a device thread's channel.
-enum Cmd {
-    /// An encoded wire frame from a peer device.
-    Frame(Bytes),
-    /// Coordinator: report your version for `round`.
-    Report(usize),
-    /// Coordinator: execute this round plan.
-    Plan {
-        ring: Vec<usize>,
-        broadcaster: usize,
-        unselected: Vec<usize>,
-    },
-    /// Coordinator: training is over.
-    Stop,
+/// What the coordinator learned from a deployed run.
+#[derive(Debug)]
+pub struct CoordinatorRun {
+    /// Per-round records.
+    pub rounds: Vec<ThreadedRound>,
+    /// Final parameters per device that uploaded before the deadline.
+    pub final_models: BTreeMap<usize, Vec<f32>>,
+    /// Devices dropped mid-run, with the round they were dropped in.
+    pub dropped: Vec<(usize, usize)>,
 }
 
-/// Runs HADFL over real threads. See the module docs.
+/// How a device left the ring synchronization.
+enum RingExit {
+    /// Merge complete (or ring dissolved); back to local training.
+    Done,
+    /// A [`Message::Shutdown`] arrived mid-ring.
+    Shutdown,
+}
+
+/// Per-round ring state of one member (§III-D bookkeeping).
+struct RingRun {
+    /// Live members in ring order; shrinks as deaths are bypassed.
+    live: Vec<usize>,
+    /// Broadcaster for the round's merged model.
+    broadcaster: usize,
+    /// Devices to broadcast the merged model to.
+    unselected: Vec<usize>,
+    /// Last frame this member sent, with its recipient — re-sent when
+    /// the recipient is declared dead.
+    last_sent: Option<(usize, Message)>,
+    /// Set once this member has installed the merged model; duplicate
+    /// merges (possible after a re-send) are ignored.
+    merged_done: bool,
+}
+
+impl RingRun {
+    fn pos(&self, id: usize) -> Option<usize> {
+        self.live.iter().position(|&d| d == id)
+    }
+
+    fn downstream(&self, id: usize) -> usize {
+        let pos = self.pos(id).expect("member of own ring");
+        self.live[(pos + 1) % self.live.len()]
+    }
+
+    fn upstream(&self, id: usize) -> usize {
+        let pos = self.pos(id).expect("member of own ring");
+        self.live[(pos + self.live.len() - 1) % self.live.len()]
+    }
+}
+
+/// Runs one device's protocol loop over `port` until the coordinator
+/// sends [`Message::Shutdown`]; the device then uploads its final
+/// parameters and returns.
+///
+/// The loop trains one heterogeneity-aware local step at a time
+/// (sleeping `step_sleep` per step to emulate compute power), answers
+/// [`Message::Handshake`] probes, reports versions on request, joins
+/// ring synchronizations it is planned into, and blends broadcast
+/// models it receives while unselected.
+///
+/// # Errors
+///
+/// Returns substrate errors from training, and
+/// [`HadflError::InvalidConfig`] when the fabric is torn down or a ring
+/// synchronization exceeds `timing.ring_hard_limit`.
+pub fn run_device<P: Port>(
+    mut port: P,
+    mut rt: DeviceRuntime,
+    config: &HadflConfig,
+    step_sleep: Duration,
+    timing: &ProtocolTiming,
+) -> Result<(), HadflError> {
+    let me = port.id();
+    let coord = coordinator_id(port.participants() - 1);
+    rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
+    loop {
+        match port.try_recv()? {
+            Some(Message::Shutdown) => {
+                let _ = port.send(
+                    coord,
+                    &Message::FinalParams {
+                        device: me as u32,
+                        params: rt.model.param_vector(),
+                    },
+                );
+                return Ok(());
+            }
+            Some(Message::ReportRequest { round }) => {
+                let _ = port.send(
+                    coord,
+                    &Message::VersionReport {
+                        device: me as u32,
+                        round,
+                        version: rt.steps_done as f64,
+                    },
+                );
+            }
+            Some(Message::RoundPlan {
+                ring,
+                broadcaster,
+                unselected,
+                ..
+            }) => {
+                let mut run = RingRun {
+                    live: ring.iter().map(|&d| d as usize).collect(),
+                    broadcaster: broadcaster as usize,
+                    unselected: unselected.iter().map(|&d| d as usize).collect(),
+                    last_sent: None,
+                    merged_done: false,
+                };
+                if run.pos(me).is_none() {
+                    continue; // not addressed to us; stale broadcast
+                }
+                match run_ring(&mut port, &mut rt, &mut run, me, coord, timing)? {
+                    RingExit::Done => {}
+                    RingExit::Shutdown => {
+                        let _ = port.send(
+                            coord,
+                            &Message::FinalParams {
+                                device: me as u32,
+                                params: rt.model.param_vector(),
+                            },
+                        );
+                        return Ok(());
+                    }
+                }
+            }
+            Some(Message::ParamSync { params, .. }) => {
+                // Unselected device receiving the broadcast: blend
+                // non-blockingly and keep training.
+                let mut local = rt.model.param_vector();
+                blend_params(&mut local, &params, config.blend_beta)?;
+                rt.model.set_param_vector(&local)?;
+            }
+            Some(Message::Handshake { from }) => {
+                let _ = port.send(from as usize, &Message::HandshakeAck { from: me as u32 });
+            }
+            Some(_) => {} // heartbeats, stale acks/warnings
+            None => {
+                // No command: one heterogeneity-aware local step.
+                rt.train_steps(1)?;
+                thread::sleep(step_sleep);
+            }
+        }
+    }
+}
+
+/// Sends `msg` to `to`, recording it as the member's re-sendable last
+/// frame. A send failure is treated as silence: the §III-D probe will
+/// catch the dead peer.
+fn send_ring<P: Port>(port: &mut P, run: &mut RingRun, to: usize, msg: Message) {
+    let _ = port.send(to, &msg);
+    run.last_sent = Some((to, msg));
+}
+
+/// Finishes the reduce half: installs the mean, starts the distribute
+/// half, and broadcasts to the unselected if this member is the
+/// round's broadcaster.
+fn finish_reduce<P: Port>(
+    port: &mut P,
+    rt: &mut DeviceRuntime,
+    run: &mut RingRun,
+    me: usize,
+    mut params: Vec<f32>,
+    hops: u32,
+) -> Result<(), HadflError> {
+    let scale = 1.0 / hops as f32;
+    for a in &mut params {
+        *a *= scale;
+    }
+    rt.model.set_param_vector(&params)?;
+    run.merged_done = true;
+    if run.live.len() > 1 {
+        let downstream = run.downstream(me);
+        send_ring(
+            port,
+            run,
+            downstream,
+            Message::MergedParams {
+                ttl: (run.live.len() - 1) as u32,
+                params: params.clone(),
+            },
+        );
+    }
+    broadcast_if_mine(port, run, me, &params);
+    Ok(())
+}
+
+/// Sends the merged model to every unselected device if `me` is (or has
+/// replaced) the broadcaster.
+fn broadcast_if_mine<P: Port>(port: &mut P, run: &RingRun, me: usize, params: &[f32]) {
+    // If the planned broadcaster died, the first live member inherits
+    // the role so the unselected still hear about the round.
+    let effective = if run.live.contains(&run.broadcaster) {
+        run.broadcaster
+    } else {
+        run.live[0]
+    };
+    if effective != me {
+        return;
+    }
+    for &u in &run.unselected {
+        let _ = port.send(
+            u,
+            &Message::ParamSync {
+                round: 0,
+                params: params.to_vec(),
+            },
+        );
+    }
+}
+
+/// After `dead` was removed from `run.live`: re-send the last frame if
+/// it was addressed to the dead member, or initiate the reduce if the
+/// origin died before anything was sent.
+fn repair_after_bypass<P: Port>(
+    port: &mut P,
+    rt: &mut DeviceRuntime,
+    run: &mut RingRun,
+    me: usize,
+    dead: usize,
+) {
+    match run.last_sent.clone() {
+        Some((to, msg)) if to == dead => {
+            let downstream = run.downstream(me);
+            send_ring(port, run, downstream, msg);
+        }
+        None if run.live[0] == me && !run.merged_done => {
+            // The origin died silent; its downstream (now first) starts
+            // the reduce.
+            let downstream = run.downstream(me);
+            send_ring(
+                port,
+                run,
+                downstream,
+                Message::ParamAccum {
+                    hops: 1,
+                    params: rt.model.param_vector(),
+                },
+            );
+        }
+        _ => {}
+    }
+}
+
+/// One member's participation in one ring synchronization, with §III-D
+/// death detection and bypass.
+fn run_ring<P: Port>(
+    port: &mut P,
+    rt: &mut DeviceRuntime,
+    run: &mut RingRun,
+    me: usize,
+    coord: usize,
+    timing: &ProtocolTiming,
+) -> Result<RingExit, HadflError> {
+    let started = Instant::now();
+    // The first member initiates the reduce with its own parameters.
+    if run.live[0] == me {
+        let downstream = run.downstream(me);
+        send_ring(
+            port,
+            run,
+            downstream,
+            Message::ParamAccum {
+                hops: 1,
+                params: rt.model.param_vector(),
+            },
+        );
+    }
+    // `probe`: upstream we handshaked, and the ack deadline.
+    let mut probe: Option<(usize, Instant)> = None;
+    while !run.merged_done {
+        if started.elapsed() > timing.ring_hard_limit {
+            return Err(HadflError::InvalidConfig(
+                "ring synchronization stalled".into(),
+            ));
+        }
+        let wait = match probe {
+            Some((_, deadline)) => deadline.saturating_duration_since(Instant::now()),
+            None => timing.ring_wait,
+        };
+        match port.recv_timeout(wait.max(Duration::from_millis(1)))? {
+            Some(Message::ParamAccum { hops, mut params }) => {
+                probe = None;
+                let mine = rt.model.param_vector();
+                for (a, m) in params.iter_mut().zip(&mine) {
+                    *a += m;
+                }
+                let hops = hops + 1;
+                if hops as usize >= run.live.len() {
+                    finish_reduce(port, rt, run, me, params, hops)?;
+                } else {
+                    let downstream = run.downstream(me);
+                    send_ring(port, run, downstream, Message::ParamAccum { hops, params });
+                }
+            }
+            Some(Message::MergedParams { ttl, params }) => {
+                probe = None;
+                if run.merged_done {
+                    continue; // duplicate after a re-send
+                }
+                rt.model.set_param_vector(&params)?;
+                run.merged_done = true;
+                if ttl > 1 {
+                    let downstream = run.downstream(me);
+                    send_ring(
+                        port,
+                        run,
+                        downstream,
+                        Message::MergedParams {
+                            ttl: ttl - 1,
+                            params: params.clone(),
+                        },
+                    );
+                }
+                broadcast_if_mine(port, run, me, &params);
+            }
+            Some(Message::Handshake { from }) => {
+                let _ = port.send(from as usize, &Message::HandshakeAck { from: me as u32 });
+            }
+            Some(Message::HandshakeAck { from }) => {
+                if let Some((suspect, _)) = probe {
+                    if suspect == from as usize {
+                        // Upstream is alive, just slow; wait afresh.
+                        probe = None;
+                    }
+                }
+            }
+            Some(Message::BypassWarning { dead }) => {
+                let dead = dead as usize;
+                if run.pos(dead).is_some() {
+                    run.live.retain(|&d| d != dead);
+                    if let Some((suspect, _)) = probe {
+                        if suspect == dead {
+                            probe = None;
+                        }
+                    }
+                    if run.live.len() < 2 {
+                        run.merged_done = true; // dissolved; keep local model
+                    } else {
+                        repair_after_bypass(port, rt, run, me, dead);
+                    }
+                }
+            }
+            Some(Message::ReportRequest { round }) => {
+                let _ = port.send(
+                    coord,
+                    &Message::VersionReport {
+                        device: me as u32,
+                        round,
+                        version: rt.steps_done as f64,
+                    },
+                );
+            }
+            Some(Message::Shutdown) => return Ok(RingExit::Shutdown),
+            Some(_) => {} // heartbeats, broadcasts meant for the unselected
+            None => {
+                match probe {
+                    Some((suspect, deadline)) if Instant::now() >= deadline => {
+                        // §III-D: no ack — declare the upstream dead,
+                        // warn everyone, bypass.
+                        probe = None;
+                        for &member in &run.live {
+                            if member != me && member != suspect {
+                                let _ = port.send(
+                                    member,
+                                    &Message::BypassWarning {
+                                        dead: suspect as u32,
+                                    },
+                                );
+                            }
+                        }
+                        let _ = port.send(
+                            coord,
+                            &Message::BypassWarning {
+                                dead: suspect as u32,
+                            },
+                        );
+                        run.live.retain(|&d| d != suspect);
+                        if run.live.len() < 2 {
+                            run.merged_done = true;
+                        } else {
+                            repair_after_bypass(port, rt, run, me, suspect);
+                        }
+                    }
+                    Some(_) => {} // ack still pending
+                    None => {
+                        // Silence: probe the upstream we are waiting on.
+                        let suspect = run.upstream(me);
+                        let _ = port.send(suspect, &Message::Handshake { from: me as u32 });
+                        probe = Some((suspect, Instant::now() + timing.handshake_wait));
+                    }
+                }
+            }
+        }
+    }
+    Ok(RingExit::Done)
+}
+
+/// Runs the coordinator's protocol loop over `port`: per round, waits
+/// out the window, collects version reports (dropping devices that miss
+/// the deadline or are reported dead by a ring), plans the ring via
+/// [`StrategyGenerator`], and distributes the plan. After the last
+/// round it shuts the cluster down and collects final parameters.
+///
+/// # Errors
+///
+/// Returns [`HadflError::ClusterDead`] when fewer than two devices
+/// remain, and fabric errors from the transport.
+pub fn run_coordinator<P: Port>(
+    mut port: P,
+    config: &HadflConfig,
+    window: Duration,
+    rounds: usize,
+    timing: &ProtocolTiming,
+) -> Result<CoordinatorRun, HadflError> {
+    let k = port.participants() - 1;
+    let mut alive: BTreeSet<usize> = (0..k).collect();
+    let mut dropped: Vec<(usize, usize)> = Vec::new();
+    let mut generator = StrategyGenerator::new(config);
+    let mut rounds_log = Vec::with_capacity(rounds);
+
+    for round in 1..=rounds {
+        thread::sleep(window);
+        for &d in &alive {
+            let _ = port.send(
+                d,
+                &Message::ReportRequest {
+                    round: round as u32,
+                },
+            );
+        }
+        let mut versions: BTreeMap<usize, f64> = BTreeMap::new();
+        let deadline = Instant::now() + timing.report_deadline;
+        while versions.len() < alive.len() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match port.recv_timeout(left)? {
+                Some(Message::VersionReport {
+                    device, version, ..
+                }) => {
+                    let device = device as usize;
+                    if alive.contains(&device) {
+                        versions.insert(device, version);
+                    }
+                }
+                Some(Message::BypassWarning { dead }) => {
+                    let dead = dead as usize;
+                    if alive.remove(&dead) {
+                        dropped.push((dead, round));
+                        versions.remove(&dead);
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        // §III-D, coordinator side: missing the deadline means dead.
+        let missing: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|d| !versions.contains_key(d))
+            .collect();
+        for d in missing {
+            alive.remove(&d);
+            dropped.push((d, round));
+        }
+        if alive.len() < 2 {
+            return Err(HadflError::ClusterDead { round });
+        }
+
+        let available: Vec<DeviceId> = alive.iter().map(|&d| DeviceId(d)).collect();
+        let avail_versions: Vec<f64> = available.iter().map(|d| versions[&d.index()]).collect();
+        let plan = generator.plan_round(&available, &avail_versions)?;
+        let ring: Vec<u32> = plan
+            .ring
+            .members()
+            .iter()
+            .map(|d| d.index() as u32)
+            .collect();
+        let unselected: Vec<u32> = plan.unselected.iter().map(|d| d.index() as u32).collect();
+        for &member in plan.ring.members() {
+            let _ = port.send(
+                member.index(),
+                &Message::RoundPlan {
+                    round: round as u32,
+                    ring: ring.clone(),
+                    broadcaster: plan.broadcaster.index() as u32,
+                    unselected: unselected.clone(),
+                },
+            );
+        }
+        let mut version_row = vec![0u64; k];
+        for (&d, &v) in &versions {
+            version_row[d] = v as u64;
+        }
+        rounds_log.push(ThreadedRound {
+            round,
+            versions: version_row,
+            selected: plan.selected.iter().map(|d| d.index()).collect(),
+        });
+    }
+
+    // Shutdown: collect every live device's final parameters.
+    for &d in &alive {
+        let _ = port.send(d, &Message::Shutdown);
+    }
+    let mut final_models: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+    let deadline = Instant::now() + timing.final_deadline;
+    while final_models.len() < alive.len() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match port.recv_timeout(left)? {
+            Some(Message::FinalParams { device, params }) => {
+                let device = device as usize;
+                if alive.contains(&device) {
+                    final_models.insert(device, params);
+                }
+            }
+            Some(Message::BypassWarning { dead }) => {
+                let dead = dead as usize;
+                if alive.remove(&dead) {
+                    dropped.push((dead, rounds));
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    Ok(CoordinatorRun {
+        rounds: rounds_log,
+        final_models,
+        dropped,
+    })
+}
+
+/// Runs HADFL over real threads and in-process channels. See the
+/// module docs.
 ///
 /// # Errors
 ///
 /// Returns configuration/substrate errors from setup, and
-/// [`HadflError::InvalidConfig`] if a device thread fails mid-protocol
-/// (e.g. a peer disappeared, which cannot happen without fault
-/// injection).
+/// [`HadflError::ClusterDead`] if fewer than two devices survive.
 ///
 /// # Example
 ///
@@ -133,243 +719,61 @@ pub fn run_threaded(
         return Err(HadflError::InvalidConfig("need at least 1 round".into()));
     }
     if opts.powers.iter().any(|&p| !(p > 0.0) || !p.is_finite()) {
-        return Err(HadflError::InvalidConfig(format!("bad powers {:?}", opts.powers)));
+        return Err(HadflError::InvalidConfig(format!(
+            "bad powers {:?}",
+            opts.powers
+        )));
     }
     let built = workload.build(k)?;
     let start = Instant::now();
 
-    // Channel mesh: every participant can reach every device; devices
-    // report to the coordinator over one shared channel.
-    let mut device_txs: Vec<Sender<Cmd>> = Vec::with_capacity(k);
-    let mut device_rxs: Vec<Option<Receiver<Cmd>>> = Vec::with_capacity(k);
-    for _ in 0..k {
-        let (tx, rx) = unbounded();
-        device_txs.push(tx);
-        device_rxs.push(Some(rx));
+    let mut hub = ChannelTransport::hub(k + 1);
+    let coordinator_port = hub.claim(coordinator_id(k))?;
+    let mut device_ports = Vec::with_capacity(k);
+    for i in 0..k {
+        device_ports.push(hub.claim(i)?);
     }
-    let (report_tx, report_rx) = unbounded::<Message>();
-    let peer_bytes = Mutex::new(0u64);
 
-    let mut rounds_log: Vec<ThreadedRound> = Vec::with_capacity(opts.rounds);
-    let mut final_models: Vec<Vec<f32>> = Vec::new();
-    let mut runtimes: Vec<_> = built.runtimes.into_iter().collect();
-
-    thread::scope(|scope| -> Result<(), HadflError> {
-        // --- Device threads. ---
+    let outcome = thread::scope(|scope| -> Result<CoordinatorRun, HadflError> {
         let mut handles = Vec::with_capacity(k);
-        for (i, mut rt) in runtimes.drain(..).enumerate() {
-            let rx = device_rxs[i].take().expect("each receiver moved once");
-            let txs = device_txs.clone();
-            let report_tx = report_tx.clone();
-            let peer_bytes = &peer_bytes;
-            let sleep = Duration::from_secs_f64(
-                opts.step_sleep.as_secs_f64() / opts.powers[i],
-            );
-            let (lr, momentum, beta) = (config.lr, config.momentum, config.blend_beta);
-            handles.push(scope.spawn(move || -> Result<Vec<f32>, HadflError> {
-                rt.set_optimizer(LrSchedule::constant(lr), momentum);
-                let send_frame = |to: usize, msg: &Message| {
-                    let frame = msg.encode();
-                    *peer_bytes.lock() += frame.len() as u64;
-                    // A closed peer channel means the run is tearing down.
-                    let _ = txs[to].send(Cmd::Frame(frame));
-                };
-                loop {
-                    // Drain pending commands without blocking, then train.
-                    match rx.try_recv() {
-                        Ok(Cmd::Stop) => return Ok(rt.model.param_vector()),
-                        Ok(Cmd::Report(round)) => {
-                            let _ = report_tx.send(Message::VersionReport {
-                                device: i as u32,
-                                round: round as u32,
-                                version: rt.steps_done as f64,
-                            });
-                        }
-                        Ok(Cmd::Plan { ring, broadcaster, unselected }) => {
-                            // Selected device: run the blocking ring
-                            // reduce/distribute.
-                            let pos = ring
-                                .iter()
-                                .position(|&d| d == i)
-                                .expect("plan sent to ring members only");
-                            let n = ring.len();
-                            let downstream = ring[(pos + 1) % n];
-                            if pos == 0 {
-                                send_frame(
-                                    downstream,
-                                    &Message::ParamAccum {
-                                        hops: 1,
-                                        params: rt.model.param_vector(),
-                                    },
-                                );
-                            }
-                            // Block until the merge completes for us.
-                            loop {
-                                match rx.recv_timeout(Duration::from_secs(10)) {
-                                    Ok(Cmd::Frame(frame)) => {
-                                        match Message::decode(&frame)? {
-                                            Message::ParamAccum { hops, mut params } => {
-                                                let mine = rt.model.param_vector();
-                                                for (a, m) in params.iter_mut().zip(&mine) {
-                                                    *a += m;
-                                                }
-                                                let hops = hops + 1;
-                                                if hops as usize == n {
-                                                    let scale = 1.0 / n as f32;
-                                                    for a in &mut params {
-                                                        *a *= scale;
-                                                    }
-                                                    rt.model.set_param_vector(&params)?;
-                                                    if n > 1 {
-                                                        send_frame(
-                                                            downstream,
-                                                            &Message::MergedParams {
-                                                                ttl: (n - 1) as u32,
-                                                                params: params.clone(),
-                                                            },
-                                                        );
-                                                    }
-                                                    if broadcaster == i {
-                                                        for &u in &unselected {
-                                                            send_frame(
-                                                                u,
-                                                                &Message::ParamSync {
-                                                                    round: 0,
-                                                                    params: params.clone(),
-                                                                },
-                                                            );
-                                                        }
-                                                    }
-                                                    break;
-                                                }
-                                                send_frame(
-                                                    downstream,
-                                                    &Message::ParamAccum { hops, params },
-                                                );
-                                            }
-                                            Message::MergedParams { ttl, params } => {
-                                                rt.model.set_param_vector(&params)?;
-                                                if ttl > 1 {
-                                                    send_frame(
-                                                        downstream,
-                                                        &Message::MergedParams {
-                                                            ttl: ttl - 1,
-                                                            params: params.clone(),
-                                                        },
-                                                    );
-                                                }
-                                                if broadcaster == i {
-                                                    for &u in &unselected {
-                                                        send_frame(
-                                                            u,
-                                                            &Message::ParamSync {
-                                                                round: 0,
-                                                                params: params.clone(),
-                                                            },
-                                                        );
-                                                    }
-                                                }
-                                                break;
-                                            }
-                                            other => {
-                                                return Err(HadflError::InvalidConfig(
-                                                    format!("unexpected frame in ring: {other:?}"),
-                                                ))
-                                            }
-                                        }
-                                    }
-                                    Ok(Cmd::Stop) => return Ok(rt.model.param_vector()),
-                                    Ok(_) => {}
-                                    Err(_) => {
-                                        return Err(HadflError::InvalidConfig(
-                                            "ring peer timed out".into(),
-                                        ))
-                                    }
-                                }
-                            }
-                        }
-                        Ok(Cmd::Frame(frame)) => {
-                            // Unselected device receiving the broadcast:
-                            // blend non-blockingly and keep training.
-                            if let Message::ParamSync { params, .. } = Message::decode(&frame)? {
-                                let mut local = rt.model.param_vector();
-                                blend_params(&mut local, &params, beta)?;
-                                rt.model.set_param_vector(&local)?;
-                            }
-                        }
-                        Err(_) => {
-                            // No command: one heterogeneity-aware local step.
-                            rt.train_steps(1)?;
-                            thread::sleep(sleep);
-                        }
-                    }
-                }
-            }));
+        for (i, (port, rt)) in device_ports.drain(..).zip(built.runtimes).enumerate() {
+            let sleep = Duration::from_secs_f64(opts.step_sleep.as_secs_f64() / opts.powers[i]);
+            let timing = opts.timing.clone();
+            handles.push(scope.spawn(move || run_device(port, rt, config, sleep, &timing)));
         }
-
-        // --- Coordinator (this thread). ---
-        let mut generator = StrategyGenerator::new(config);
-        let all: Vec<DeviceId> = (0..k).map(DeviceId).collect();
-        for round in 1..=opts.rounds {
-            thread::sleep(opts.window);
-            for tx in &device_txs {
-                let _ = tx.send(Cmd::Report(round));
-            }
-            let mut versions = vec![0.0f64; k];
-            let mut got = 0;
-            while got < k {
-                match report_rx.recv_timeout(Duration::from_secs(10)) {
-                    Ok(Message::VersionReport { device, version, .. }) => {
-                        versions[device as usize] = version;
-                        got += 1;
-                    }
-                    Ok(_) => {}
-                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                        return Err(HadflError::InvalidConfig(
-                            "device thread stopped reporting".into(),
-                        ))
-                    }
-                }
-            }
-            let plan = generator.plan_round(&all, &versions)?;
-            let ring: Vec<usize> = plan.ring.members().iter().map(|d| d.index()).collect();
-            let unselected: Vec<usize> = plan.unselected.iter().map(|d| d.index()).collect();
-            for &member in &ring {
-                let _ = device_txs[member].send(Cmd::Plan {
-                    ring: ring.clone(),
-                    broadcaster: plan.broadcaster.index(),
-                    unselected: unselected.clone(),
-                });
-            }
-            rounds_log.push(ThreadedRound {
-                round,
-                versions: versions.iter().map(|&v| v as u64).collect(),
-                selected: plan.selected.iter().map(|d| d.index()).collect(),
-            });
-        }
-        for tx in &device_txs {
-            let _ = tx.send(Cmd::Stop);
-        }
+        let run = run_coordinator(
+            coordinator_port,
+            config,
+            opts.window,
+            opts.rounds,
+            &opts.timing,
+        )?;
         for handle in handles {
-            let params = handle.join().map_err(|_| {
-                HadflError::InvalidConfig("device thread panicked".into())
-            })??;
-            final_models.push(params);
+            handle
+                .join()
+                .map_err(|_| HadflError::InvalidConfig("device thread panicked".into()))??;
         }
-        Ok(())
+        Ok(run)
     })?;
 
-    // Consensus evaluation: average every device's final model.
-    let refs: Vec<&[f32]> = final_models.iter().map(Vec::as_slice).collect();
+    // Consensus evaluation: average the collected final models.
+    if outcome.final_models.is_empty() {
+        return Err(HadflError::InvalidConfig(
+            "no device uploaded final parameters".into(),
+        ));
+    }
+    let refs: Vec<&[f32]> = outcome.final_models.values().map(Vec::as_slice).collect();
     let consensus = crate::aggregate::average_params(&refs)?;
     let mut built_eval = workload.build(k)?;
     let metrics = built_eval.evaluate_params(&consensus)?;
 
-    let moved = *peer_bytes.lock();
+    let stats = hub.net_stats();
     Ok(ThreadedReport {
-        rounds: rounds_log,
+        rounds: outcome.rounds,
         final_accuracy: metrics.accuracy,
-        peer_bytes: moved,
+        peer_bytes: stats.total_bytes() - stats.server_bytes(),
+        comm: CommSummary::from_stats(&stats, k),
+        dropped: outcome.dropped,
         wall: start.elapsed(),
     })
 }
@@ -379,7 +783,11 @@ mod tests {
     use super::*;
 
     fn quick_config(seed: u64) -> HadflConfig {
-        HadflConfig::builder().num_selected(2).seed(seed).build().unwrap()
+        HadflConfig::builder()
+            .num_selected(2)
+            .seed(seed)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -392,8 +800,12 @@ mod tests {
         .unwrap();
         assert_eq!(report.rounds.len(), 3);
         assert!(report.final_accuracy.is_finite());
-        assert!(report.peer_bytes > 0, "parameters must have moved between threads");
+        assert!(
+            report.peer_bytes > 0,
+            "parameters must have moved between threads"
+        );
         assert!(report.wall >= Duration::from_millis(3 * 60));
+        assert!(report.dropped.is_empty());
     }
 
     #[test]
@@ -406,6 +818,7 @@ mod tests {
                 step_sleep: Duration::from_millis(8),
                 window: Duration::from_millis(80),
                 rounds: 2,
+                timing: ProtocolTiming::quick(),
             },
         )
         .unwrap();
@@ -442,5 +855,98 @@ mod tests {
         let mut bad = ThreadedOptions::quick(&[1.0, 1.0]);
         bad.powers = vec![1.0, -1.0];
         assert!(run_threaded(&w, &c, &bad).is_err());
+    }
+
+    #[test]
+    fn comm_ledger_matches_peer_bytes() {
+        let report = run_threaded(
+            &Workload::quick("mlp", 65),
+            &quick_config(65),
+            &ThreadedOptions::quick(&[1.0, 1.0, 1.0]),
+        )
+        .unwrap();
+        let device_total: u64 = report.comm.total_bytes - report.comm.server_bytes;
+        assert_eq!(report.peer_bytes, device_total);
+        assert!(report.comm.messages > 0);
+        // Control traffic through the coordinator must be negligible
+        // next to the parameter frames (decentralization claim).
+        assert!(report.comm.server_bytes < report.peer_bytes);
+    }
+
+    /// A planned ring member that dies silently mid-protocol: it
+    /// reports versions (so the coordinator keeps planning it) but
+    /// ignores ring frames and handshakes. The live members must detect
+    /// it via the §III-D probe and close the ring around it.
+    #[test]
+    fn ring_bypasses_a_silent_member() {
+        let k = 4;
+        let seed = 66;
+        let workload = Workload::quick("mlp", seed);
+        // Select every device so the zombie is in the ring from round 1.
+        let config = HadflConfig::builder()
+            .num_selected(4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let built = workload.build(k).unwrap();
+        let timing = ProtocolTiming::quick();
+        let step_sleep = Duration::from_millis(4);
+
+        let mut hub = ChannelTransport::hub(k + 1);
+        let coordinator_port = hub.claim(coordinator_id(k)).unwrap();
+        let zombie_id = 2usize;
+        let mut zombie_port = hub.claim(zombie_id).unwrap();
+        let mut ports: Vec<_> = (0..k)
+            .filter(|&i| i != zombie_id)
+            .map(|i| hub.claim(i).unwrap())
+            .collect();
+
+        let outcome = thread::scope(|scope| {
+            let mut runtimes: Vec<_> = built.runtimes.into_iter().enumerate().collect();
+            runtimes.retain(|(i, _)| *i != zombie_id);
+            for ((_, rt), port) in runtimes.into_iter().zip(ports.drain(..)) {
+                let timing = timing.clone();
+                let config = &config;
+                scope.spawn(move || run_device(port, rt, config, step_sleep, &timing));
+            }
+            // The zombie answers the first version report and then dies
+            // silently — a death *after* planning, which only the
+            // in-ring handshake path can catch.
+            scope.spawn(move || loop {
+                match zombie_port.recv_timeout(Duration::from_secs(5)) {
+                    Ok(Some(Message::ReportRequest { round })) => {
+                        let _ = zombie_port.send(
+                            k,
+                            &Message::VersionReport {
+                                device: zombie_id as u32,
+                                round,
+                                version: 1.0,
+                            },
+                        );
+                        return;
+                    }
+                    Ok(Some(_)) => {}
+                    _ => return,
+                }
+            });
+            run_coordinator(
+                coordinator_port,
+                &config,
+                Duration::from_millis(60),
+                2,
+                &timing,
+            )
+        })
+        .unwrap();
+
+        assert_eq!(outcome.rounds.len(), 2);
+        assert!(
+            outcome.dropped.iter().any(|&(d, _)| d == zombie_id),
+            "zombie must be reported dead via the bypass path: {:?}",
+            outcome.dropped
+        );
+        // The three live devices all upload final parameters.
+        assert_eq!(outcome.final_models.len(), 3);
+        assert!(!outcome.final_models.contains_key(&zombie_id));
     }
 }

@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 use hadfl_simnet::{DeviceId, FaultPlan, LinkModel, NetStats, VirtualTime};
 use serde::{Deserialize, Serialize};
 
-use crate::aggregate::{average_params, record_gossip_traffic, weighted_average_params};
+use crate::aggregate::{
+    average_params, record_gossip_traffic, ring_allreduce_cost, weighted_average_params,
+};
 use crate::error::HadflError;
 use crate::topology::Ring;
 
@@ -33,6 +35,11 @@ pub struct SyncOutcome {
 }
 
 /// Executes one partial synchronization over `ring` at time `at`.
+///
+/// `model_bytes` sets the transfer time of the synchronization while
+/// `wire_bytes` sets the volume charged to `stats`; they are equal
+/// unless an experiment overrides the reported wire size
+/// (`SimOptions::wire_model_bytes`), which must not alter timing.
 ///
 /// `params` maps each ring member to its current parameter vector;
 /// liveness is checked against `faults` at `at`. Per dead member the
@@ -60,11 +67,14 @@ pub fn run_partial_sync(
     link: &LinkModel,
     handshake_timeout_secs: f64,
     model_bytes: u64,
+    wire_bytes: u64,
     stats: &mut NetStats,
 ) -> Result<SyncOutcome, HadflError> {
     for member in ring.members() {
         if !params.contains_key(member) {
-            return Err(HadflError::InvalidConfig(format!("no parameters for ring member {member}")));
+            return Err(HadflError::InvalidConfig(format!(
+                "no parameters for ring member {member}"
+            )));
         }
     }
 
@@ -85,8 +95,11 @@ pub fn run_partial_sync(
             Some(next) => next,
             None => {
                 // Fewer than 2 members remain: aggregation dissolves.
-                let survivor =
-                    ring.members().iter().copied().find(|&d| faults.is_up(d, at));
+                let survivor = ring
+                    .members()
+                    .iter()
+                    .copied()
+                    .find(|&d| faults.is_up(d, at));
                 let Some(survivor) = survivor else {
                     return Err(HadflError::ClusterDead { round: 0 });
                 };
@@ -101,8 +114,16 @@ pub fn run_partial_sync(
         };
     }
 
-    let cost = record_gossip_traffic(live.members(), model_bytes, link, stats)?;
-    let vectors: Vec<&[f32]> = live.members().iter().map(|d| params[d].as_slice()).collect();
+    // Time is driven by the bytes actually moved (`model_bytes`); the
+    // ledger is driven by `wire_bytes`, which experiments may override to
+    // paper-scale model sizes without perturbing the learning dynamics.
+    let secs = ring_allreduce_cost(live.members().len(), model_bytes, link)?.secs;
+    record_gossip_traffic(live.members(), wire_bytes, link, stats)?;
+    let vectors: Vec<&[f32]> = live
+        .members()
+        .iter()
+        .map(|d| params[d].as_slice())
+        .collect();
     let merged = match weights {
         Some(w) => {
             let member_weights: Vec<f64> = live
@@ -120,7 +141,7 @@ pub fn run_partial_sync(
         merged,
         participants,
         bypassed,
-        comm_secs: penalty_secs + cost.secs,
+        comm_secs: penalty_secs + secs,
         dissolved: false,
     })
 }
@@ -135,7 +156,9 @@ mod tests {
     }
 
     fn params_for(ids: &[usize], value: f32) -> BTreeMap<DeviceId, Vec<f32>> {
-        ids.iter().map(|&i| (DeviceId(i), vec![value * (i as f32 + 1.0); 4])).collect()
+        ids.iter()
+            .map(|&i| (DeviceId(i), vec![value * (i as f32 + 1.0); 4]))
+            .collect()
     }
 
     fn ring_of(ids: &[usize]) -> Ring {
@@ -157,6 +180,7 @@ mod tests {
             t(1.0),
             &LinkModel::default(),
             0.05,
+            12,
             12,
             &mut stats,
         )
@@ -188,6 +212,7 @@ mod tests {
             &LinkModel::default(),
             0.05,
             8,
+            8,
             &mut stats,
         )
         .unwrap();
@@ -203,9 +228,19 @@ mod tests {
         let faults = FaultPlan::new(vec![Outage::crash(DeviceId(2), t(0.5))]).unwrap();
         let link = LinkModel::new(0.001, 1e9).unwrap();
         let mut stats = NetStats::new();
-        let out =
-            run_partial_sync(&ring, &params, None, &faults, t(1.0), &link, 0.05, 100, &mut stats)
-                .unwrap();
+        let out = run_partial_sync(
+            &ring,
+            &params,
+            None,
+            &faults,
+            t(1.0),
+            &link,
+            0.05,
+            100,
+            100,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(out.bypassed, vec![DeviceId(2)]);
         assert_eq!(out.participants, vec![DeviceId(1), DeviceId(3)]);
         // merged = avg of devices 1 and 3 params = avg(2.0, 4.0) = 3.0
@@ -230,6 +265,7 @@ mod tests {
             t(1.0),
             &LinkModel::default(),
             0.05,
+            100,
             100,
             &mut stats,
         )
@@ -259,6 +295,7 @@ mod tests {
             &LinkModel::default(),
             0.05,
             100,
+            100,
             &mut stats,
         )
         .unwrap_err();
@@ -279,6 +316,7 @@ mod tests {
             &LinkModel::default(),
             0.05,
             100,
+            100,
             &mut stats,
         )
         .is_err());
@@ -295,9 +333,19 @@ mod tests {
         .unwrap();
         let link = LinkModel::new(0.001, 1e9).unwrap();
         let mut stats = NetStats::new();
-        let out =
-            run_partial_sync(&ring, &params, None, &faults, t(1.0), &link, 0.05, 100, &mut stats)
-                .unwrap();
+        let out = run_partial_sync(
+            &ring,
+            &params,
+            None,
+            &faults,
+            t(1.0),
+            &link,
+            0.05,
+            100,
+            100,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(out.bypassed.len(), 2);
         assert_eq!(out.participants, vec![DeviceId(0), DeviceId(2)]);
         assert!(out.comm_secs > 2.0 * 0.052);

@@ -41,9 +41,14 @@ use crate::workload::Workload;
 /// # Ok(())
 /// # }
 /// ```
-pub fn partition_groups(devices: usize, group_size: usize) -> Result<Vec<Vec<DeviceId>>, HadflError> {
+pub fn partition_groups(
+    devices: usize,
+    group_size: usize,
+) -> Result<Vec<Vec<DeviceId>>, HadflError> {
     if group_size == 0 {
-        return Err(HadflError::InvalidConfig("group size must be positive".into()));
+        return Err(HadflError::InvalidConfig(
+            "group size must be positive".into(),
+        ));
     }
     if devices == 0 {
         return Err(HadflError::InvalidConfig("no devices to group".into()));
@@ -170,7 +175,11 @@ pub fn run_hadfl_grouped(
             }
             device_free[i] = window_end;
         }
-        let versions: Vec<f64> = built.runtimes.iter().map(|rt| rt.steps_done as f64).collect();
+        let versions: Vec<f64> = built
+            .runtimes
+            .iter()
+            .map(|rt| rt.steps_done as f64)
+            .collect();
         let predicted = supervisor.predicted_versions();
 
         // Intra-group sync, per group.
@@ -200,11 +209,14 @@ pub fn run_hadfl_grouped(
                 window_end,
                 &opts.link,
                 config.handshake_timeout_secs,
+                built.model_bytes,
                 wire_bytes,
                 &mut stats,
             )?;
             for d in &outcome.participants {
-                built.runtimes[d.index()].model.set_param_vector(&outcome.merged)?;
+                built.runtimes[d.index()]
+                    .model
+                    .set_param_vector(&outcome.merged)?;
             }
             let broadcaster = if outcome.participants.contains(&plan.broadcaster) {
                 plan.broadcaster
@@ -232,9 +244,7 @@ pub fn run_hadfl_grouped(
             // One live representative per group.
             let mut reps = Vec::new();
             for group in &groups {
-                if let Some(&rep) =
-                    group.iter().find(|&&d| monitor.is_up(d, window_end))
-                {
+                if let Some(&rep) = group.iter().find(|&&d| monitor.is_up(d, window_end)) {
                     reps.push(rep);
                 }
             }
@@ -254,6 +264,7 @@ pub fn run_hadfl_grouped(
                     &opts.link,
                     config.handshake_timeout_secs,
                     built.model_bytes,
+                    wire_bytes,
                     &mut stats,
                 )?;
                 // Representatives broadcast the consensus into their groups.
@@ -318,7 +329,10 @@ pub fn run_hadfl_grouped(
     trace.set_comm(&stats);
     Ok(GroupedRun {
         trace,
-        groups: groups.iter().map(|g| g.iter().map(|d| d.index()).collect()).collect(),
+        groups: groups
+            .iter()
+            .map(|g| g.iter().map(|d| d.index()).collect())
+            .collect(),
         inter_sync_rounds,
     })
 }

@@ -60,6 +60,7 @@ pub mod select;
 pub mod strategy;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 pub mod wire;
 pub mod workload;
 

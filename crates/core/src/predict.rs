@@ -99,9 +99,18 @@ impl VersionPredictor {
             )));
         }
         if !prior.is_finite() {
-            return Err(HadflError::InvalidConfig(format!("prior must be finite, got {prior}")));
+            return Err(HadflError::InvalidConfig(format!(
+                "prior must be finite, got {prior}"
+            )));
         }
-        Ok(VersionPredictor { alpha, prior, s1: None, s2: None, last: None, observations: 0 })
+        Ok(VersionPredictor {
+            alpha,
+            prior,
+            s1: None,
+            s2: None,
+            last: None,
+            observations: 0,
+        })
     }
 
     /// Records the actual version observed in the round just completed.

@@ -36,7 +36,11 @@ pub struct Segment {
 
 impl Segment {
     fn new(start: f64, end: f64, activity: Activity) -> Self {
-        Segment { start, end, activity }
+        Segment {
+            start,
+            end,
+            activity,
+        }
     }
 
     /// Segment duration, seconds.
@@ -105,7 +109,9 @@ fn validate(powers: &[f64], base_step_secs: f64) -> Result<Vec<f64>, HadflError>
         return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
     }
     if !(base_step_secs > 0.0) || !base_step_secs.is_finite() {
-        return Err(HadflError::InvalidConfig(format!("bad base step {base_step_secs}")));
+        return Err(HadflError::InvalidConfig(format!(
+            "bad base step {base_step_secs}"
+        )));
     }
     powers
         .iter()
@@ -142,11 +148,18 @@ pub fn distributed_timeline(
             if step_times[i] < slowest {
                 segs.push(Segment::new(t + step_times[i], t + slowest, Activity::Idle));
             }
-            segs.push(Segment::new(t + slowest, t + slowest + sync_secs, Activity::Sync));
+            segs.push(Segment::new(
+                t + slowest,
+                t + slowest + sync_secs,
+                Activity::Sync,
+            ));
         }
         t += slowest + sync_secs;
     }
-    Ok(Timeline { scheme: "distributed_training".into(), devices })
+    Ok(Timeline {
+        scheme: "distributed_training".into(),
+        devices,
+    })
 }
 
 /// Synchronous FedAvg: every device computes `local_steps` steps, waits
@@ -164,7 +177,9 @@ pub fn fedavg_timeline(
 ) -> Result<Timeline, HadflError> {
     let step_times = validate(powers, base_step_secs)?;
     if local_steps == 0 {
-        return Err(HadflError::InvalidConfig("local_steps must be positive".into()));
+        return Err(HadflError::InvalidConfig(
+            "local_steps must be positive".into(),
+        ));
     }
     let slowest = step_times.iter().copied().fold(0.0, f64::max) * local_steps as f64;
     let mut devices = vec![Vec::new(); powers.len()];
@@ -176,11 +191,18 @@ pub fn fedavg_timeline(
             if compute < slowest {
                 segs.push(Segment::new(t + compute, t + slowest, Activity::Idle));
             }
-            segs.push(Segment::new(t + slowest, t + slowest + sync_secs, Activity::Sync));
+            segs.push(Segment::new(
+                t + slowest,
+                t + slowest + sync_secs,
+                Activity::Sync,
+            ));
         }
         t += slowest + sync_secs;
     }
-    Ok(Timeline { scheme: "decentralized_fedavg".into(), devices })
+    Ok(Timeline {
+        scheme: "decentralized_fedavg".into(),
+        devices,
+    })
 }
 
 /// HADFL: every device computes continuously for the whole sync window
@@ -202,21 +224,33 @@ pub fn hadfl_timeline(
 ) -> Result<Timeline, HadflError> {
     let step_times = validate(powers, base_step_secs)?;
     if steps_per_epoch.len() != powers.len() {
-        return Err(HadflError::InvalidConfig("steps_per_epoch length mismatch".into()));
+        return Err(HadflError::InvalidConfig(
+            "steps_per_epoch length mismatch".into(),
+        ));
     }
-    let epoch_times: Vec<f64> =
-        step_times.iter().zip(steps_per_epoch).map(|(&st, &n)| st * n as f64).collect();
+    let epoch_times: Vec<f64> = step_times
+        .iter()
+        .zip(steps_per_epoch)
+        .map(|(&st, &n)| st * n as f64)
+        .collect();
     let window = hyperperiod(&epoch_times)? * f64::from(t_sync.max(1));
     let mut devices = vec![Vec::new(); powers.len()];
     let mut t = 0.0;
     for _ in 0..rounds {
         for segs in &mut devices {
             segs.push(Segment::new(t, t + window, Activity::Compute));
-            segs.push(Segment::new(t + window, t + window + sync_secs, Activity::Sync));
+            segs.push(Segment::new(
+                t + window,
+                t + window + sync_secs,
+                Activity::Sync,
+            ));
         }
         t += window + sync_secs;
     }
-    Ok(Timeline { scheme: "hadfl".into(), devices })
+    Ok(Timeline {
+        scheme: "hadfl".into(),
+        devices,
+    })
 }
 
 #[cfg(test)]

@@ -67,7 +67,9 @@ pub enum SelectionPolicy {
 /// ```
 pub fn third_quartile(values: &[f64]) -> Result<f64, HadflError> {
     if values.is_empty() {
-        return Err(HadflError::InvalidConfig("third quartile of empty sample".into()));
+        return Err(HadflError::InvalidConfig(
+            "third quartile of empty sample".into(),
+        ));
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("versions are finite"));
@@ -91,10 +93,14 @@ pub fn third_quartile(values: &[f64]) -> Result<f64, HadflError> {
 /// versions.
 pub fn selection_weights(versions: &[f64], scale: VersionScale) -> Result<Vec<f64>, HadflError> {
     if versions.is_empty() {
-        return Err(HadflError::InvalidConfig("selection over no devices".into()));
+        return Err(HadflError::InvalidConfig(
+            "selection over no devices".into(),
+        ));
     }
     if versions.iter().any(|v| !v.is_finite()) {
-        return Err(HadflError::InvalidConfig(format!("non-finite version in {versions:?}")));
+        return Err(HadflError::InvalidConfig(format!(
+            "non-finite version in {versions:?}"
+        )));
     }
     let scaled: Vec<f64> = match scale {
         VersionScale::Raw => versions.to_vec(),
@@ -148,10 +154,14 @@ pub fn select_devices(
         )));
     }
     if n_p == 0 {
-        return Err(HadflError::InvalidConfig("cannot select zero devices".into()));
+        return Err(HadflError::InvalidConfig(
+            "cannot select zero devices".into(),
+        ));
     }
     if available.is_empty() {
-        return Err(HadflError::InvalidConfig("selection over no devices".into()));
+        return Err(HadflError::InvalidConfig(
+            "selection over no devices".into(),
+        ));
     }
     if n_p >= available.len() {
         let mut all = available.to_vec();
@@ -177,7 +187,9 @@ pub fn select_devices(
 fn rank_by(available: &[DeviceId], versions: &[f64], n_p: usize, ascending: bool) -> Vec<DeviceId> {
     let mut order: Vec<usize> = (0..available.len()).collect();
     order.sort_by(|&a, &b| {
-        let cmp = versions[a].partial_cmp(&versions[b]).expect("finite versions");
+        let cmp = versions[a]
+            .partial_cmp(&versions[b])
+            .expect("finite versions");
         // Ties break by device id for determinism.
         let cmp = if ascending { cmp } else { cmp.reverse() };
         cmp.then_with(|| available[a].cmp(&available[b]))
@@ -191,8 +203,11 @@ fn weighted_sample_without_replacement(
     n_p: usize,
     rng: &mut SeedStream,
 ) -> Vec<DeviceId> {
-    let mut pool: Vec<(DeviceId, f64)> =
-        available.iter().copied().zip(weights.iter().copied()).collect();
+    let mut pool: Vec<(DeviceId, f64)> = available
+        .iter()
+        .copied()
+        .zip(weights.iter().copied())
+        .collect();
     let mut chosen = Vec::with_capacity(n_p);
     for _ in 0..n_p {
         let total: f64 = pool.iter().map(|(_, w)| w).sum();

@@ -49,7 +49,9 @@ fn gcd(a: u64, b: u64) -> u64 {
 /// ```
 pub fn hyperperiod(epoch_times_secs: &[f64]) -> Result<f64, HadflError> {
     if epoch_times_secs.is_empty() {
-        return Err(HadflError::InvalidConfig("hyperperiod of no devices".into()));
+        return Err(HadflError::InvalidConfig(
+            "hyperperiod of no devices".into(),
+        ));
     }
     let mut ticks = Vec::with_capacity(epoch_times_secs.len());
     for &t in epoch_times_secs {
@@ -116,12 +118,16 @@ impl Strategy {
             )));
         }
         if t_sync == 0 {
-            return Err(HadflError::InvalidConfig("t_sync must be at least 1".into()));
+            return Err(HadflError::InvalidConfig(
+                "t_sync must be at least 1".into(),
+            ));
         }
         let mut epoch_times = Vec::with_capacity(compute.devices());
         for (i, &batches) in batches_per_epoch.iter().enumerate() {
             if batches == 0 {
-                return Err(HadflError::InvalidConfig(format!("device {i} has an empty shard")));
+                return Err(HadflError::InvalidConfig(format!(
+                    "device {i} has an empty shard"
+                )));
             }
             let step = compute.nominal_step_time(DeviceId(i))?;
             epoch_times.push(step * batches as f64);
@@ -130,11 +136,17 @@ impl Strategy {
         let window = h * f64::from(t_sync);
         let local_steps = (0..compute.devices())
             .map(|i| {
-                let step = compute.nominal_step_time(DeviceId(i)).expect("checked above");
+                let step = compute
+                    .nominal_step_time(DeviceId(i))
+                    .expect("checked above");
                 (window / step).floor().max(1.0) as usize
             })
             .collect();
-        Ok(Strategy { hyperperiod_secs: h, window_secs: window, local_steps })
+        Ok(Strategy {
+            hyperperiod_secs: h,
+            window_secs: window,
+            local_steps,
+        })
     }
 
     /// Number of devices planned for.
@@ -177,7 +189,10 @@ mod tests {
     fn hyperperiod_caps_pathological_lcm() {
         // 9999 ms and 10000 ms are nearly co-prime: LCM would be ~10^8 ms.
         let h = hyperperiod(&[9.999, 10.0]).unwrap();
-        assert!((h - 10.0).abs() < 1e-9, "fell back to slowest epoch time, got {h}");
+        assert!(
+            (h - 10.0).abs() < 1e-9,
+            "fell back to slowest epoch time, got {h}"
+        );
     }
 
     #[test]

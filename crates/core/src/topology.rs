@@ -53,7 +53,9 @@ impl Ring {
         dedup.sort_unstable();
         dedup.dedup();
         if dedup.len() != order.len() {
-            return Err(HadflError::InvalidConfig(format!("duplicate members in ring {order:?}")));
+            return Err(HadflError::InvalidConfig(format!(
+                "duplicate members in ring {order:?}"
+            )));
         }
         Ok(Ring { order })
     }
@@ -270,8 +272,7 @@ mod tests {
     fn greedy_ring_is_a_permutation() {
         let net = BandwidthMatrix::uniform(5, 0.0, 1e9).unwrap();
         let members = ids(&[0, 1, 2, 3, 4]);
-        let ring =
-            Ring::greedy_bandwidth(&members, &net, &mut SeedStream::new(3)).unwrap();
+        let ring = Ring::greedy_bandwidth(&members, &net, &mut SeedStream::new(3)).unwrap();
         let mut sorted = ring.members().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, members);
@@ -282,9 +283,7 @@ mod tests {
         let net = BandwidthMatrix::uniform(2, 0.0, 1e9).unwrap();
         assert!(Ring::greedy_bandwidth(&ids(&[0]), &net, &mut SeedStream::new(0)).is_err());
         // member outside the matrix
-        assert!(
-            Ring::greedy_bandwidth(&ids(&[0, 5]), &net, &mut SeedStream::new(0)).is_err()
-        );
+        assert!(Ring::greedy_bandwidth(&ids(&[0, 5]), &net, &mut SeedStream::new(0)).is_err());
     }
 
     #[test]

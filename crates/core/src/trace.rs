@@ -43,7 +43,9 @@ impl CommSummary {
     pub fn from_stats(stats: &NetStats, devices: usize) -> Self {
         CommSummary {
             server_bytes: stats.server_bytes(),
-            device_bytes: (0..devices).map(|i| stats.device_bytes(DeviceId(i))).collect(),
+            device_bytes: (0..devices)
+                .map(|i| stats.device_bytes(DeviceId(i)))
+                .collect(),
             total_bytes: stats.total_bytes(),
             messages: stats.messages(),
         }
@@ -116,12 +118,18 @@ impl Trace {
 
     /// The maximum test accuracy reached (0 for an empty trace).
     pub fn max_accuracy(&self) -> f32 {
-        self.records.iter().map(|r| r.test_accuracy).fold(0.0, f32::max)
+        self.records
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0, f32::max)
     }
 
     /// The first virtual time at which `target` accuracy was reached.
     pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
-        self.records.iter().find(|r| r.test_accuracy >= target).map(|r| r.time_secs)
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| r.time_secs)
     }
 
     /// Table I's metric: the maximum accuracy and the first time it was
@@ -141,17 +149,26 @@ impl Trace {
 
     /// `(epoch_equiv, train_loss)` series — Fig. 3 (a)(b).
     pub fn loss_vs_epoch(&self) -> Vec<(f64, f32)> {
-        self.records.iter().map(|r| (r.epoch_equiv, r.train_loss)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.epoch_equiv, r.train_loss))
+            .collect()
     }
 
     /// `(epoch_equiv, test_accuracy)` series — Fig. 3 (d)(e).
     pub fn accuracy_vs_epoch(&self) -> Vec<(f64, f32)> {
-        self.records.iter().map(|r| (r.epoch_equiv, r.test_accuracy)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.epoch_equiv, r.test_accuracy))
+            .collect()
     }
 
     /// `(time, test_accuracy)` series — Fig. 3 (c)(f).
     pub fn accuracy_vs_time(&self) -> Vec<(f64, f32)> {
-        self.records.iter().map(|r| (r.time_secs, r.test_accuracy)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.time_secs, r.test_accuracy))
+            .collect()
     }
 }
 
@@ -205,7 +222,11 @@ mod tests {
     fn comm_summary_reads_stats() {
         let mut stats = NetStats::new();
         stats.record(Endpoint::Device(DeviceId(0)), Endpoint::Server, 10);
-        stats.record(Endpoint::Device(DeviceId(1)), Endpoint::Device(DeviceId(0)), 6);
+        stats.record(
+            Endpoint::Device(DeviceId(1)),
+            Endpoint::Device(DeviceId(0)),
+            6,
+        );
         let s = CommSummary::from_stats(&stats, 2);
         assert_eq!(s.server_bytes, 10);
         assert_eq!(s.device_bytes, vec![16, 6]);

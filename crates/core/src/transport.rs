@@ -1,0 +1,282 @@
+//! Message fabric abstraction for deployed HADFL clusters.
+//!
+//! The protocol loops in [`crate::exec`] are written against the
+//! [`Port`] trait: one mailbox per participant, addressed by dense
+//! participant id. Devices occupy ids `0..k`; the coordinator is id `k`
+//! ([`coordinator_id`]). Two fabrics implement it:
+//!
+//! * [`ChannelTransport`] — in-process crossbeam channels, used by
+//!   [`crate::exec::run_threaded`] and the tests;
+//! * `hadfl-net`'s `TcpTransport` — real sockets for multi-process
+//!   clusters.
+//!
+//! Frames on either fabric are encoded [`Message`]s, so the byte
+//! accounting ([`Port::stats`]) is identical across fabrics and
+//! comparable with the analytical driver's ledger.
+
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use hadfl_simnet::{DeviceId, Endpoint, NetStats};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::error::HadflError;
+use crate::wire::Message;
+
+/// The coordinator's participant id in a `k`-device cluster.
+pub fn coordinator_id(k: usize) -> usize {
+    k
+}
+
+/// The [`NetStats`] endpoint for participant `id` of a `k`-device
+/// cluster: devices map to themselves, the coordinator to the server.
+pub fn endpoint_of(id: usize, k: usize) -> Endpoint {
+    if id == coordinator_id(k) {
+        Endpoint::Server
+    } else {
+        Endpoint::Device(DeviceId(id))
+    }
+}
+
+/// One participant's handle on the cluster's message fabric.
+///
+/// A `Port` is claimed once per participant and moved into that
+/// participant's thread (or owned by its process). Sends are
+/// non-blocking; receives deliver whole [`Message`]s in arrival order.
+pub trait Port: Send {
+    /// This participant's id.
+    fn id(&self) -> usize;
+
+    /// Total number of participants (devices plus coordinator).
+    fn participants(&self) -> usize;
+
+    /// Sends `msg` to participant `to` without blocking on delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when `to` is unknown or the
+    /// peer is conclusively unreachable (its mailbox is gone, or every
+    /// reconnect attempt was exhausted). An error is a *hint* the peer
+    /// is dead; the §III-D handshake remains the authoritative check.
+    fn send(&mut self, to: usize, msg: &Message) -> Result<(), HadflError>;
+
+    /// Returns the next pending message, or `None` when the mailbox is
+    /// currently empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fabric is torn down or an inbound frame
+    /// fails to decode.
+    fn try_recv(&mut self) -> Result<Option<Message>, HadflError>;
+
+    /// Waits up to `timeout` for a message; `None` means the wait timed
+    /// out.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the fabric is torn down or an inbound frame
+    /// fails to decode.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, HadflError>;
+
+    /// Snapshot of the payload bytes this port has sent and received,
+    /// charged per encoded frame (transport-internal chatter such as
+    /// heartbeats is excluded, so channel and TCP fabrics report the
+    /// same ledger for the same protocol run).
+    fn stats(&self) -> NetStats;
+}
+
+/// In-process fabric: one unbounded crossbeam channel per participant.
+///
+/// Construct with [`ChannelTransport::hub`], then [`claim`] each
+/// participant's [`Port`] and move it into its thread.
+///
+/// [`claim`]: ChannelTransport::claim
+///
+/// # Example
+///
+/// ```
+/// use hadfl::transport::{ChannelTransport, Port};
+/// use hadfl::wire::Message;
+///
+/// let mut hub = ChannelTransport::hub(2);
+/// let mut a = hub.claim(0).unwrap();
+/// let mut b = hub.claim(1).unwrap();
+/// a.send(1, &Message::Handshake { from: 0 }).unwrap();
+/// assert_eq!(b.try_recv().unwrap(), Some(Message::Handshake { from: 0 }));
+/// ```
+pub struct ChannelTransport {
+    txs: Vec<Sender<bytes::Bytes>>,
+    rxs: Vec<Option<Receiver<bytes::Bytes>>>,
+    stats: Arc<Mutex<NetStats>>,
+}
+
+impl ChannelTransport {
+    /// Creates a fabric with `participants` mailboxes (for a `k`-device
+    /// cluster pass `k + 1`; the coordinator is participant `k`).
+    pub fn hub(participants: usize) -> Self {
+        let mut txs = Vec::with_capacity(participants);
+        let mut rxs = Vec::with_capacity(participants);
+        for _ in 0..participants {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        ChannelTransport {
+            txs,
+            rxs,
+            stats: Arc::new(Mutex::new(NetStats::new())),
+        }
+    }
+
+    /// Claims participant `id`'s port. Each id can be claimed once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] for an out-of-range or
+    /// already-claimed id.
+    pub fn claim(&mut self, id: usize) -> Result<ChannelPort, HadflError> {
+        let slot = self
+            .rxs
+            .get_mut(id)
+            .ok_or_else(|| HadflError::InvalidConfig(format!("no participant {id}")))?;
+        let rx = slot.take().ok_or_else(|| {
+            HadflError::InvalidConfig(format!("participant {id} already claimed"))
+        })?;
+        Ok(ChannelPort {
+            id,
+            txs: self.txs.clone(),
+            rx,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// The fabric-wide byte ledger (all ports combined).
+    pub fn net_stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+}
+
+/// A participant's handle on a [`ChannelTransport`].
+pub struct ChannelPort {
+    id: usize,
+    txs: Vec<Sender<bytes::Bytes>>,
+    rx: Receiver<bytes::Bytes>,
+    stats: Arc<Mutex<NetStats>>,
+}
+
+impl Port for ChannelPort {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn participants(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&mut self, to: usize, msg: &Message) -> Result<(), HadflError> {
+        let tx = self
+            .txs
+            .get(to)
+            .ok_or_else(|| HadflError::InvalidConfig(format!("no participant {to}")))?;
+        let frame = msg.encode();
+        let k = self.txs.len() - 1;
+        self.stats.lock().record(
+            endpoint_of(self.id, k),
+            endpoint_of(to, k),
+            frame.len() as u64,
+        );
+        tx.send(frame)
+            .map_err(|_| HadflError::InvalidConfig(format!("participant {to} is gone")))
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, HadflError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Message::decode(&frame).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(HadflError::InvalidConfig("fabric torn down".into()))
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, HadflError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Message::decode(&frame).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(HadflError::InvalidConfig("fabric torn down".into()))
+            }
+        }
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_routes_between_ports() {
+        let mut hub = ChannelTransport::hub(3);
+        let mut a = hub.claim(0).unwrap();
+        let mut b = hub.claim(1).unwrap();
+        let mut c = hub.claim(2).unwrap();
+        a.send(1, &Message::Heartbeat { from: 0 }).unwrap();
+        a.send(2, &Message::ReportRequest { round: 3 }).unwrap();
+        b.send(2, &Message::Shutdown).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Some(Message::Heartbeat { from: 0 })
+        );
+        assert_eq!(
+            c.try_recv().unwrap(),
+            Some(Message::ReportRequest { round: 3 })
+        );
+        assert_eq!(c.try_recv().unwrap(), Some(Message::Shutdown));
+        assert_eq!(c.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn claims_are_exclusive() {
+        let mut hub = ChannelTransport::hub(2);
+        assert!(hub.claim(0).is_ok());
+        assert!(hub.claim(0).is_err());
+        assert!(hub.claim(5).is_err());
+    }
+
+    #[test]
+    fn stats_charge_encoded_frames() {
+        let mut hub = ChannelTransport::hub(3);
+        let mut dev = hub.claim(0).unwrap();
+        let mut coord = hub.claim(2).unwrap();
+        let msg = Message::VersionReport {
+            device: 0,
+            round: 1,
+            version: 4.0,
+        };
+        dev.send(2, &msg).unwrap();
+        coord.send(0, &Message::ReportRequest { round: 1 }).unwrap();
+        let stats = hub.net_stats();
+        // Participant 2 of a 2-device hub is the coordinator (server).
+        assert_eq!(
+            stats.sent_by(Endpoint::Device(DeviceId(0))),
+            msg.encoded_len() as u64
+        );
+        assert_eq!(
+            stats.server_bytes(),
+            (msg.encoded_len() + Message::ReportRequest { round: 1 }.encoded_len()) as u64
+        );
+        assert_eq!(stats.messages(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_cleanly() {
+        let mut hub = ChannelTransport::hub(2);
+        let mut a = hub.claim(0).unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+    }
+}

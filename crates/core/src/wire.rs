@@ -69,6 +69,44 @@ pub enum Message {
         /// The merged parameter vector.
         params: Vec<f32>,
     },
+    /// Coordinator → ring members: execute this round's aggregation.
+    RoundPlan {
+        /// Round the plan belongs to.
+        round: u32,
+        /// Selected devices in ring order.
+        ring: Vec<u32>,
+        /// Ring member that broadcasts the merged model to `unselected`.
+        broadcaster: u32,
+        /// Devices outside the ring that receive the broadcast.
+        unselected: Vec<u32>,
+    },
+    /// Coordinator → device: report your version for `round`.
+    ReportRequest {
+        /// Round being collected.
+        round: u32,
+    },
+    /// Coordinator → device: training is over; reply with your final
+    /// parameters ([`Message::ParamSync`]) and exit.
+    Shutdown,
+    /// Periodic transport-level liveness beacon.
+    Heartbeat {
+        /// Sending participant.
+        from: u32,
+    },
+    /// First frame on a freshly dialed connection, identifying the
+    /// dialing participant to the accepting side.
+    Hello {
+        /// Dialing participant.
+        from: u32,
+    },
+    /// A device's final parameters, uploaded to the coordinator in
+    /// response to [`Message::Shutdown`] for consensus evaluation.
+    FinalParams {
+        /// Uploading device.
+        device: u32,
+        /// The device's final parameter vector.
+        params: Vec<f32>,
+    },
 }
 
 const TAG_PARAM_SYNC: u8 = 1;
@@ -79,11 +117,24 @@ const TAG_BYPASS_WARNING: u8 = 5;
 const TAG_TRAINING_CONFIG: u8 = 6;
 const TAG_PARAM_ACCUM: u8 = 7;
 const TAG_MERGED_PARAMS: u8 = 8;
+const TAG_ROUND_PLAN: u8 = 9;
+const TAG_REPORT_REQUEST: u8 = 10;
+const TAG_SHUTDOWN: u8 = 11;
+const TAG_HEARTBEAT: u8 = 12;
+const TAG_HELLO: u8 = 13;
+const TAG_FINAL_PARAMS: u8 = 14;
 
 fn put_params(buf: &mut BytesMut, params: &[f32]) {
     buf.put_u32_le(params.len() as u32);
     for &p in params {
         buf.put_f32_le(p);
+    }
+}
+
+fn put_ids(buf: &mut BytesMut, ids: &[u32]) {
+    buf.put_u32_le(ids.len() as u32);
+    for &d in ids {
+        buf.put_u32_le(d);
     }
 }
 
@@ -113,7 +164,11 @@ impl Message {
                     buf.put_f32_le(p);
                 }
             }
-            Message::VersionReport { device, round, version } => {
+            Message::VersionReport {
+                device,
+                round,
+                version,
+            } => {
                 buf.put_u8(TAG_VERSION_REPORT);
                 buf.put_u32_le(*device);
                 buf.put_u32_le(*round);
@@ -131,7 +186,11 @@ impl Message {
                 buf.put_u8(TAG_BYPASS_WARNING);
                 buf.put_u32_le(*dead);
             }
-            Message::TrainingConfig { lr, local_steps, window_ms } => {
+            Message::TrainingConfig {
+                lr,
+                local_steps,
+                window_ms,
+            } => {
                 buf.put_u8(TAG_TRAINING_CONFIG);
                 buf.put_f32_le(*lr);
                 buf.put_u32_le(*local_steps);
@@ -147,6 +206,38 @@ impl Message {
                 buf.put_u32_le(*ttl);
                 put_params(&mut buf, params);
             }
+            Message::RoundPlan {
+                round,
+                ring,
+                broadcaster,
+                unselected,
+            } => {
+                buf.put_u8(TAG_ROUND_PLAN);
+                buf.put_u32_le(*round);
+                put_ids(&mut buf, ring);
+                buf.put_u32_le(*broadcaster);
+                put_ids(&mut buf, unselected);
+            }
+            Message::ReportRequest { round } => {
+                buf.put_u8(TAG_REPORT_REQUEST);
+                buf.put_u32_le(*round);
+            }
+            Message::Shutdown => {
+                buf.put_u8(TAG_SHUTDOWN);
+            }
+            Message::Heartbeat { from } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u32_le(*from);
+            }
+            Message::Hello { from } => {
+                buf.put_u8(TAG_HELLO);
+                buf.put_u32_le(*from);
+            }
+            Message::FinalParams { device, params } => {
+                buf.put_u8(TAG_FINAL_PARAMS);
+                buf.put_u32_le(*device);
+                put_params(&mut buf, params);
+            }
         }
         buf.freeze()
     }
@@ -157,11 +248,18 @@ impl Message {
         match self {
             Message::ParamSync { params, .. }
             | Message::ParamAccum { params, .. }
-            | Message::MergedParams { params, .. } => 1 + 4 + 4 + 4 * params.len(),
+            | Message::MergedParams { params, .. }
+            | Message::FinalParams { params, .. } => 1 + 4 + 4 + 4 * params.len(),
             Message::VersionReport { .. } => 1 + 4 + 4 + 8,
             Message::Handshake { .. } | Message::HandshakeAck { .. } => 1 + 4,
             Message::BypassWarning { .. } => 1 + 4,
             Message::TrainingConfig { .. } => 1 + 4 + 4 + 4,
+            Message::RoundPlan {
+                ring, unselected, ..
+            } => 1 + 4 + (4 + 4 * ring.len()) + 4 + (4 + 4 * unselected.len()),
+            Message::ReportRequest { .. } => 1 + 4,
+            Message::Shutdown => 1,
+            Message::Heartbeat { .. } | Message::Hello { .. } => 1 + 4,
         }
     }
 
@@ -205,15 +303,21 @@ impl Message {
             }
             TAG_HANDSHAKE => {
                 need(frame, 4)?;
-                Message::Handshake { from: frame.get_u32_le() }
+                Message::Handshake {
+                    from: frame.get_u32_le(),
+                }
             }
             TAG_HANDSHAKE_ACK => {
                 need(frame, 4)?;
-                Message::HandshakeAck { from: frame.get_u32_le() }
+                Message::HandshakeAck {
+                    from: frame.get_u32_le(),
+                }
             }
             TAG_BYPASS_WARNING => {
                 need(frame, 4)?;
-                Message::BypassWarning { dead: frame.get_u32_le() }
+                Message::BypassWarning {
+                    dead: frame.get_u32_le(),
+                }
             }
             TAG_TRAINING_CONFIG => {
                 need(frame, 12)?;
@@ -238,8 +342,60 @@ impl Message {
                     Message::MergedParams { ttl: head, params }
                 }
             }
+            TAG_ROUND_PLAN => {
+                fn get_ids(frame: &mut &[u8]) -> Result<Vec<u32>, HadflError> {
+                    need(frame, 4)?;
+                    let len = frame.get_u32_le() as usize;
+                    need(frame, 4 * len)?;
+                    Ok((0..len).map(|_| frame.get_u32_le()).collect())
+                }
+                need(frame, 4)?;
+                let round = frame.get_u32_le();
+                let ring = get_ids(&mut frame)?;
+                need(frame, 4)?;
+                let broadcaster = frame.get_u32_le();
+                let unselected = get_ids(&mut frame)?;
+                Message::RoundPlan {
+                    round,
+                    ring,
+                    broadcaster,
+                    unselected,
+                }
+            }
+            TAG_REPORT_REQUEST => {
+                need(frame, 4)?;
+                Message::ReportRequest {
+                    round: frame.get_u32_le(),
+                }
+            }
+            TAG_SHUTDOWN => Message::Shutdown,
+            TAG_HEARTBEAT => {
+                need(frame, 4)?;
+                Message::Heartbeat {
+                    from: frame.get_u32_le(),
+                }
+            }
+            TAG_HELLO => {
+                need(frame, 4)?;
+                Message::Hello {
+                    from: frame.get_u32_le(),
+                }
+            }
+            TAG_FINAL_PARAMS => {
+                need(frame, 8)?;
+                let device = frame.get_u32_le();
+                let len = frame.get_u32_le() as usize;
+                need(frame, 4 * len)?;
+                let mut params = Vec::with_capacity(len);
+                for _ in 0..len {
+                    params.push(frame.get_f32_le());
+                }
+                Message::FinalParams { device, params }
+            }
             other => {
-                return Err(HadflError::InvalidConfig(format!("unknown message tag {other}")))
+                return Err(HadflError::InvalidConfig(format!(
+                    "unknown message tag {other}"
+                )))
             }
         };
         if frame.has_remaining() {
@@ -258,27 +414,74 @@ mod tests {
 
     fn roundtrip(msg: Message) {
         let frame = msg.encode();
-        assert_eq!(frame.len(), msg.encoded_len(), "length accounting for {msg:?}");
+        assert_eq!(
+            frame.len(),
+            msg.encoded_len(),
+            "length accounting for {msg:?}"
+        );
         assert_eq!(Message::decode(&frame).unwrap(), msg);
     }
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(Message::ParamSync { round: 7, params: vec![1.5, -2.25, 0.0] });
-        roundtrip(Message::ParamSync { round: 0, params: vec![] });
-        roundtrip(Message::VersionReport { device: 3, round: 12, version: 456.75 });
+        roundtrip(Message::ParamSync {
+            round: 7,
+            params: vec![1.5, -2.25, 0.0],
+        });
+        roundtrip(Message::ParamSync {
+            round: 0,
+            params: vec![],
+        });
+        roundtrip(Message::VersionReport {
+            device: 3,
+            round: 12,
+            version: 456.75,
+        });
         roundtrip(Message::Handshake { from: 9 });
         roundtrip(Message::HandshakeAck { from: 2 });
         roundtrip(Message::BypassWarning { dead: 1 });
-        roundtrip(Message::TrainingConfig { lr: 0.01, local_steps: 18, window_ms: 450 });
-        roundtrip(Message::ParamAccum { hops: 2, params: vec![0.5, 0.25] });
-        roundtrip(Message::MergedParams { ttl: 3, params: vec![-1.0] });
+        roundtrip(Message::TrainingConfig {
+            lr: 0.01,
+            local_steps: 18,
+            window_ms: 450,
+        });
+        roundtrip(Message::ParamAccum {
+            hops: 2,
+            params: vec![0.5, 0.25],
+        });
+        roundtrip(Message::MergedParams {
+            ttl: 3,
+            params: vec![-1.0],
+        });
+        roundtrip(Message::RoundPlan {
+            round: 4,
+            ring: vec![2, 0, 3],
+            broadcaster: 0,
+            unselected: vec![1],
+        });
+        roundtrip(Message::RoundPlan {
+            round: 1,
+            ring: vec![],
+            broadcaster: 7,
+            unselected: vec![],
+        });
+        roundtrip(Message::ReportRequest { round: 9 });
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::Heartbeat { from: 4 });
+        roundtrip(Message::Hello { from: 0 });
+        roundtrip(Message::FinalParams {
+            device: 2,
+            params: vec![0.5, -0.5],
+        });
     }
 
     #[test]
     fn param_sync_preserves_float_bits() {
         let params = vec![f32::MIN_POSITIVE, -0.0, 1e30, std::f32::consts::PI];
-        let msg = Message::ParamSync { round: 1, params: params.clone() };
+        let msg = Message::ParamSync {
+            round: 1,
+            params: params.clone(),
+        };
         let Message::ParamSync { params: back, .. } = Message::decode(&msg.encode()).unwrap()
         else {
             panic!("wrong variant");
@@ -293,7 +496,7 @@ mod tests {
         assert!(Message::decode(&[]).is_err());
         assert!(Message::decode(&[99]).is_err());
         assert!(Message::decode(&[TAG_HANDSHAKE]).is_err()); // truncated
-        // trailing bytes
+                                                             // trailing bytes
         let mut frame = Message::Handshake { from: 1 }.encode().to_vec();
         frame.push(0);
         assert!(Message::decode(&frame).is_err());
@@ -301,7 +504,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncated_params() {
-        let msg = Message::ParamSync { round: 1, params: vec![1.0, 2.0] };
+        let msg = Message::ParamSync {
+            round: 1,
+            params: vec![1.0, 2.0],
+        };
         let frame = msg.encode();
         assert!(Message::decode(&frame[..frame.len() - 1]).is_err());
     }
@@ -310,7 +516,23 @@ mod tests {
     fn control_messages_are_tiny() {
         // The decentralization claim depends on control-plane traffic
         // being negligible next to a model.
-        assert!(Message::VersionReport { device: 0, round: 0, version: 0.0 }.encoded_len() <= 32);
-        assert!(Message::TrainingConfig { lr: 0.0, local_steps: 0, window_ms: 0 }.encoded_len() <= 32);
+        assert!(
+            Message::VersionReport {
+                device: 0,
+                round: 0,
+                version: 0.0
+            }
+            .encoded_len()
+                <= 32
+        );
+        assert!(
+            Message::TrainingConfig {
+                lr: 0.0,
+                local_steps: 0,
+                window_ms: 0
+            }
+            .encoded_len()
+                <= 32
+        );
     }
 }

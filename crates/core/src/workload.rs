@@ -2,7 +2,9 @@
 //! synthetic task, per-device data shards, identically initialized model
 //! replicas, and the [`DeviceRuntime`] each scheme trains through.
 
-use hadfl_nn::{models, Dataset, Loader, LrSchedule, Metrics, Model, Sgd, ShardSpec, SyntheticSpec};
+use hadfl_nn::{
+    models, Dataset, Loader, LrSchedule, Metrics, Model, Sgd, ShardSpec, SyntheticSpec,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::error::HadflError;
@@ -165,7 +167,10 @@ impl BuiltWorkload {
 
     /// Mini-batches per epoch on each device's shard.
     pub fn batches_per_epoch(&self) -> Vec<usize> {
-        self.runtimes.iter().map(DeviceRuntime::batches_per_epoch).collect()
+        self.runtimes
+            .iter()
+            .map(DeviceRuntime::batches_per_epoch)
+            .collect()
     }
 
     /// Evaluates a parameter vector on the test set using device 0's

@@ -4,9 +4,12 @@ use std::collections::BTreeMap;
 
 use hadfl::aggregate::{average_params, blend_params, ring_allreduce_cost};
 use hadfl::predict::VersionPredictor;
-use hadfl::select::{select_devices, selection_weights, third_quartile, SelectionPolicy, VersionScale};
+use hadfl::select::{
+    select_devices, selection_weights, third_quartile, SelectionPolicy, VersionScale,
+};
 use hadfl::strategy::hyperperiod;
 use hadfl::topology::Ring;
+use hadfl::wire::Message;
 use hadfl_simnet::{DeviceId, FaultPlan, LinkModel, NetStats, VirtualTime};
 use hadfl_tensor::SeedStream;
 use proptest::prelude::*;
@@ -175,6 +178,7 @@ proptest! {
             &LinkModel::default(),
             0.05,
             100,
+            100,
             &mut stats,
         )
         .unwrap();
@@ -182,5 +186,100 @@ proptest! {
         prop_assert!(out.merged.iter().all(|&v| (v - expected).abs() < 1e-5));
         prop_assert_eq!(out.participants.len(), n);
         prop_assert!(!out.dissolved);
+    }
+}
+
+/// Builds one of the fourteen wire variants from a drawn value pool, so
+/// the round-trip properties below cover the whole protocol surface.
+fn arb_message(variant: usize, a: u32, b: u32, v: f64, params: Vec<f32>, ids: Vec<u32>) -> Message {
+    match variant % 14 {
+        0 => Message::ParamSync { round: a, params },
+        1 => Message::VersionReport {
+            device: a,
+            round: b,
+            version: v,
+        },
+        2 => Message::Handshake { from: a },
+        3 => Message::HandshakeAck { from: a },
+        4 => Message::BypassWarning { dead: a },
+        5 => Message::TrainingConfig {
+            lr: v as f32,
+            local_steps: a,
+            window_ms: b,
+        },
+        6 => Message::ParamAccum { hops: a, params },
+        7 => Message::MergedParams { ttl: a, params },
+        8 => Message::RoundPlan {
+            round: a,
+            ring: ids.clone(),
+            broadcaster: b,
+            unselected: ids,
+        },
+        9 => Message::ReportRequest { round: a },
+        10 => Message::Shutdown,
+        11 => Message::Heartbeat { from: a },
+        12 => Message::Hello { from: a },
+        _ => Message::FinalParams { device: a, params },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrip_is_lossless(
+        variant in 0usize..14,
+        a in 0u32..100_000,
+        b in 0u32..100_000,
+        v in -1.0e6f64..1.0e6,
+        params in proptest::collection::vec(-100.0f32..100.0, 0..48),
+        ids in proptest::collection::vec(0u32..64, 0..12),
+    ) {
+        let msg = arb_message(variant, a, b, v, params, ids);
+        let frame = msg.encode();
+        prop_assert_eq!(frame.len(), msg.encoded_len());
+        prop_assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_rejects_every_truncation(
+        variant in 0usize..14,
+        a in 0u32..100_000,
+        b in 0u32..100_000,
+        v in -1.0e6f64..1.0e6,
+        params in proptest::collection::vec(-100.0f32..100.0, 0..16),
+        ids in proptest::collection::vec(0u32..64, 0..6),
+        cut in 0usize..4096,
+    ) {
+        let frame = arb_message(variant, a, b, v, params, ids).encode();
+        let cut = cut % frame.len(); // strict prefix, possibly empty
+        prop_assert!(Message::decode(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_trailing_garbage(
+        variant in 0usize..14,
+        a in 0u32..100_000,
+        b in 0u32..100_000,
+        v in -1.0e6f64..1.0e6,
+        params in proptest::collection::vec(-100.0f32..100.0, 0..16),
+        ids in proptest::collection::vec(0u32..64, 0..6),
+        extra in proptest::collection::vec(0u8..=255, 1..16),
+    ) {
+        let mut frame = arb_message(variant, a, b, v, params, ids).encode().to_vec();
+        frame.extend_from_slice(&extra);
+        prop_assert!(Message::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_unknown_tags(
+        tag in 15u8..=255,
+        body in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&body);
+        prop_assert!(Message::decode(&frame).is_err());
+        prop_assert!(Message::decode(&[0u8]).is_err(), "tag zero is reserved");
+        prop_assert!(Message::decode(&[]).is_err(), "the empty frame has no tag");
     }
 }

@@ -1,0 +1,187 @@
+//! One HADFL participant as an OS process.
+//!
+//! Start every node in the cluster file with the same flags except
+//! `--id`; any start order works, the transport redials with backoff:
+//!
+//! ```text
+//! hadfl-node --cluster cluster.toml --id 0 &
+//! hadfl-node --cluster cluster.toml --id 1 &
+//! hadfl-node --cluster cluster.toml --id 2   # coordinator (highest id)
+//! ```
+//!
+//! Every node deterministically derives the same synthetic workload
+//! from `--model`/`--seed`, so a device only needs its own shard index.
+//! The coordinator prints per-round selections and, at the end, the
+//! consensus accuracy and byte ledger.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hadfl::exec::{run_coordinator, run_device, ProtocolTiming};
+use hadfl::trace::CommSummary;
+use hadfl::{HadflConfig, HadflError, Workload};
+use hadfl_net::cluster::{ClusterConfig, Role};
+use hadfl_net::tcp::{TcpOptions, TcpPort};
+
+const USAGE: &str = "usage: hadfl-node --cluster <file.toml|file.json> --id <n> \
+[--model mlp] [--seed 0] [--rounds 3] [--window-ms 1000] [--step-sleep-ms 4] \
+[--num-selected 2]";
+
+struct Args {
+    cluster: String,
+    id: usize,
+    model: String,
+    seed: u64,
+    rounds: usize,
+    window: Duration,
+    step_sleep: Duration,
+    num_selected: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cluster = None;
+    let mut id = None;
+    let mut model = "mlp".to_string();
+    let mut seed = 0u64;
+    let mut rounds = 3usize;
+    let mut window_ms = 1000u64;
+    let mut step_sleep_ms = 4u64;
+    let mut num_selected = 2usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cluster" => cluster = Some(value("--cluster")?),
+            "--id" => id = Some(value("--id")?.parse().map_err(|e| format!("--id: {e}"))?),
+            "--model" => model = value("--model")?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--rounds" => {
+                rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--window-ms" => {
+                window_ms = value("--window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--window-ms: {e}"))?;
+            }
+            "--step-sleep-ms" => {
+                step_sleep_ms = value("--step-sleep-ms")?
+                    .parse()
+                    .map_err(|e| format!("--step-sleep-ms: {e}"))?;
+            }
+            "--num-selected" => {
+                num_selected = value("--num-selected")?
+                    .parse()
+                    .map_err(|e| format!("--num-selected: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        cluster: cluster.ok_or_else(|| format!("--cluster is required\n{USAGE}"))?,
+        id: id.ok_or_else(|| format!("--id is required\n{USAGE}"))?,
+        model,
+        seed,
+        rounds,
+        window: Duration::from_millis(window_ms),
+        step_sleep: Duration::from_millis(step_sleep_ms),
+        num_selected,
+    })
+}
+
+fn run(args: &Args) -> Result<(), HadflError> {
+    let contents = std::fs::read_to_string(&args.cluster)
+        .map_err(|e| HadflError::InvalidConfig(format!("read {}: {e}", args.cluster)))?;
+    let cluster = ClusterConfig::parse(std::path::Path::new(&args.cluster), &contents)?;
+    let spec = cluster.node(args.id)?.clone();
+    let k = cluster.devices();
+
+    let config = HadflConfig::builder()
+        .num_selected(args.num_selected.min(k))
+        .seed(args.seed)
+        .build()?;
+    let workload = Workload::quick(&args.model, args.seed);
+    let timing = ProtocolTiming::default();
+    let port = TcpPort::connect(&cluster, args.id, TcpOptions::default())?;
+
+    match spec.role {
+        Role::Device => {
+            eprintln!(
+                "hadfl-node: device {} on {} (power {}), waiting for the coordinator",
+                args.id, spec.addr, spec.power
+            );
+            let built = workload.build(k)?;
+            let rt = built
+                .runtimes
+                .into_iter()
+                .nth(args.id)
+                .ok_or_else(|| HadflError::InvalidConfig("device id out of range".into()))?;
+            let sleep = Duration::from_secs_f64(args.step_sleep.as_secs_f64() / spec.power);
+            run_device(port, rt, &config, sleep, &timing)?;
+            eprintln!("hadfl-node: device {} done", args.id);
+        }
+        Role::Coordinator => {
+            eprintln!(
+                "hadfl-node: coordinating {k} devices for {} rounds of {:?}",
+                args.rounds, args.window
+            );
+            let stats = port.stats_handle();
+            let run = run_coordinator(port, &config, args.window, args.rounds, &timing)?;
+            for round in &run.rounds {
+                println!(
+                    "round {}: versions {:?} selected {:?}",
+                    round.round, round.versions, round.selected
+                );
+            }
+            for &(device, round) in &run.dropped {
+                println!("dropped device {device} in round {round}");
+            }
+            if run.final_models.is_empty() {
+                return Err(HadflError::InvalidConfig(
+                    "no device uploaded final parameters".into(),
+                ));
+            }
+            let refs: Vec<&[f32]> = run.final_models.values().map(Vec::as_slice).collect();
+            let consensus = hadfl::aggregate::average_params(&refs)?;
+            let mut built = workload.build(k)?;
+            let metrics = built.evaluate_params(&consensus)?;
+            println!(
+                "consensus accuracy {:.4} (loss {:.4})",
+                metrics.accuracy, metrics.loss
+            );
+            let comm = CommSummary::from_stats(&stats.stats(), k);
+            println!(
+                "coordinator traffic: {} payload bytes over {} messages ({} raw wire bytes)",
+                comm.total_bytes,
+                comm.messages,
+                stats.raw_bytes()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hadfl-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! TCP implementation of [`hadfl::transport::Port`].
+//!
+//! Frames are the untouched [`Message`] wire encoding behind a 4-byte
+//! little-endian length prefix. Each pair of participants uses one
+//! lazily-dialed connection per direction: the sender dials on first
+//! send (with bounded exponential backoff, so nodes can start in any
+//! order), identifies itself with [`Message::Hello`], and keeps the
+//! socket for the rest of the run. The accepting side spawns one reader
+//! per inbound connection.
+//!
+//! Liveness is tracked two ways: a heartbeat ticker stamps every open
+//! outbound connection at a configurable interval, and every inbound
+//! frame refreshes the sender's `last_seen` entry. The protocol's
+//! §III-D handshake remains the authority on death — the transport's
+//! [`TcpPort::is_live`] view only feeds it earlier suspicion (and the
+//! node binary's status output).
+//!
+//! Byte accounting matches [`hadfl::transport::ChannelTransport`]:
+//! [`Port::stats`] charges exactly the encoded payload of protocol
+//! messages, while [`TcpPort::raw_bytes`] additionally counts length
+//! prefixes, hellos, and heartbeats — the transport's own overhead.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use hadfl::transport::{endpoint_of, Port};
+use hadfl::wire::Message;
+use hadfl::HadflError;
+use hadfl_simnet::NetStats;
+use parking_lot::Mutex;
+
+use crate::cluster::ClusterConfig;
+
+/// Socket-level knobs of a [`TcpPort`].
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Per-attempt dial timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout; also the granularity at which reader
+    /// threads notice shutdown.
+    pub read_timeout: Duration,
+    /// Dial attempts per send before the peer is declared unreachable.
+    pub max_dial_attempts: u32,
+    /// First reconnect backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Heartbeat period over idle outbound connections; `None` disables
+    /// the ticker.
+    pub heartbeat_interval: Option<Duration>,
+    /// Frames longer than this are rejected before allocation — a
+    /// corrupt or hostile length prefix must not OOM the node.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(100),
+            max_dial_attempts: 6,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            heartbeat_interval: Some(Duration::from_millis(500)),
+            max_frame_bytes: 256 << 20,
+        }
+    }
+}
+
+/// State shared between the port and its reader/heartbeat threads.
+struct Shared {
+    me: usize,
+    devices: usize,
+    inbound_tx: Sender<Message>,
+    stats: Mutex<NetStats>,
+    raw_bytes: AtomicU64,
+    last_seen: Mutex<HashMap<usize, Instant>>,
+    shutdown: AtomicBool,
+    opts: TcpOptions,
+}
+
+impl Shared {
+    fn note_seen(&self, peer: usize) {
+        self.last_seen.lock().insert(peer, Instant::now());
+    }
+}
+
+/// A participant's listener, bound ahead of port construction.
+///
+/// Binding and port construction are split so a test harness can bind
+/// every node on port 0, read back the kernel-assigned addresses, and
+/// only then write the cluster config the ports are built from.
+pub struct BoundNode {
+    id: usize,
+    listener: TcpListener,
+}
+
+impl BoundNode {
+    /// Binds participant `id`'s listener on `addr` (use port 0 to let
+    /// the kernel choose).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when the bind fails.
+    pub fn bind(id: usize, addr: &str) -> Result<Self, HadflError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| HadflError::InvalidConfig(format!("node {id}: bind {addr}: {e}")))?;
+        Ok(BoundNode { id, listener })
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when the socket is gone.
+    pub fn local_addr(&self) -> Result<SocketAddr, HadflError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| HadflError::InvalidConfig(format!("local_addr: {e}")))
+    }
+
+    /// Turns the bound listener into a live [`TcpPort`] for `cluster`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when the cluster does not
+    /// validate or the listener cannot be configured.
+    pub fn into_port(
+        self,
+        cluster: &ClusterConfig,
+        opts: TcpOptions,
+    ) -> Result<TcpPort, HadflError> {
+        cluster.validate()?;
+        cluster.node(self.id)?;
+        let (inbound_tx, inbound_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            me: self.id,
+            devices: cluster.devices(),
+            inbound_tx,
+            stats: Mutex::new(NetStats::new()),
+            raw_bytes: AtomicU64::new(0),
+            last_seen: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            opts: opts.clone(),
+        });
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| HadflError::InvalidConfig(format!("listener nonblocking: {e}")))?;
+        let accept_shared = Arc::clone(&shared);
+        let listener = self.listener;
+        thread::spawn(move || accept_loop(listener, accept_shared));
+        let conns = Arc::new(Mutex::new(HashMap::new()));
+        if let Some(interval) = opts.heartbeat_interval {
+            let hb_shared = Arc::clone(&shared);
+            let hb_conns = Arc::clone(&conns);
+            thread::spawn(move || heartbeat_loop(hb_shared, hb_conns, interval));
+        }
+        Ok(TcpPort {
+            cluster: cluster.clone(),
+            shared,
+            conns,
+            inbound_rx,
+        })
+    }
+}
+
+/// TCP-backed [`Port`]; see the module docs.
+pub struct TcpPort {
+    cluster: ClusterConfig,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    inbound_rx: Receiver<Message>,
+}
+
+impl TcpPort {
+    /// Binds participant `id`'s configured address and builds its port
+    /// in one step (the deployment path; tests use [`BoundNode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when the cluster does not
+    /// validate or the bind fails.
+    pub fn connect(
+        cluster: &ClusterConfig,
+        id: usize,
+        opts: TcpOptions,
+    ) -> Result<Self, HadflError> {
+        cluster.validate()?;
+        BoundNode::bind(id, &cluster.node(id)?.addr)?.into_port(cluster, opts)
+    }
+
+    /// Whether `peer` produced any traffic (frames or heartbeats)
+    /// within `horizon`. `false` also for peers never heard from.
+    pub fn is_live(&self, peer: usize, horizon: Duration) -> bool {
+        self.shared
+            .last_seen
+            .lock()
+            .get(&peer)
+            .is_some_and(|seen| seen.elapsed() <= horizon)
+    }
+
+    /// Every byte this port put on or took off the wire, including
+    /// length prefixes, hellos, and heartbeats — the gap to
+    /// [`Port::stats`] is the transport's own overhead.
+    pub fn raw_bytes(&self) -> u64 {
+        self.shared.raw_bytes.load(Ordering::Relaxed)
+    }
+
+    /// A handle onto this port's counters that stays readable after the
+    /// port itself is moved into a protocol loop.
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle(Arc::clone(&self.shared))
+    }
+
+    fn dial(&self, to: usize) -> Result<TcpStream, HadflError> {
+        let addr_str = &self.cluster.node(to)?.addr;
+        let opts = &self.shared.opts;
+        let mut backoff = opts.backoff_base;
+        let mut last_err = String::new();
+        for attempt in 0..opts.max_dial_attempts {
+            if attempt > 0 {
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(opts.backoff_cap);
+            }
+            let addrs: Vec<SocketAddr> = match addr_str.to_socket_addrs() {
+                Ok(addrs) => addrs.collect(),
+                Err(e) => {
+                    last_err = format!("resolve {addr_str}: {e}");
+                    continue;
+                }
+            };
+            let Some(addr) = addrs.first() else {
+                last_err = format!("resolve {addr_str}: no addresses");
+                continue;
+            };
+            match TcpStream::connect_timeout(addr, opts.connect_timeout) {
+                Ok(mut stream) => {
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| HadflError::InvalidConfig(format!("nodelay: {e}")))?;
+                    let hello = Message::Hello {
+                        from: self.shared.me as u32,
+                    }
+                    .encode();
+                    if let Err(e) = write_frame(&mut stream, &hello) {
+                        last_err = format!("hello to {to}: {e}");
+                        continue;
+                    }
+                    self.shared
+                        .raw_bytes
+                        .fetch_add(4 + hello.len() as u64, Ordering::Relaxed);
+                    return Ok(stream);
+                }
+                Err(e) => last_err = format!("dial {addr}: {e}"),
+            }
+        }
+        Err(HadflError::InvalidConfig(format!(
+            "peer {to} unreachable after {} attempts: {last_err}",
+            opts.max_dial_attempts
+        )))
+    }
+}
+
+/// Read-only view of a [`TcpPort`]'s counters; see
+/// [`TcpPort::stats_handle`].
+pub struct StatsHandle(Arc<Shared>);
+
+impl StatsHandle {
+    /// Snapshot of the protocol-payload ledger (same accounting as
+    /// [`Port::stats`]).
+    pub fn stats(&self) -> NetStats {
+        self.0.stats.lock().clone()
+    }
+
+    /// Raw wire bytes including framing, hellos, and heartbeats.
+    pub fn raw_bytes(&self) -> u64 {
+        self.0.raw_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Port for TcpPort {
+    fn id(&self) -> usize {
+        self.shared.me
+    }
+
+    fn participants(&self) -> usize {
+        self.cluster.participants()
+    }
+
+    fn send(&mut self, to: usize, msg: &Message) -> Result<(), HadflError> {
+        let frame = msg.encode();
+        // One reconnect round: a cached connection may have died since
+        // the last send; re-dial (with its own backoff budget) once.
+        for fresh in [false, true] {
+            let mut conns = self.conns.lock();
+            if fresh {
+                conns.remove(&to);
+            }
+            let stream = match conns.entry(to) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let stream = self.dial(to)?;
+                    v.insert(stream)
+                }
+            };
+            match write_frame(stream, &frame) {
+                Ok(()) => {
+                    self.shared
+                        .raw_bytes
+                        .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+                    self.shared.stats.lock().record(
+                        endpoint_of(self.shared.me, self.shared.devices),
+                        endpoint_of(to, self.shared.devices),
+                        frame.len() as u64,
+                    );
+                    return Ok(());
+                }
+                Err(e) if !fresh => {
+                    let _ = e; // stale socket: drop it and re-dial
+                }
+                Err(e) => {
+                    conns.remove(&to);
+                    return Err(HadflError::InvalidConfig(format!("send to {to}: {e}")));
+                }
+            }
+        }
+        unreachable!("second pass either returns Ok or Err");
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, HadflError> {
+        match self.inbound_rx.try_recv() {
+            Ok(msg) => Ok(Some(msg)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(HadflError::InvalidConfig("transport torn down".into()))
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, HadflError> {
+        match self.inbound_rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(HadflError::InvalidConfig("transport torn down".into()))
+            }
+        }
+    }
+
+    fn stats(&self) -> NetStats {
+        self.shared.stats.lock().clone()
+    }
+}
+
+impl Drop for TcpPort {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+    stream.write_all(frame)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let reader_shared = Arc::clone(&shared);
+                thread::spawn(move || reader_loop(stream, reader_shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+    // The connection is anonymous until its Hello arrives.
+    let mut from: Option<usize> = None;
+    // A frame mid-read when the timeout fires must resume, not restart:
+    // buffer the partial read.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut want: Option<usize> = None;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Phase 1: length prefix.
+        if want.is_none() {
+            let mut len_buf = [0u8; 4];
+            if pending.len() < 4 {
+                let mut byte = [0u8; 1];
+                match stream.read(&mut byte) {
+                    Ok(0) => return,
+                    Ok(1) => {
+                        pending.push(byte[0]);
+                        continue;
+                    }
+                    Ok(_) => unreachable!("one-byte buffer"),
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return,
+                }
+            }
+            len_buf.copy_from_slice(&pending[..4]);
+            pending.clear();
+            let len = u32::from_le_bytes(len_buf);
+            if len > shared.opts.max_frame_bytes {
+                return; // corrupt or hostile peer: drop the connection
+            }
+            want = Some(len as usize);
+        }
+        // Phase 2: frame body.
+        let need = want.expect("phase 1 ran");
+        while pending.len() < need {
+            let mut chunk = vec![0u8; (need - pending.len()).min(64 << 10)];
+            match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+        let frame = std::mem::take(&mut pending);
+        want = None;
+        shared
+            .raw_bytes
+            .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+        let msg = match Message::decode(&frame) {
+            Ok(msg) => msg,
+            Err(_) => return, // undecodable peer: drop the connection
+        };
+        match msg {
+            Message::Hello { from: peer } => {
+                from = Some(peer as usize);
+                shared.note_seen(peer as usize);
+            }
+            Message::Heartbeat { from: peer } => {
+                shared.note_seen(peer as usize);
+            }
+            other => {
+                let Some(peer) = from else {
+                    return; // protocol violation: frames before Hello
+                };
+                shared.note_seen(peer);
+                shared.stats.lock().record(
+                    endpoint_of(peer, shared.devices),
+                    endpoint_of(shared.me, shared.devices),
+                    frame.len() as u64,
+                );
+                if shared.inbound_tx.send(other).is_err() {
+                    return; // port dropped
+                }
+            }
+        }
+    }
+}
+
+fn heartbeat_loop(
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    interval: Duration,
+) {
+    let beat = Message::Heartbeat {
+        from: shared.me as u32,
+    }
+    .encode();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(interval);
+        let mut conns = conns.lock();
+        let mut dead = Vec::new();
+        for (&peer, stream) in conns.iter_mut() {
+            match write_frame(stream, &beat) {
+                Ok(()) => {
+                    shared
+                        .raw_bytes
+                        .fetch_add(4 + beat.len() as u64, Ordering::Relaxed);
+                }
+                Err(_) => dead.push(peer),
+            }
+        }
+        for peer in dead {
+            conns.remove(&peer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> TcpOptions {
+        TcpOptions {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(25),
+            max_dial_attempts: 8,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            heartbeat_interval: Some(Duration::from_millis(50)),
+            max_frame_bytes: 1 << 20,
+        }
+    }
+
+    /// Binds `n` loopback listeners on port 0 and describes them as a
+    /// cluster (last id coordinates).
+    fn loopback_cluster(n: usize) -> (ClusterConfig, Vec<BoundNode>) {
+        let nodes: Vec<BoundNode> = (0..n)
+            .map(|id| BoundNode::bind(id, "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<String> = nodes
+            .iter()
+            .map(|b| b.local_addr().unwrap().to_string())
+            .collect();
+        (ClusterConfig::from_addrs(&addrs).unwrap(), nodes)
+    }
+
+    #[test]
+    fn frames_cross_the_wire() {
+        let (cluster, mut nodes) = loopback_cluster(3);
+        let coordinator = nodes.pop().unwrap();
+        let b = nodes.pop().unwrap();
+        let a = nodes.pop().unwrap();
+        let mut a = a.into_port(&cluster, quick_opts()).unwrap();
+        let mut b = b.into_port(&cluster, quick_opts()).unwrap();
+        let mut c = coordinator.into_port(&cluster, quick_opts()).unwrap();
+
+        let msg = Message::ParamSync {
+            round: 3,
+            params: vec![1.0, -2.5, 0.25],
+        };
+        a.send(1, &msg).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(msg.clone())
+        );
+        b.send(
+            2,
+            &Message::VersionReport {
+                device: 1,
+                round: 3,
+                version: 7.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(Message::VersionReport {
+                device: 1,
+                round: 3,
+                version: 7.0
+            })
+        );
+        // Payload ledger matches the channel fabric's accounting.
+        assert_eq!(
+            a.stats()
+                .sent_by(hadfl_simnet::Endpoint::Device(hadfl_simnet::DeviceId(0))),
+            msg.encoded_len() as u64
+        );
+        assert_eq!(
+            b.stats()
+                .received_by(hadfl_simnet::Endpoint::Device(hadfl_simnet::DeviceId(1))),
+            msg.encoded_len() as u64
+        );
+        // The raw wire counts prefixes and the Hello on top.
+        assert!(a.raw_bytes() > msg.encoded_len() as u64);
+    }
+
+    #[test]
+    fn dial_retries_until_listener_appears() {
+        // Reserve an address, drop the listener, and only rebind it
+        // after the sender has started dialing: the bounded backoff
+        // must carry the send through the gap.
+        let (cluster, mut nodes) = loopback_cluster(3);
+        let coordinator = nodes.pop().unwrap();
+        let late = nodes.pop().unwrap();
+        let late_id = 1;
+        let late_addr = cluster.node(late_id).unwrap().addr.clone();
+        drop(late);
+        let sender = nodes.pop().unwrap();
+        let mut sender = sender.into_port(&cluster, quick_opts()).unwrap();
+        let cluster2 = cluster.clone();
+        let rebinder = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(60));
+            let node = BoundNode::bind(late_id, &late_addr).unwrap();
+            let mut port = node.into_port(&cluster2, quick_opts()).unwrap();
+            port.recv_timeout(Duration::from_secs(5)).unwrap()
+        });
+        sender
+            .send(late_id, &Message::Handshake { from: 0 })
+            .unwrap();
+        assert_eq!(
+            rebinder.join().unwrap(),
+            Some(Message::Handshake { from: 0 })
+        );
+        drop(coordinator);
+    }
+
+    #[test]
+    fn unreachable_peer_errors_after_bounded_attempts() {
+        let (cluster, mut nodes) = loopback_cluster(3);
+        let dead = nodes.remove(1);
+        drop(dead); // nobody listens on node 1's address
+        let mut opts = quick_opts();
+        opts.max_dial_attempts = 2;
+        opts.backoff_base = Duration::from_millis(5);
+        let mut sender = nodes.remove(0).into_port(&cluster, opts).unwrap();
+        let started = Instant::now();
+        assert!(sender.send(1, &Message::Handshake { from: 0 }).is_err());
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn heartbeats_feed_liveness() {
+        let (cluster, mut nodes) = loopback_cluster(3);
+        let coordinator = nodes.pop().unwrap();
+        let b = nodes.pop().unwrap();
+        let mut a = nodes
+            .pop()
+            .unwrap()
+            .into_port(&cluster, quick_opts())
+            .unwrap();
+        let b = b.into_port(&cluster, quick_opts()).unwrap();
+        assert!(!b.is_live(0, Duration::from_secs(60)), "no traffic yet");
+        // A dials b once; a's heartbeat ticker then keeps the
+        // connection warm and b's last_seen fresh.
+        a.send(1, &Message::Handshake { from: 0 }).unwrap();
+        thread::sleep(Duration::from_millis(200));
+        assert!(b.is_live(0, Duration::from_millis(150)));
+        drop(a);
+        thread::sleep(Duration::from_millis(300));
+        assert!(
+            !b.is_live(0, Duration::from_millis(150)),
+            "silence after drop"
+        );
+        drop(coordinator);
+    }
+}

@@ -1,0 +1,437 @@
+//! Loopback-TCP integration tests: the threaded executor's protocol
+//! loops running over real sockets.
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Duration;
+
+use hadfl::exec::{run_coordinator, run_device, run_threaded, ProtocolTiming, ThreadedOptions};
+use hadfl::transport::{coordinator_id, ChannelTransport, Port};
+use hadfl::wire::Message;
+use hadfl::{HadflConfig, HadflError, Workload};
+use hadfl_net::cluster::ClusterConfig;
+use hadfl_net::tcp::{BoundNode, TcpOptions, TcpPort};
+use hadfl_simnet::{DeviceId, Endpoint, NetStats};
+
+fn tcp_opts() -> TcpOptions {
+    TcpOptions {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(25),
+        max_dial_attempts: 5,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(100),
+        heartbeat_interval: Some(Duration::from_millis(100)),
+        max_frame_bytes: 8 << 20,
+    }
+}
+
+/// Binds `n` loopback listeners on kernel-chosen ports and describes
+/// them as a cluster (highest id coordinates).
+fn bind_cluster(n: usize) -> (ClusterConfig, Vec<BoundNode>) {
+    let nodes: Vec<BoundNode> = (0..n)
+        .map(|id| BoundNode::bind(id, "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<String> = nodes
+        .iter()
+        .map(|b| b.local_addr().unwrap().to_string())
+        .collect();
+    (ClusterConfig::from_addrs(&addrs).unwrap(), nodes)
+}
+
+/// Consensus accuracy of the final models a coordinator collected.
+fn consensus_accuracy(
+    workload: &Workload,
+    k: usize,
+    final_models: &BTreeMap<usize, Vec<f32>>,
+) -> f32 {
+    let refs: Vec<&[f32]> = final_models.values().map(Vec::as_slice).collect();
+    let consensus = hadfl::aggregate::average_params(&refs).unwrap();
+    let mut built = workload.build(k).unwrap();
+    built.evaluate_params(&consensus).unwrap().accuracy
+}
+
+/// Acceptance path: 4 devices + coordinator over loopback TCP complete
+/// every configured round and land within noise of the in-process
+/// threaded executor on the same seed.
+#[test]
+fn tcp_cluster_converges_like_threaded_executor() {
+    let workload = Workload::quick("mlp", 91);
+    let config = HadflConfig::builder()
+        .num_selected(2)
+        .seed(91)
+        .build()
+        .unwrap();
+    let powers = [4.0, 2.0, 1.0, 1.0];
+    let opts = ThreadedOptions::quick(&powers);
+
+    let baseline = run_threaded(&workload, &config, &opts).unwrap();
+
+    let k = powers.len();
+    let (cluster, nodes) = bind_cluster(k + 1);
+    let built = workload.build(k).unwrap();
+    let mut nodes = nodes.into_iter();
+    let mut device_ports: Vec<TcpPort> = Vec::with_capacity(k);
+    for _ in 0..k {
+        device_ports.push(
+            nodes
+                .next()
+                .unwrap()
+                .into_port(&cluster, tcp_opts())
+                .unwrap(),
+        );
+    }
+    let coordinator_port = nodes
+        .next()
+        .unwrap()
+        .into_port(&cluster, tcp_opts())
+        .unwrap();
+    assert_eq!(coordinator_port.id(), coordinator_id(k));
+
+    let run = thread::scope(|scope| {
+        for (i, (port, rt)) in device_ports.drain(..).zip(built.runtimes).enumerate() {
+            let sleep = Duration::from_secs_f64(opts.step_sleep.as_secs_f64() / powers[i]);
+            let config = &config;
+            let timing = opts.timing.clone();
+            scope.spawn(move || run_device(port, rt, config, sleep, &timing).unwrap());
+        }
+        run_coordinator(
+            coordinator_port,
+            &config,
+            opts.window,
+            opts.rounds,
+            &opts.timing,
+        )
+        .unwrap()
+    });
+
+    assert_eq!(run.rounds.len(), opts.rounds);
+    assert!(
+        run.dropped.is_empty(),
+        "no deaths injected: {:?}",
+        run.dropped
+    );
+    assert_eq!(
+        run.final_models.len(),
+        k,
+        "all devices must upload final parameters"
+    );
+    let tcp_accuracy = consensus_accuracy(&workload, k, &run.final_models);
+    assert!(
+        tcp_accuracy > 0.25,
+        "TCP consensus should beat the 10-class chance floor, got {tcp_accuracy}"
+    );
+    assert!(
+        (tcp_accuracy - baseline.final_accuracy).abs() < 0.25,
+        "TCP ({tcp_accuracy}) should land within noise of threaded ({})",
+        baseline.final_accuracy
+    );
+}
+
+/// §III-D over real sockets: a device that goes silent mid-run is
+/// probed, bypassed by its ring, and dropped by the coordinator; the
+/// remaining devices finish every round.
+#[test]
+fn tcp_cluster_survives_peer_death() {
+    let k = 4;
+    let zombie_id = 2usize;
+    let workload = Workload::quick("mlp", 92);
+    // Everyone is selected each round, so the zombie sits in the ring.
+    let config = HadflConfig::builder()
+        .num_selected(k)
+        .seed(92)
+        .build()
+        .unwrap();
+    let timing = ProtocolTiming::quick();
+    let step_sleep = Duration::from_millis(4);
+
+    let (cluster, nodes) = bind_cluster(k + 1);
+    let built = workload.build(k).unwrap();
+    let mut ports: Vec<Option<TcpPort>> = nodes
+        .into_iter()
+        .map(|node| Some(node.into_port(&cluster, tcp_opts()).unwrap()))
+        .collect();
+    let coordinator_port = ports[k].take().unwrap();
+
+    let run = thread::scope(|scope| {
+        for (i, rt) in built.runtimes.into_iter().enumerate() {
+            let port = ports[i].take().unwrap();
+            let config = &config;
+            let timing = timing.clone();
+            if i == zombie_id {
+                // The zombie answers the first report request, then
+                // vanishes: its port drops, its listener closes, and
+                // every later frame to it is met with silence.
+                scope.spawn(move || {
+                    let mut port = port;
+                    loop {
+                        match port.recv_timeout(Duration::from_secs(20)).unwrap() {
+                            Some(Message::ReportRequest { round }) => {
+                                port.send(
+                                    coordinator_id(k),
+                                    &Message::VersionReport {
+                                        device: zombie_id as u32,
+                                        round,
+                                        version: 1.0,
+                                    },
+                                )
+                                .unwrap();
+                                return;
+                            }
+                            Some(_) => {}
+                            None => panic!("zombie never saw a report request"),
+                        }
+                    }
+                });
+            } else {
+                scope.spawn(move || run_device(port, rt, config, step_sleep, &timing).unwrap());
+            }
+        }
+        run_coordinator(
+            coordinator_port,
+            &config,
+            Duration::from_millis(60),
+            2,
+            &timing,
+        )
+        .unwrap()
+    });
+
+    assert_eq!(run.rounds.len(), 2, "the cluster must finish both rounds");
+    assert!(
+        run.dropped.iter().any(|&(d, _)| d == zombie_id),
+        "the silent device must be dropped: {:?}",
+        run.dropped
+    );
+    assert!(!run.final_models.contains_key(&zombie_id));
+    assert!(
+        run.final_models.len() >= 2,
+        "survivors must upload: {:?}",
+        run.final_models.keys()
+    );
+    let accuracy = consensus_accuracy(&workload, k, &run.final_models);
+    assert!(accuracy.is_finite());
+}
+
+/// Satellite 6: for one scripted exchange, every TCP port's payload
+/// ledger matches the channel fabric's — same per-endpoint bytes, same
+/// message counts, transport chatter excluded.
+#[test]
+fn tcp_ledger_matches_channel_fabric() {
+    let k = 2;
+    let script: [(usize, usize, Message); 4] = [
+        (
+            0,
+            1,
+            Message::ParamSync {
+                round: 1,
+                params: vec![0.5; 33],
+            },
+        ),
+        (
+            1,
+            coordinator_id(k),
+            Message::VersionReport {
+                device: 1,
+                round: 1,
+                version: 9.0,
+            },
+        ),
+        (
+            coordinator_id(k),
+            0,
+            Message::RoundPlan {
+                round: 2,
+                ring: vec![0, 1],
+                broadcaster: 1,
+                unselected: vec![],
+            },
+        ),
+        (
+            1,
+            0,
+            Message::ParamAccum {
+                hops: 1,
+                params: vec![1.0; 33],
+            },
+        ),
+    ];
+
+    // Channel fabric: one hub ledger covers the whole exchange.
+    let mut hub = ChannelTransport::hub(k + 1);
+    let mut channel_ports: Vec<_> = (0..=k).map(|id| hub.claim(id).unwrap()).collect();
+    for (from, to, msg) in &script {
+        channel_ports[*from].send(*to, msg).unwrap();
+    }
+    for port in &mut channel_ports {
+        while port.try_recv().unwrap().is_some() {}
+    }
+    let hub_stats = hub.net_stats();
+
+    // TCP: each port keeps its own ledger of the flows it took part in.
+    let (cluster, nodes) = bind_cluster(k + 1);
+    let mut opts = tcp_opts();
+    opts.heartbeat_interval = None; // chatter-free, deterministic counts
+    let mut tcp_ports: Vec<TcpPort> = nodes
+        .into_iter()
+        .map(|node| node.into_port(&cluster, opts.clone()).unwrap())
+        .collect();
+    for (from, to, msg) in &script {
+        tcp_ports[*from].send(*to, msg).unwrap();
+    }
+    // Frames from different senders ride different connections, so a
+    // recipient's arrival order across senders is unspecified: check
+    // each inbox as a multiset.
+    for (id, port) in tcp_ports.iter_mut().enumerate() {
+        let mut expected: Vec<&Message> = script
+            .iter()
+            .filter(|(_, to, _)| *to == id)
+            .map(|(_, _, m)| m)
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < expected.len() {
+            match port.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Some(msg) => got.push(msg),
+                None => break,
+            }
+        }
+        let key = |m: &Message| format!("{m:?}");
+        expected.sort_by_key(|m| key(m));
+        got.sort_by_key(|m| key(m));
+        assert_eq!(
+            got.iter().collect::<Vec<_>>(),
+            expected,
+            "inbox of participant {id}"
+        );
+    }
+
+    let endpoint = |id: usize| -> Endpoint {
+        if id == k {
+            Endpoint::Server
+        } else {
+            Endpoint::Device(DeviceId(id))
+        }
+    };
+    for (id, port) in tcp_ports.iter().enumerate() {
+        let local: NetStats = port.stats();
+        assert_eq!(
+            local.sent_by(endpoint(id)),
+            hub_stats.sent_by(endpoint(id)),
+            "sent bytes of participant {id}"
+        );
+        assert_eq!(
+            local.received_by(endpoint(id)),
+            hub_stats.received_by(endpoint(id)),
+            "received bytes of participant {id}"
+        );
+        // Framing, hellos, and heartbeats ride outside the ledger.
+        assert!(port.raw_bytes() > local.sent_by(endpoint(id)));
+    }
+    let payload: u64 = script.iter().map(|(_, _, m)| m.encoded_len() as u64).sum();
+    assert_eq!(hub_stats.total_bytes(), payload);
+}
+
+/// The real deal: four `hadfl-node` OS processes plus a coordinator
+/// process, wired by a TOML cluster file, train to a consensus.
+#[test]
+fn hadfl_node_processes_train_to_consensus() {
+    let k = 4;
+    // Reserve kernel-assigned ports, then free them for the processes.
+    let (cluster, nodes) = bind_cluster(k + 1);
+    drop(nodes);
+    let dir = std::env::temp_dir().join(format!("hadfl-net-proc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cluster.toml");
+    let mut toml = String::new();
+    for node in &cluster.nodes {
+        toml.push_str(&format!(
+            "[[nodes]]\nid = {}\naddr = \"{}\"\nrole = \"{}\"\npower = {:.1}\n\n",
+            node.id, node.addr, node.role, node.power
+        ));
+    }
+    std::fs::write(&path, toml).unwrap();
+
+    let bin = env!("CARGO_BIN_EXE_hadfl-node");
+    let spawn = |id: usize| {
+        std::process::Command::new(bin)
+            .args(["--cluster", path.to_str().unwrap()])
+            .args(["--id", &id.to_string()])
+            .args(["--seed", "93", "--rounds", "2", "--window-ms", "120"])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap()
+    };
+    let devices: Vec<_> = (0..k).map(spawn).collect();
+    let coordinator = spawn(k);
+
+    let out = coordinator.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "coordinator failed: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("consensus accuracy"),
+        "coordinator must report a consensus: {stdout}"
+    );
+    for device in devices {
+        let out = device.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "device failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Oversized length prefixes must not allocate: the victim drops the
+/// connection and stays healthy for well-formed peers.
+#[test]
+fn oversized_frames_are_rejected() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let (cluster, nodes) = bind_cluster(3);
+    let mut nodes = nodes.into_iter();
+    let mut opts = tcp_opts();
+    opts.max_frame_bytes = 1024;
+    let victim_node = nodes.next().unwrap();
+    let victim_addr = victim_node.local_addr().unwrap();
+    let mut victim = victim_node.into_port(&cluster, opts.clone()).unwrap();
+    let mut peer = nodes.next().unwrap().into_port(&cluster, opts).unwrap();
+
+    // A raw attacker announces a 2 GiB frame.
+    let mut rogue = TcpStream::connect(victim_addr).unwrap();
+    rogue.write_all(&(2u32 << 30).to_le_bytes()).unwrap();
+    rogue.write_all(&[0u8; 64]).unwrap();
+
+    // The victim still serves honest traffic.
+    peer.send(0, &Message::Handshake { from: 1 }).unwrap();
+    assert_eq!(
+        victim.recv_timeout(Duration::from_secs(5)).unwrap(),
+        Some(Message::Handshake { from: 1 })
+    );
+    assert!(
+        victim.try_recv().unwrap().is_none(),
+        "the rogue frame must not surface"
+    );
+}
+
+/// The transport reports `InvalidConfig`, not a hang, when a peer's
+/// address never comes up (bounded redial budget).
+#[test]
+fn transport_errors_surface_as_hadfl_errors() {
+    let (cluster, mut nodes) = bind_cluster(3);
+    drop(nodes.remove(1));
+    let mut opts = tcp_opts();
+    opts.max_dial_attempts = 2;
+    let mut port = nodes.remove(0).into_port(&cluster, opts).unwrap();
+    match port.send(1, &Message::Shutdown) {
+        Err(HadflError::InvalidConfig(msg)) => {
+            assert!(msg.contains("unreachable"), "got: {msg}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}

@@ -41,7 +41,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward("Relu"))?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Relu"))?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BatchMismatch(format!(
                 "relu backward length {} does not match cached mask {}",
@@ -76,7 +79,10 @@ mod tests {
     fn forward_clamps_negatives() {
         let mut r = Relu::new();
         let y = r
-            .forward(&Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[2, 2]).unwrap(), false)
+            .forward(
+                &Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[2, 2]).unwrap(),
+                false,
+            )
             .unwrap();
         assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
     }
@@ -84,8 +90,11 @@ mod tests {
     #[test]
     fn backward_gates_by_input_sign() {
         let mut r = Relu::new();
-        r.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap(), true).unwrap();
-        let gx = r.backward(&Tensor::from_vec(vec![5.0, 5.0], &[1, 2]).unwrap()).unwrap();
+        r.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]).unwrap(), true)
+            .unwrap();
+        let gx = r
+            .backward(&Tensor::from_vec(vec![5.0, 5.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(gx.as_slice(), &[0.0, 5.0]);
     }
 

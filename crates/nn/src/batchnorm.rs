@@ -55,7 +55,9 @@ impl BatchNorm2d {
     /// Returns [`NnError::InvalidConfig`] if `channels` is zero.
     pub fn new(channels: usize) -> Result<Self, NnError> {
         if channels == 0 {
-            return Err(NnError::InvalidConfig("batchnorm needs at least one channel".into()));
+            return Err(NnError::InvalidConfig(
+                "batchnorm needs at least one channel".into(),
+            ));
         }
         Ok(BatchNorm2d {
             channels,
@@ -111,7 +113,10 @@ impl Layer for BatchNorm2d {
                 let mut var = 0.0f32;
                 for img in 0..n {
                     let base = (img * c + ch) * plane;
-                    var += src[base..base + plane].iter().map(|v| (v - mean).powi(2)).sum::<f32>();
+                    var += src[base..base + plane]
+                        .iter()
+                        .map(|v| (v - mean).powi(2))
+                        .sum::<f32>();
                 }
                 var /= m;
                 let istd = 1.0 / (var + self.eps).sqrt();
@@ -130,7 +135,11 @@ impl Layer for BatchNorm2d {
                     }
                 }
             }
-            self.cached = Some(BnCache { xhat, inv_std, dims: input.dims().to_vec() });
+            self.cached = Some(BnCache {
+                xhat,
+                inv_std,
+                dims: input.dims().to_vec(),
+            });
         } else {
             let ov = out.as_mut_slice();
             for ch in 0..c {
@@ -148,7 +157,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self.cached.as_ref().ok_or(NnError::BackwardBeforeForward("BatchNorm2d"))?;
+        let cache = self
+            .cached
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("BatchNorm2d"))?;
         if grad_out.dims() != cache.dims.as_slice() {
             return Err(NnError::BatchMismatch(format!(
                 "batchnorm backward got {:?}, expected {:?}",
@@ -165,7 +177,10 @@ impl Layer for BatchNorm2d {
         let mut gx = Tensor::zeros(&cache.dims);
         let gxv = gx.as_mut_slice();
         let gamma = self.gamma.as_slice().to_vec();
-        let (gg, gb) = (self.grad_gamma.as_mut_slice(), self.grad_beta.as_mut_slice());
+        let (gg, gb) = (
+            self.grad_gamma.as_mut_slice(),
+            self.grad_beta.as_mut_slice(),
+        );
 
         for ch in 0..c {
             let mut sum_gy = 0.0f32;
@@ -255,7 +270,9 @@ mod tests {
             bn.forward(&x, true).unwrap();
         }
         // In eval, an input at the running mean maps near beta = 0.
-        let y = bn.forward(&Tensor::full(&[1, 1, 2, 2], 10.0), false).unwrap();
+        let y = bn
+            .forward(&Tensor::full(&[1, 1, 2, 2], 10.0), false)
+            .unwrap();
         for &v in y.as_slice() {
             assert!(v.abs() < 0.2, "eval output {v} should be near 0");
         }
@@ -307,7 +324,10 @@ mod tests {
             let ym = bn_m.forward(&xm, true).unwrap().dot(&wts).unwrap();
             let num = (yp - ym) / (2.0 * eps);
             let ana = gx.as_slice()[i];
-            assert!((num - ana).abs() < 0.05 * ana.abs().max(1.0), "x[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 0.05 * ana.abs().max(1.0),
+                "x[{i}]: {num} vs {ana}"
+            );
         }
     }
 

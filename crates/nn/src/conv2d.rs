@@ -56,12 +56,13 @@ impl Conv2d {
         rng: &mut SeedStream,
     ) -> Result<Self, NnError> {
         if out_channels == 0 {
-            return Err(NnError::InvalidConfig("conv2d needs at least one output channel".into()));
+            return Err(NnError::InvalidConfig(
+                "conv2d needs at least one output channel".into(),
+            ));
         }
         let geom = Conv2dGeometry::new(in_channels, in_h, in_w, kernel, stride, padding)?;
         let fan_in = geom.patch_len();
-        let weight =
-            Initializer::HeNormal { fan_in }.init(&[out_channels, fan_in], rng);
+        let weight = Initializer::HeNormal { fan_in }.init(&[out_channels, fan_in], rng);
         Ok(Conv2d {
             geom,
             out_channels,
@@ -144,8 +145,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cols =
-            self.cached_cols.as_ref().ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Conv2d"))?;
         let batch = self.cached_batch;
         let want = [batch, self.out_channels, self.geom.out_h, self.geom.out_w];
         if grad_out.dims() != want {
@@ -156,7 +159,7 @@ impl Layer for Conv2d {
             )));
         }
         let gp = self.nchw_to_patches(grad_out, batch); // (rows, oc)
-        // dW += gpᵀ · cols  : (oc, patch_len)
+                                                        // dW += gpᵀ · cols  : (oc, patch_len)
         let gw = matmul_at_b(&gp, cols)?;
         self.grad_weight.add_assign_t(&gw)?;
         // db += per-channel sums of grad_out
@@ -293,7 +296,10 @@ mod tests {
             conv.weight = orig;
             let num = (yp - ym) / (2.0 * eps);
             let ana = analytic_w.as_slice()[i];
-            assert!((num - ana).abs() < 0.05 * ana.abs().max(1.0), "w[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 0.05 * ana.abs().max(1.0),
+                "w[{i}]: {num} vs {ana}"
+            );
         }
         // input check on a few entries
         for &i in &[0usize, 7, 20, 31] {
@@ -305,7 +311,10 @@ mod tests {
             let ym: f32 = conv.forward(&xm, false).unwrap().as_slice().iter().sum();
             let num = (yp - ym) / (2.0 * eps);
             let ana = gx.as_slice()[i];
-            assert!((num - ana).abs() < 0.05 * ana.abs().max(1.0), "x[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 0.05 * ana.abs().max(1.0),
+                "x[{i}]: {num} vs {ana}"
+            );
         }
     }
 

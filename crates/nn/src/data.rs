@@ -91,7 +91,10 @@ impl SyntheticSpec {
             )));
         }
         if self.noise < 0.0 || !self.noise.is_finite() {
-            return Err(NnError::InvalidConfig(format!("invalid noise {}", self.noise)));
+            return Err(NnError::InvalidConfig(format!(
+                "invalid noise {}",
+                self.noise
+            )));
         }
         Ok(())
     }
@@ -173,7 +176,11 @@ impl Dataset {
                 labels.len()
             )));
         }
-        Ok(Dataset { sample_dims: sample_dims.to_vec(), images, labels })
+        Ok(Dataset {
+            sample_dims: sample_dims.to_vec(),
+            images,
+            labels,
+        })
     }
 
     /// Generates `n` samples of the synthetic CIFAR-like task.
@@ -208,7 +215,11 @@ impl Dataset {
         // Shuffle samples so class order carries no signal.
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
-        let mut ds = Dataset { sample_dims: spec.sample_dims(), images, labels };
+        let mut ds = Dataset {
+            sample_dims: spec.sample_dims(),
+            images,
+            labels,
+        };
         ds = ds.subset(&order)?;
         Ok(ds)
     }
@@ -292,7 +303,11 @@ impl Dataset {
             images.extend_from_slice(&self.images[i * sample_len..(i + 1) * sample_len]);
             labels.push(self.labels[i]);
         }
-        Ok(Dataset { sample_dims: self.sample_dims.clone(), images, labels })
+        Ok(Dataset {
+            sample_dims: self.sample_dims.clone(),
+            images,
+            labels,
+        })
     }
 
     /// Splits the dataset into `k` device shards.
@@ -328,8 +343,9 @@ impl Dataset {
                 // samples proportionally.
                 let mut assignment = vec![0usize; self.len()];
                 for class in 0..classes {
-                    let members: Vec<usize> =
-                        (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+                    let members: Vec<usize> = (0..self.len())
+                        .filter(|&i| self.labels[i] == class)
+                        .collect();
                     if members.is_empty() {
                         continue;
                     }
@@ -355,8 +371,7 @@ impl Dataset {
         };
         let mut shards = Vec::with_capacity(k);
         for dev in 0..k {
-            let idxs: Vec<usize> =
-                (0..self.len()).filter(|&i| assignment[i] == dev).collect();
+            let idxs: Vec<usize> = (0..self.len()).filter(|&i| assignment[i] == dev).collect();
             shards.push(self.subset(&idxs)?);
         }
         Ok(shards)
@@ -425,7 +440,10 @@ mod tests {
 
     #[test]
     fn synthetic_rejects_zero_classes() {
-        let bad = SyntheticSpec { classes: 0, ..SyntheticSpec::tiny() };
+        let bad = SyntheticSpec {
+            classes: 0,
+            ..SyntheticSpec::tiny()
+        };
         assert!(Dataset::synthetic_cifar(8, &bad, 1).is_err());
     }
 
@@ -433,7 +451,11 @@ mod tests {
     fn same_pattern_seed_means_same_task() {
         // Two sets with the same pattern seed but different sample seeds
         // must correlate strongly per class (same prototypes).
-        let spec = SyntheticSpec { noise: 0.0, amplitude_jitter: 0.0, ..SyntheticSpec::tiny() };
+        let spec = SyntheticSpec {
+            noise: 0.0,
+            amplitude_jitter: 0.0,
+            ..SyntheticSpec::tiny()
+        };
         let a = Dataset::synthetic_cifar(10, &spec, 1).unwrap();
         let b = Dataset::synthetic_cifar(10, &spec, 99).unwrap();
         // With zero noise/jitter, sample == prototype: class-0 images equal.
@@ -499,7 +521,9 @@ mod tests {
         assert!(ds.shard(0, ShardSpec::Iid, 1).is_err());
         assert!(ds.shard(11, ShardSpec::Iid, 1).is_err());
         assert!(ds.shard(2, ShardSpec::Dirichlet { alpha: 0.0 }, 1).is_err());
-        assert!(ds.shard(2, ShardSpec::Dirichlet { alpha: f32::NAN }, 1).is_err());
+        assert!(ds
+            .shard(2, ShardSpec::Dirichlet { alpha: f32::NAN }, 1)
+            .is_err());
     }
 
     #[test]
@@ -515,7 +539,10 @@ mod tests {
         for &shape in &[0.5f32, 1.0, 2.0, 5.0] {
             let n = 4000;
             let mean: f32 = (0..n).map(|_| gamma(shape, &mut rng)).sum::<f32>() / n as f32;
-            assert!((mean - shape).abs() < 0.25 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.25 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 

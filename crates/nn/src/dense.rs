@@ -32,8 +32,11 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with Xavier-uniform weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut SeedStream) -> Self {
-        let weight = Initializer::XavierUniform { fan_in: in_features, fan_out: out_features }
-            .init(&[in_features, out_features], rng);
+        let weight = Initializer::XavierUniform {
+            fan_in: in_features,
+            fan_out: out_features,
+        }
+        .init(&[in_features, out_features], rng);
         Dense {
             weight,
             bias: Tensor::zeros(&[out_features]),
@@ -72,8 +75,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input =
-            self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward("Dense"))?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Dense"))?;
         // dW += xᵀ · dy ; db += column sums of dy ; dx = dy · Wᵀ
         let gw = matmul_at_b(input, grad_out)?;
         self.grad_weight.add_assign_t(&gw)?;
@@ -219,8 +224,7 @@ mod tests {
                 bump(-2.0 * eps, &mut d);
                 let ym = d.forward(&x, false).unwrap();
                 bump(eps, &mut d);
-                let num = (yp.as_slice().iter().sum::<f32>()
-                    - ym.as_slice().iter().sum::<f32>())
+                let num = (yp.as_slice().iter().sum::<f32>() - ym.as_slice().iter().sum::<f32>())
                     / (2.0 * eps);
                 let err = (num - analytic[pi].as_slice()[i]).abs();
                 max_err = max_err.max(err);

@@ -43,7 +43,11 @@ impl Dropout {
                 "dropout probability must be in [0, 1), got {p}"
             )));
         }
-        Ok(Dropout { p, rng: SeedStream::new(seed ^ 0xD20_0001), mask: None })
+        Ok(Dropout {
+            p,
+            rng: SeedStream::new(seed ^ 0xD20_0001),
+            mask: None,
+        })
     }
 
     /// The configured drop probability.
@@ -61,8 +65,9 @@ impl Layer for Dropout {
             return Ok(input.clone());
         }
         let keep_scale = 1.0 / (1.0 - self.p);
-        let mask: Vec<bool> =
-            (0..input.len()).map(|_| self.rng.uniform(0.0, 1.0) >= self.p).collect();
+        let mask: Vec<bool> = (0..input.len())
+            .map(|_| self.rng.uniform(0.0, 1.0) >= self.p)
+            .collect();
         let mut out = input.clone();
         for (v, &keep) in out.as_mut_slice().iter_mut().zip(&mask) {
             *v = if keep { *v * keep_scale } else { 0.0 };
@@ -72,7 +77,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward("Dropout"))?;
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Dropout"))?;
         if mask.len() != grad_out.len() {
             return Err(NnError::BatchMismatch(format!(
                 "dropout backward length {} does not match cached mask {}",
@@ -118,7 +126,10 @@ mod tests {
         let rate = dropped as f32 / 10_000.0;
         assert!((rate - 0.5).abs() < 0.05, "drop rate {rate}");
         // survivors are scaled by 1/(1-p) = 2
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

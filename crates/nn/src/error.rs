@@ -42,7 +42,10 @@ impl fmt::Display for NnError {
             NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             NnError::BatchMismatch(msg) => write!(f, "batch mismatch: {msg}"),
             NnError::ParamLengthMismatch { expected, actual } => {
-                write!(f, "parameter vector length {actual} does not match model size {expected}")
+                write!(
+                    f,
+                    "parameter vector length {actual} does not match model size {expected}"
+                )
             }
             NnError::BackwardBeforeForward(layer) => {
                 write!(f, "backward called before forward in {layer}")
@@ -80,7 +83,10 @@ mod tests {
 
     #[test]
     fn param_length_message_names_both_lengths() {
-        let err = NnError::ParamLengthMismatch { expected: 10, actual: 7 };
+        let err = NnError::ParamLengthMismatch {
+            expected: 10,
+            actual: 7,
+        };
         let msg = err.to_string();
         assert!(msg.contains("10") && msg.contains('7'));
     }

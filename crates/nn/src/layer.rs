@@ -90,7 +90,9 @@ impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
         let dims = input.dims();
         if dims.is_empty() {
-            return Err(NnError::BatchMismatch("flatten input must have a batch axis".into()));
+            return Err(NnError::BatchMismatch(
+                "flatten input must have a batch axis".into(),
+            ));
         }
         if train {
             self.cached_dims = Some(dims.to_vec());
@@ -101,8 +103,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let dims =
-            self.cached_dims.as_ref().ok_or(NnError::BackwardBeforeForward("Flatten"))?;
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("Flatten"))?;
         Ok(grad_out.reshape(dims)?)
     }
 

@@ -34,7 +34,12 @@ impl Loader {
     /// Panics if `batch_size` is zero.
     pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Loader { n, batch_size, rng: SeedStream::new(seed ^ 0x10AD_E201), epochs_served: 0 }
+        Loader {
+            n,
+            batch_size,
+            rng: SeedStream::new(seed ^ 0x10AD_E201),
+            epochs_served: 0,
+        }
     }
 
     /// Number of samples the loader covers.
@@ -62,7 +67,10 @@ impl Loader {
         let mut order: Vec<usize> = (0..self.n).collect();
         self.rng.shuffle(&mut order);
         self.epochs_served += 1;
-        order.chunks(self.batch_size).map(<[usize]>::to_vec).collect()
+        order
+            .chunks(self.batch_size)
+            .map(<[usize]>::to_vec)
+            .collect()
     }
 }
 

@@ -33,10 +33,7 @@ use crate::error::NnError;
 /// # Ok(())
 /// # }
 /// ```
-pub fn softmax_cross_entropy(
-    logits: &Tensor,
-    labels: &[usize],
-) -> Result<(f32, Tensor), NnError> {
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
     let log_probs = log_softmax_rows(logits)?;
     let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
     if labels.len() != batch {

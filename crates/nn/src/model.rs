@@ -53,12 +53,18 @@ impl Model {
     /// network is empty.
     pub fn new(net: Sequential, num_classes: usize, arch: &str) -> Result<Self, NnError> {
         if num_classes == 0 {
-            return Err(NnError::InvalidConfig("model needs at least one class".into()));
+            return Err(NnError::InvalidConfig(
+                "model needs at least one class".into(),
+            ));
         }
         if net.is_empty() {
             return Err(NnError::InvalidConfig("model network has no layers".into()));
         }
-        Ok(Model { net, num_classes, arch: arch.to_string() })
+        Ok(Model {
+            net,
+            num_classes,
+            arch: arch.to_string(),
+        })
     }
 
     /// Architecture name (e.g. `"resnet18_lite"`).
@@ -86,7 +92,8 @@ impl Model {
     /// traversal order.
     pub fn param_vector(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        self.net.visit_params(&mut |p| out.extend_from_slice(p.as_slice()));
+        self.net
+            .visit_params(&mut |p| out.extend_from_slice(p.as_slice()));
         out
     }
 
@@ -107,7 +114,8 @@ impl Model {
         let mut offset = 0;
         self.net.visit_params_mut(&mut |p| {
             let n = p.len();
-            p.as_mut_slice().copy_from_slice(&params[offset..offset + n]);
+            p.as_mut_slice()
+                .copy_from_slice(&params[offset..offset + n]);
             offset += n;
         });
         Ok(())
@@ -160,7 +168,8 @@ impl Model {
     /// as [`param_vector`](Model::param_vector)).
     pub fn grad_vector(&mut self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        self.net.visit_params_grads_mut(&mut |_, g| out.extend_from_slice(g.as_slice()));
+        self.net
+            .visit_params_grads_mut(&mut |_, g| out.extend_from_slice(g.as_slice()));
         out
     }
 
@@ -222,7 +231,9 @@ impl Model {
     /// propagates forward-pass errors.
     pub fn evaluate(&mut self, ds: &Dataset, batch_size: usize) -> Result<Metrics, NnError> {
         if ds.is_empty() {
-            return Err(NnError::BatchMismatch("cannot evaluate on an empty dataset".into()));
+            return Err(NnError::BatchMismatch(
+                "cannot evaluate on an empty dataset".into(),
+            ));
         }
         let indices: Vec<usize> = (0..ds.len()).collect();
         let mut total_loss = 0.0f64;

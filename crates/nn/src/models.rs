@@ -76,12 +76,7 @@ pub fn mlp(
 }
 
 /// One `Conv → BN → ReLU → Conv → BN` residual body at constant width.
-fn res_block(
-    width: usize,
-    h: usize,
-    w: usize,
-    rng: &mut SeedStream,
-) -> Result<Residual, NnError> {
+fn res_block(width: usize, h: usize, w: usize, rng: &mut SeedStream) -> Result<Residual, NnError> {
     let mut body = Sequential::new();
     body.push(Conv2d::new(width, width, h, w, 3, 1, 1, rng)?);
     body.push(BatchNorm2d::new(width)?);
@@ -139,7 +134,16 @@ pub fn resnet18_lite(sample_dims: &[usize], classes: usize, seed: u64) -> Result
     net.push(Relu::new());
     // Stage 3: ↓2, double width
     let (h3, w3) = (h2 / 2, w2 / 2);
-    net.push(Conv2d::new(2 * WIDTH, 4 * WIDTH, h2, w2, 3, 2, 1, &mut rng)?);
+    net.push(Conv2d::new(
+        2 * WIDTH,
+        4 * WIDTH,
+        h2,
+        w2,
+        3,
+        2,
+        1,
+        &mut rng,
+    )?);
     net.push(BatchNorm2d::new(4 * WIDTH)?);
     net.push(Relu::new());
     net.push(res_block(4 * WIDTH, h3, w3, &mut rng)?);
@@ -193,12 +197,30 @@ pub fn vgg16_lite(sample_dims: &[usize], classes: usize, seed: u64) -> Result<Mo
     let (h2, w2) = (h / 2, w / 2);
     net.push(Conv2d::new(WIDTH, 2 * WIDTH, h2, w2, 3, 1, 1, &mut rng)?);
     net.push(Relu::new());
-    net.push(Conv2d::new(2 * WIDTH, 2 * WIDTH, h2, w2, 3, 1, 1, &mut rng)?);
+    net.push(Conv2d::new(
+        2 * WIDTH,
+        2 * WIDTH,
+        h2,
+        w2,
+        3,
+        1,
+        1,
+        &mut rng,
+    )?);
     net.push(Relu::new());
     net.push(MaxPool2d::new(2, 2)?);
     // Block 3 @ h/4
     let (h3, w3) = (h2 / 2, w2 / 2);
-    net.push(Conv2d::new(2 * WIDTH, 4 * WIDTH, h3, w3, 3, 1, 1, &mut rng)?);
+    net.push(Conv2d::new(
+        2 * WIDTH,
+        4 * WIDTH,
+        h3,
+        w3,
+        3,
+        1,
+        1,
+        &mut rng,
+    )?);
     net.push(Relu::new());
     net.push(MaxPool2d::new(2, 2)?);
     // Classifier @ h/8
@@ -241,11 +263,29 @@ pub fn vgg16_lite_dropout(
     let (h2, w2) = (h / 2, w / 2);
     net.push(Conv2d::new(WIDTH, 2 * WIDTH, h2, w2, 3, 1, 1, &mut rng)?);
     net.push(Relu::new());
-    net.push(Conv2d::new(2 * WIDTH, 2 * WIDTH, h2, w2, 3, 1, 1, &mut rng)?);
+    net.push(Conv2d::new(
+        2 * WIDTH,
+        2 * WIDTH,
+        h2,
+        w2,
+        3,
+        1,
+        1,
+        &mut rng,
+    )?);
     net.push(Relu::new());
     net.push(MaxPool2d::new(2, 2)?);
     let (h3, w3) = (h2 / 2, w2 / 2);
-    net.push(Conv2d::new(2 * WIDTH, 4 * WIDTH, h3, w3, 3, 1, 1, &mut rng)?);
+    net.push(Conv2d::new(
+        2 * WIDTH,
+        4 * WIDTH,
+        h3,
+        w3,
+        3,
+        1,
+        1,
+        &mut rng,
+    )?);
     net.push(Relu::new());
     net.push(MaxPool2d::new(2, 2)?);
     let (h4, w4) = (h3 / 2, w3 / 2);
@@ -317,7 +357,12 @@ mod tests {
             }
         }
         let after = m.evaluate(&train, 40).unwrap();
-        assert!(after.loss < before.loss, "{} -> {}", before.loss, after.loss);
+        assert!(
+            after.loss < before.loss,
+            "{} -> {}",
+            before.loss,
+            after.loss
+        );
     }
 
     #[test]
@@ -335,7 +380,12 @@ mod tests {
             }
         }
         let after = m.evaluate(&train, 40).unwrap();
-        assert!(after.loss < before.loss, "{} -> {}", before.loss, after.loss);
+        assert!(
+            after.loss < before.loss,
+            "{} -> {}",
+            before.loss,
+            after.loss
+        );
     }
 
     #[test]
@@ -369,7 +419,14 @@ mod tests {
     fn vgg_dropout_trains_and_has_dropout_layers() {
         let spec = SyntheticSpec::tiny();
         let mut m = vgg16_lite_dropout(&spec.sample_dims(), spec.classes, 1).unwrap();
-        assert_eq!(m.net().layer_names().iter().filter(|&&n| n == "Dropout").count(), 2);
+        assert_eq!(
+            m.net()
+                .layer_names()
+                .iter()
+                .filter(|&&n| n == "Dropout")
+                .count(),
+            2
+        );
         // Same parameter count as the plain variant (dropout is
         // parameter-free) so the FL schemes can exchange either.
         let plain = vgg16_lite(&spec.sample_dims(), spec.classes, 1).unwrap();

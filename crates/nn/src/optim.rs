@@ -45,14 +45,22 @@ impl LrSchedule {
     /// A warm-up schedule: `warmup_lr` for `warmup_steps` steps, then
     /// `base_lr` (the paper's mutual-negotiation pattern).
     pub fn warmup(warmup_lr: f32, warmup_steps: u64, base_lr: f32) -> Self {
-        LrSchedule::Warmup { warmup_lr, warmup_steps, base_lr }
+        LrSchedule::Warmup {
+            warmup_lr,
+            warmup_steps,
+            base_lr,
+        }
     }
 
     /// The learning rate at step `step` (0-based).
     pub fn lr_at(&self, step: u64) -> f32 {
         match *self {
             LrSchedule::Constant { lr } => lr,
-            LrSchedule::Warmup { warmup_lr, warmup_steps, base_lr } => {
+            LrSchedule::Warmup {
+                warmup_lr,
+                warmup_steps,
+                base_lr,
+            } => {
                 if step < warmup_steps {
                     warmup_lr
                 } else {
@@ -97,7 +105,12 @@ impl Sgd {
     /// Creates an optimizer with the given schedule and momentum
     /// (`momentum = 0.0` disables the velocity term).
     pub fn new(schedule: LrSchedule, momentum: f32) -> Self {
-        Sgd { schedule, momentum, velocity: Vec::new(), step: 0 }
+        Sgd {
+            schedule,
+            momentum,
+            velocity: Vec::new(),
+            step: 0,
+        }
     }
 
     /// The learning rate the *next* step will use.

@@ -41,7 +41,12 @@ impl MaxPool2d {
                 "maxpool window {window} and stride {stride} must be positive"
             )));
         }
-        Ok(MaxPool2d { window, stride, cached_argmax: None, cached_in_dims: Vec::new() })
+        Ok(MaxPool2d {
+            window,
+            stride,
+            cached_argmax: None,
+            cached_in_dims: Vec::new(),
+        })
     }
 
     fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), NnError> {
@@ -51,7 +56,10 @@ impl MaxPool2d {
                 self.window
             )));
         }
-        Ok(((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1))
+        Ok((
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        ))
     }
 }
 
@@ -102,8 +110,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let argmax =
-            self.cached_argmax.as_ref().ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward("MaxPool2d"))?;
         if grad_out.len() != argmax.len() {
             return Err(NnError::BatchMismatch(format!(
                 "maxpool backward length {} does not match cached {}",
@@ -156,7 +166,9 @@ impl Layer for GlobalAvgPool2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
         if plane == 0 {
-            return Err(NnError::BatchMismatch("global avg pool over empty plane".into()));
+            return Err(NnError::BatchMismatch(
+                "global avg pool over empty plane".into(),
+            ));
         }
         let mut out = Tensor::zeros(&[n, c]);
         let src = input.as_slice();
@@ -223,7 +235,10 @@ mod tests {
     fn maxpool_picks_window_max() {
         let mut p = MaxPool2d::new(2, 2).unwrap();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -236,7 +251,9 @@ mod tests {
         let mut p = MaxPool2d::new(2, 2).unwrap();
         let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
         p.forward(&x, true).unwrap();
-        let gx = p.backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        let gx = p
+            .backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
         assert_eq!(gx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
     }
 
@@ -255,8 +272,11 @@ mod tests {
     #[test]
     fn global_avg_pool_means_planes() {
         let mut p = GlobalAvgPool2d::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = p.forward(&x, false).unwrap();
         assert_eq!(y.as_slice(), &[2.5, 10.0]);
     }
@@ -265,7 +285,9 @@ mod tests {
     fn global_avg_pool_backward_spreads_evenly() {
         let mut p = GlobalAvgPool2d::new();
         p.forward(&Tensor::zeros(&[1, 1, 2, 2]), true).unwrap();
-        let gx = p.backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap()).unwrap();
+        let gx = p
+            .backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap())
+            .unwrap();
         assert_eq!(gx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
     }
 

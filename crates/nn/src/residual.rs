@@ -99,7 +99,9 @@ mod tests {
         let mut r = Residual::new(Sequential::new());
         let x = Tensor::ones(&[1, 2]);
         r.forward(&x, true).unwrap();
-        let g = r.backward(&Tensor::from_vec(vec![3.0, 5.0], &[1, 2]).unwrap()).unwrap();
+        let g = r
+            .backward(&Tensor::from_vec(vec![3.0, 5.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[6.0, 10.0]);
     }
 
@@ -109,7 +111,10 @@ mod tests {
         let mut body = Sequential::new();
         body.push(Dense::new(2, 3, &mut rng));
         let mut r = Residual::new(body);
-        assert!(matches!(r.forward(&Tensor::ones(&[1, 2]), true), Err(NnError::InvalidConfig(_))));
+        assert!(matches!(
+            r.forward(&Tensor::ones(&[1, 2]), true),
+            Err(NnError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

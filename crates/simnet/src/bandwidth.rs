@@ -44,10 +44,14 @@ impl BandwidthMatrix {
     /// latency, or a non-positive bandwidth.
     pub fn uniform(devices: usize, latency_secs: f64, bandwidth: f64) -> Result<Self, SimError> {
         if devices == 0 {
-            return Err(SimError::InvalidParameter("at least one device required".into()));
+            return Err(SimError::InvalidParameter(
+                "at least one device required".into(),
+            ));
         }
         if !(latency_secs >= 0.0) || !latency_secs.is_finite() {
-            return Err(SimError::InvalidParameter(format!("invalid latency {latency_secs}")));
+            return Err(SimError::InvalidParameter(format!(
+                "invalid latency {latency_secs}"
+            )));
         }
         Self::check_bw(bandwidth)?;
         Ok(BandwidthMatrix {
@@ -91,7 +95,9 @@ impl BandwidthMatrix {
 
     fn check_bw(bw: f64) -> Result<(), SimError> {
         if !(bw > 0.0) || !bw.is_finite() {
-            return Err(SimError::InvalidParameter(format!("invalid bandwidth {bw}")));
+            return Err(SimError::InvalidParameter(format!(
+                "invalid bandwidth {bw}"
+            )));
         }
         Ok(())
     }
@@ -99,7 +105,10 @@ impl BandwidthMatrix {
     fn check_pair(&self, from: DeviceId, to: DeviceId) -> Result<(), SimError> {
         for d in [from, to] {
             if d.index() >= self.devices {
-                return Err(SimError::UnknownDevice { index: d.index(), devices: self.devices });
+                return Err(SimError::UnknownDevice {
+                    index: d.index(),
+                    devices: self.devices,
+                });
             }
         }
         Ok(())
@@ -156,7 +165,9 @@ impl BandwidthMatrix {
     /// [`SimError::UnknownDevice`] for out-of-range members.
     pub fn ring_bottleneck(&self, order: &[DeviceId]) -> Result<f64, SimError> {
         if order.len() < 2 {
-            return Err(SimError::InvalidParameter("ring needs at least 2 members".into()));
+            return Err(SimError::InvalidParameter(
+                "ring needs at least 2 members".into(),
+            ));
         }
         let mut worst = f64::INFINITY;
         for (i, &from) in order.iter().enumerate() {

@@ -76,14 +76,20 @@ impl ComputeModel {
             )));
         }
         if powers.is_empty() {
-            return Err(SimError::InvalidParameter("at least one device required".into()));
+            return Err(SimError::InvalidParameter(
+                "at least one device required".into(),
+            ));
         }
         if let Some(&bad) = powers.iter().find(|&&p| !(p > 0.0) || !p.is_finite()) {
             return Err(SimError::InvalidParameter(format!(
                 "device power must be positive and finite, got {bad}"
             )));
         }
-        Ok(ComputeModel { base_step_secs, powers: powers.to_vec(), jitter: Jitter::None })
+        Ok(ComputeModel {
+            base_step_secs,
+            powers: powers.to_vec(),
+            jitter: Jitter::None,
+        })
     }
 
     /// Returns the model with jitter enabled (builder style).
@@ -204,7 +210,10 @@ mod tests {
         let m = ComputeModel::new(0.01, &[1.0, 2.0]).unwrap();
         assert!(matches!(
             m.step_time(DeviceId(2), None),
-            Err(SimError::UnknownDevice { index: 2, devices: 2 })
+            Err(SimError::UnknownDevice {
+                index: 2,
+                devices: 2
+            })
         ));
     }
 
@@ -222,9 +231,13 @@ mod tests {
             .unwrap()
             .with_jitter(Jitter::Gaussian { std_frac: 0.3 });
         let mut rng = SeedStream::new(4);
-        let times: Vec<f64> =
-            (0..200).map(|_| m.step_time(DeviceId(0), Some(&mut rng)).unwrap()).collect();
-        assert!(times.iter().any(|&t| (t - 0.01).abs() > 1e-5), "jitter had no effect");
+        let times: Vec<f64> = (0..200)
+            .map(|_| m.step_time(DeviceId(0), Some(&mut rng)).unwrap())
+            .collect();
+        assert!(
+            times.iter().any(|&t| (t - 0.01).abs() > 1e-5),
+            "jitter had no effect"
+        );
         assert!(times.iter().all(|&t| (0.002..=0.05).contains(&t)));
     }
 
@@ -232,7 +245,10 @@ mod tests {
     fn spike_jitter_hits_roughly_at_rate() {
         let m = ComputeModel::new(0.01, &[1.0])
             .unwrap()
-            .with_jitter(Jitter::Spike { prob: 0.25, slow_factor: 3.0 });
+            .with_jitter(Jitter::Spike {
+                prob: 0.25,
+                slow_factor: 3.0,
+            });
         let mut rng = SeedStream::new(4);
         let spikes = (0..2000)
             .filter(|_| m.step_time(DeviceId(0), Some(&mut rng)).unwrap() > 0.02)

@@ -46,7 +46,10 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = SimError::UnknownDevice { index: 9, devices: 4 };
+        let e = SimError::UnknownDevice {
+            index: 9,
+            devices: 4,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
     }
 

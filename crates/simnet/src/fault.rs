@@ -21,12 +21,20 @@ pub struct Outage {
 impl Outage {
     /// A bounded outage window.
     pub fn window(device: DeviceId, from: VirtualTime, until: VirtualTime) -> Self {
-        Outage { device, from, until: Some(until) }
+        Outage {
+            device,
+            from,
+            until: Some(until),
+        }
     }
 
     /// A permanent crash at `from`.
     pub fn crash(device: DeviceId, from: VirtualTime) -> Self {
-        Outage { device, from, until: None }
+        Outage {
+            device,
+            from,
+            until: None,
+        }
     }
 
     fn covers(&self, t: VirtualTime) -> bool {
@@ -96,7 +104,10 @@ impl FaultPlan {
 
     /// Is `device` reachable at time `t`?
     pub fn is_up(&self, device: DeviceId, t: VirtualTime) -> bool {
-        !self.outages.iter().any(|o| o.device == device && o.covers(t))
+        !self
+            .outages
+            .iter()
+            .any(|o| o.device == device && o.covers(t))
     }
 
     /// All devices of `0..n` that are reachable at `t`.

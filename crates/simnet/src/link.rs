@@ -46,19 +46,28 @@ impl LinkModel {
                 "bandwidth must be positive and finite, got {bandwidth_bytes_per_sec}"
             )));
         }
-        Ok(LinkModel { latency_secs, bandwidth_bytes_per_sec })
+        Ok(LinkModel {
+            latency_secs,
+            bandwidth_bytes_per_sec,
+        })
     }
 
     /// A PCIe-3.0-x8-like link: 100 µs latency, 8 GB/s — the paper's
     /// testbed interconnect.
     pub fn pcie3_x8() -> Self {
-        LinkModel { latency_secs: 100e-6, bandwidth_bytes_per_sec: 8e9 }
+        LinkModel {
+            latency_secs: 100e-6,
+            bandwidth_bytes_per_sec: 8e9,
+        }
     }
 
     /// A WAN-like link: 20 ms latency, 12.5 MB/s (100 Mbit/s) — a
     /// geo-distributed federated deployment.
     pub fn wan() -> Self {
-        LinkModel { latency_secs: 20e-3, bandwidth_bytes_per_sec: 12.5e6 }
+        LinkModel {
+            latency_secs: 20e-3,
+            bandwidth_bytes_per_sec: 12.5e6,
+        }
     }
 
     /// One-way latency, seconds.
@@ -108,7 +117,10 @@ mod tests {
     fn presets_are_ordered_sensibly() {
         // PCIe is much faster than WAN for a model-sized payload.
         let payload = 10_000_000;
-        assert!(LinkModel::pcie3_x8().transfer_time(payload) < LinkModel::wan().transfer_time(payload) / 100.0);
+        assert!(
+            LinkModel::pcie3_x8().transfer_time(payload)
+                < LinkModel::wan().transfer_time(payload) / 100.0
+        );
     }
 
     #[test]

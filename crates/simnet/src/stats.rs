@@ -6,9 +6,7 @@ use crate::DeviceId;
 
 /// One end of a simulated transfer: a device or the central server /
 /// cloud coordinator.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Endpoint {
     /// A training device.
     Device(DeviceId),
@@ -118,7 +116,11 @@ mod tests {
     #[test]
     fn record_tracks_both_directions() {
         let mut s = NetStats::new();
-        s.record(Endpoint::Device(DeviceId(0)), Endpoint::Device(DeviceId(1)), 10);
+        s.record(
+            Endpoint::Device(DeviceId(0)),
+            Endpoint::Device(DeviceId(1)),
+            10,
+        );
         assert_eq!(s.sent_by(Endpoint::Device(DeviceId(0))), 10);
         assert_eq!(s.received_by(Endpoint::Device(DeviceId(1))), 10);
         assert_eq!(s.device_bytes(DeviceId(0)), 10);

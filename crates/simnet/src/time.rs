@@ -32,7 +32,10 @@ impl VirtualTime {
     /// Panics if `secs` is NaN or negative — simulated clocks only move
     /// forward from zero.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid virtual time {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid virtual time {secs}"
+        );
         VirtualTime(secs)
     }
 
@@ -82,7 +85,9 @@ impl PartialOrd for VirtualTime {
 impl Ord for VirtualTime {
     fn cmp(&self, other: &Self) -> Ordering {
         // Construction forbids NaN, so total order is safe.
-        self.0.partial_cmp(&other.0).expect("virtual times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("virtual times are never NaN")
     }
 }
 

@@ -65,7 +65,9 @@ impl Conv2dGeometry {
             )));
         }
         if stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be positive".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be positive".into(),
+            ));
         }
         let padded_h = in_h + 2 * padding;
         let padded_w = in_w + 2 * padding;
@@ -106,7 +108,10 @@ impl Conv2dGeometry {
 /// `(N, C, H, W)` matching `geom`.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
     let dims = input.dims();
-    if dims.len() != 4 || dims[1] != geom.in_channels || dims[2] != geom.in_h || dims[3] != geom.in_w
+    if dims.len() != 4
+        || dims[1] != geom.in_channels
+        || dims[2] != geom.in_h
+        || dims[3] != geom.in_w
     {
         return Err(TensorError::ShapeMismatch {
             op: "im2col",
@@ -230,8 +235,7 @@ mod tests {
         // 1x1 kernel, stride 1, no padding: patch matrix is the image itself
         // with channels spread across columns.
         let g = Conv2dGeometry::new(2, 2, 2, 1, 1, 0).unwrap();
-        let input =
-            Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let input = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]).unwrap();
         let cols = im2col(&input, &g).unwrap();
         assert_eq!(cols.dims(), &[4, 2]);
         // row = pixel position, col = channel
@@ -277,7 +281,10 @@ mod tests {
         let aty = col2im(&y, &g, 2).unwrap();
         let lhs = ax.dot(&y).unwrap();
         let rhs = x.dot(&aty).unwrap();
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -59,8 +59,15 @@ impl fmt::Display for TensorError {
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
-                write!(f, "rank mismatch in {op}: expected rank {expected}, got {actual}")
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "rank mismatch in {op}: expected rank {expected}, got {actual}"
+                )
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
@@ -76,14 +83,21 @@ mod tests {
 
     #[test]
     fn display_length_mismatch_mentions_both_sides() {
-        let err = TensorError::LengthMismatch { len: 3, shape: vec![2, 2] };
+        let err = TensorError::LengthMismatch {
+            len: 3,
+            shape: vec![2, 2],
+        };
         let msg = err.to_string();
         assert!(msg.contains('3') && msg.contains('4'), "{msg}");
     }
 
     #[test]
     fn display_shape_mismatch_names_op() {
-        let err = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
         assert!(err.to_string().contains("matmul"));
     }
 

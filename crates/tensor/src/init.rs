@@ -91,7 +91,9 @@ pub struct SeedStream {
 impl SeedStream {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeedStream { rng: ChaCha8Rng::seed_from_u64(seed) }
+        SeedStream {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child stream labelled by `salt`.
@@ -110,7 +112,9 @@ impl SeedStream {
             seed[i] ^= b;
             seed[i + 8] ^= b.rotate_left(3);
         }
-        SeedStream { rng: ChaCha8Rng::from_seed(seed) }
+        SeedStream {
+            rng: ChaCha8Rng::from_seed(seed),
+        }
     }
 
     /// Uniform sample in `[lo, hi)` (or exactly `lo` when `lo == hi`).
@@ -210,7 +214,11 @@ mod tests {
     #[test]
     fn xavier_respects_limit() {
         let mut rng = SeedStream::new(5);
-        let w = Initializer::XavierUniform { fan_in: 10, fan_out: 10 }.init(&[10, 10], &mut rng);
+        let w = Initializer::XavierUniform {
+            fan_in: 10,
+            fan_out: 10,
+        }
+        .init(&[10, 10], &mut rng);
         let limit = (6.0f32 / 20.0).sqrt();
         assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
         // and it is not degenerate

@@ -35,7 +35,7 @@ mod tensor;
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
 pub use init::{Initializer, SeedStream};
-pub use linalg::{matmul, matmul_at_b, matmul_a_bt, outer};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b, outer};
 pub use reduce::{argmax, log_softmax_rows, mean, softmax_rows, sum};
 pub use shape::Shape;
 pub use tensor::Tensor;

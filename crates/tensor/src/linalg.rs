@@ -10,7 +10,11 @@ use crate::tensor::Tensor;
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize), TensorError> {
     if t.dims().len() != 2 {
-        return Err(TensorError::RankMismatch { op, expected: 2, actual: t.dims().len() });
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.dims().len(),
+        });
     }
     Ok((t.dims()[0], t.dims()[1]))
 }
@@ -144,10 +148,18 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::RankMismatch`] if either operand is not rank 1.
 pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.dims().len() != 1 {
-        return Err(TensorError::RankMismatch { op: "outer", expected: 1, actual: a.dims().len() });
+        return Err(TensorError::RankMismatch {
+            op: "outer",
+            expected: 1,
+            actual: a.dims().len(),
+        });
     }
     if b.dims().len() != 1 {
-        return Err(TensorError::RankMismatch { op: "outer", expected: 1, actual: b.dims().len() });
+        return Err(TensorError::RankMismatch {
+            op: "outer",
+            expected: 1,
+            actual: b.dims().len(),
+        });
     }
     let (m, n) = (a.len(), b.len());
     let mut out = Tensor::zeros(&[m, n]);
@@ -194,7 +206,10 @@ mod tests {
     fn matmul_rejects_non_matrix() {
         let a = Tensor::zeros(&[6]);
         let b = Tensor::zeros(&[2, 3]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

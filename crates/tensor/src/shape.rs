@@ -79,7 +79,11 @@ impl Shape {
         let mut off = 0;
         let strides = self.strides();
         for (axis, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
-            assert!(i < self.0[axis], "index {i} out of range for axis {axis} (extent {})", self.0[axis]);
+            assert!(
+                i < self.0[axis],
+                "index {i} out of range for axis {axis} (extent {})",
+                self.0[axis]
+            );
             off += i * s;
         }
         off

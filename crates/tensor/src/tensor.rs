@@ -42,14 +42,20 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
         let shape = Shape::new(dims);
         if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { len: data.len(), shape: dims.to_vec() });
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                shape: dims.to_vec(),
+            });
         }
         Ok(Tensor { shape, data })
     }
 
     /// Creates a tensor of zeros.
     pub fn zeros(dims: &[usize]) -> Self {
-        Tensor { shape: Shape::new(dims), data: vec![0.0; Shape::new(dims).len()] }
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; Shape::new(dims).len()],
+        }
     }
 
     /// Creates a tensor of ones.
@@ -59,7 +65,10 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
-        Tensor { shape: Shape::new(dims), data: vec![value; Shape::new(dims).len()] }
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![value; Shape::new(dims).len()],
+        }
     }
 
     /// Creates an `n`×`n` identity matrix.
@@ -142,7 +151,10 @@ impl Tensor {
     pub fn reshape_inplace(&mut self, dims: &[usize]) -> Result<(), TensorError> {
         let shape = Shape::new(dims);
         if shape.len() != self.data.len() {
-            return Err(TensorError::LengthMismatch { len: self.data.len(), shape: dims.to_vec() });
+            return Err(TensorError::LengthMismatch {
+                len: self.data.len(),
+                shape: dims.to_vec(),
+            });
         }
         self.shape = shape;
         Ok(())
@@ -166,8 +178,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn add(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(rhs, "add")?;
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise difference, allocating a new tensor.
@@ -177,8 +197,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn sub(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(rhs, "sub")?;
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise (Hadamard) product, allocating a new tensor.
@@ -188,14 +216,25 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn mul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(rhs, "mul")?;
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Multiplies every element by `k`, allocating a new tensor.
     pub fn scale(&self, k: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * k).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place `self += rhs`.
@@ -252,7 +291,10 @@ impl Tensor {
     /// Applies `f` to every element, allocating a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -286,7 +328,10 @@ impl Tensor {
 impl Default for Tensor {
     /// An empty rank-1 tensor of length zero.
     fn default() -> Self {
-        Tensor { shape: Shape::new(&[0]), data: Vec::new() }
+        Tensor {
+            shape: Shape::new(&[0]),
+            data: Vec::new(),
+        }
     }
 }
 
@@ -341,7 +386,10 @@ mod tests {
     fn add_rejects_shape_mismatch() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[3, 2]);
-        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { op: "add", .. })));
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { op: "add", .. })
+        ));
     }
 
     #[test]

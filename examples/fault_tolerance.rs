@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // windows and comes back.
     opts.faults = FaultPlan::new(vec![
         Outage::crash(DeviceId(2), VirtualTime::from_secs(0.20)),
-        Outage::window(DeviceId(1), VirtualTime::from_secs(0.30), VirtualTime::from_secs(0.42)),
+        Outage::window(
+            DeviceId(1),
+            VirtualTime::from_secs(0.30),
+            VirtualTime::from_secs(0.42),
+        ),
     ])?;
 
     // Select all four devices each round so the dead one is always in
@@ -29,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let run = run_hadfl(&workload, &config, &opts)?;
-    println!("training completed {} rounds despite the faults", run.trace.records.len());
+    println!(
+        "training completed {} rounds despite the faults",
+        run.trace.records.len()
+    );
     for (round, devices) in &run.bypass_log {
         println!("  round {round}: ring bypassed dead device(s) {devices:?}");
     }

@@ -22,8 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = HadflConfig::builder().num_selected(2).seed(42).build()?;
 
     let run = run_hadfl(&workload, &config, &opts)?;
-    let (acc, secs) = run.trace.time_to_max_accuracy().expect("trained at least one round");
-    println!("HADFL:  reached {:.1}% test accuracy at {:.2} virtual seconds", acc * 100.0, secs);
+    let (acc, secs) = run
+        .trace
+        .time_to_max_accuracy()
+        .expect("trained at least one round");
+    println!(
+        "HADFL:  reached {:.1}% test accuracy at {:.2} virtual seconds",
+        acc * 100.0,
+        secs
+    );
     println!(
         "        hyperperiod {:.0} ms, local steps per window {:?} (heterogeneity-aware)",
         run.strategy.hyperperiod_secs * 1e3,
@@ -36,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fedavg = run_decentralized_fedavg(&workload, &BaselineConfig::default(), &opts)?;
     let (facc, fsecs) = fedavg.time_to_max_accuracy().expect("trained");
-    println!("FedAvg: reached {:.1}% test accuracy at {:.2} virtual seconds", facc * 100.0, fsecs);
-    println!("speedup of HADFL over decentralized FedAvg: {:.2}x", fsecs / secs);
+    println!(
+        "FedAvg: reached {:.1}% test accuracy at {:.2} virtual seconds",
+        facc * 100.0,
+        fsecs
+    );
+    println!(
+        "speedup of HADFL over decentralized FedAvg: {:.2}x",
+        fsecs / secs
+    );
     Ok(())
 }

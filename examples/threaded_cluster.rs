@@ -19,10 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         step_sleep: Duration::from_millis(30),
         window: Duration::from_millis(300),
         rounds: 4,
+        timing: hadfl::exec::ProtocolTiming::default(),
     };
 
     let report = run_threaded(&workload, &config, &opts)?;
-    println!("threaded HADFL over {} wall-clock ms:", report.wall.as_millis());
+    println!(
+        "threaded HADFL over {} wall-clock ms:",
+        report.wall.as_millis()
+    );
     for r in &report.rounds {
         println!(
             "  round {}: versions {:?}  selected {:?}",
@@ -34,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {} bytes of encoded frames moved peer-to-peer",
         report.peer_bytes
     );
-    println!("consensus test accuracy: {:.1}%", report.final_accuracy * 100.0);
+    println!(
+        "consensus test accuracy: {:.1}%",
+        report.final_accuracy * 100.0
+    );
     Ok(())
 }

@@ -26,9 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 2: end-to-end — jittered compute with occasional 3x slowdowns.
     let workload = Workload::quick("mlp", 13);
     let mut opts = SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]);
-    opts.jitter = Jitter::Spike { prob: 0.15, slow_factor: 3.0 };
+    opts.jitter = Jitter::Spike {
+        prob: 0.15,
+        slow_factor: 3.0,
+    };
     opts.epochs_total = 10.0;
-    let config = HadflConfig::builder().smoothing_alpha(0.6).seed(13).build()?;
+    let config = HadflConfig::builder()
+        .smoothing_alpha(0.6)
+        .seed(13)
+        .build()?;
     let run = run_hadfl(&workload, &config, &opts)?;
     let last = run.trace.records.last().expect("trained");
     println!(

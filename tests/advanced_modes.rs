@@ -21,7 +21,11 @@ fn grouped_and_flat_reach_similar_accuracy() {
     let mut opts = SimOptions::quick(&[2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 1.0, 1.0]);
     opts.epochs_total = 10.0;
 
-    let flat_cfg = HadflConfig::builder().num_selected(4).seed(71).build().unwrap();
+    let flat_cfg = HadflConfig::builder()
+        .num_selected(4)
+        .seed(71)
+        .build()
+        .unwrap();
     let flat = run_hadfl(&workload, &flat_cfg, &opts).unwrap();
 
     let grouped_cfg = HadflConfig::builder()
@@ -36,7 +40,10 @@ fn grouped_and_flat_reach_similar_accuracy() {
     let fa = flat.trace.max_accuracy();
     let ga = grouped.trace.max_accuracy();
     assert!(fa > 0.5 && ga > 0.5, "flat {fa} grouped {ga}");
-    assert!((f64::from(fa) - f64::from(ga)).abs() < 0.25, "flat {fa} vs grouped {ga}");
+    assert!(
+        (f64::from(fa) - f64::from(ga)).abs() < 0.25,
+        "flat {fa} vs grouped {ga}"
+    );
 }
 
 #[test]
@@ -60,10 +67,13 @@ fn threaded_executor_matches_virtual_time_protocol() {
     // Same workload through both executors: both must select 2-device
     // rings, accumulate versions, and produce a finite consensus.
     let workload = Workload::quick("mlp", 73);
-    let config = HadflConfig::builder().num_selected(2).seed(73).build().unwrap();
+    let config = HadflConfig::builder()
+        .num_selected(2)
+        .seed(73)
+        .build()
+        .unwrap();
 
-    let virtual_run =
-        run_hadfl(&workload, &config, &SimOptions::quick(&[2.0, 1.0, 1.0])).unwrap();
+    let virtual_run = run_hadfl(&workload, &config, &SimOptions::quick(&[2.0, 1.0, 1.0])).unwrap();
     let threaded = run_threaded(
         &workload,
         &config,
@@ -72,6 +82,7 @@ fn threaded_executor_matches_virtual_time_protocol() {
             step_sleep: Duration::from_millis(4),
             window: Duration::from_millis(50),
             rounds: 3,
+            timing: hadfl::exec::ProtocolTiming::quick(),
         },
     )
     .unwrap();
@@ -92,9 +103,17 @@ fn noniid_weighted_aggregation_end_to_end() {
     workload.shard = ShardKind::Dirichlet { alpha: 0.5 };
     let mut opts = SimOptions::quick(&[3.0, 3.0, 1.0, 1.0]);
     opts.epochs_total = 10.0;
-    let config = HadflConfig::builder().weight_by_samples(true).seed(74).build().unwrap();
+    let config = HadflConfig::builder()
+        .weight_by_samples(true)
+        .seed(74)
+        .build()
+        .unwrap();
     let run = run_hadfl(&workload, &config, &opts).unwrap();
-    assert!(run.trace.max_accuracy() > 0.3, "accuracy {}", run.trace.max_accuracy());
+    assert!(
+        run.trace.max_accuracy() > 0.3,
+        "accuracy {}",
+        run.trace.max_accuracy()
+    );
 }
 
 #[test]

@@ -35,9 +35,12 @@ fn decentralized_schemes_have_zero_server_model_traffic() {
     .unwrap();
     assert_eq!(fedavg.comm.server_bytes, 0);
 
-    let dist =
-        run_distributed(&Workload::quick("mlp", 52), &BaselineConfig::default(), &opts(6.0))
-            .unwrap();
+    let dist = run_distributed(
+        &Workload::quick("mlp", 52),
+        &BaselineConfig::default(),
+        &opts(6.0),
+    )
+    .unwrap();
     assert_eq!(dist.comm.server_bytes, 0);
 
     let config = HadflConfig::builder().seed(52).build().unwrap();
@@ -82,7 +85,10 @@ fn backups_cost_one_model_each() {
     o.backup_every = Some(2);
     let run = run_hadfl(&Workload::quick("mlp", 55), &config, &o).unwrap();
     assert!(run.backups_taken > 0);
-    assert_eq!(run.backup_comm.server_bytes, run.backups_taken as u64 * run.trace.model_bytes);
+    assert_eq!(
+        run.backup_comm.server_bytes,
+        run.backups_taken as u64 * run.trace.model_bytes
+    );
 }
 
 #[test]
@@ -97,7 +103,10 @@ fn wire_override_scales_comm_not_math() {
     let b = run_hadfl(&w, &config, &big).unwrap();
     // Same learning dynamics (accuracy identical), different wire volume.
     let accs = |t: &hadfl::trace::Trace| {
-        t.records.iter().map(|r| r.test_accuracy).collect::<Vec<_>>()
+        t.records
+            .iter()
+            .map(|r| r.test_accuracy)
+            .collect::<Vec<_>>()
     };
     assert_eq!(accs(&a.trace), accs(&b.trace));
     assert!(b.trace.comm.total_bytes > 100 * a.trace.comm.total_bytes);

@@ -105,7 +105,11 @@ fn selected_sets_vary_over_rounds() {
     assert!(
         distinct.len() > 1,
         "probabilistic selection should vary: {:?}",
-        run.trace.records.iter().map(|r| &r.selected).collect::<Vec<_>>()
+        run.trace
+            .records
+            .iter()
+            .map(|r| &r.selected)
+            .collect::<Vec<_>>()
     );
 }
 

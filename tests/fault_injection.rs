@@ -20,13 +20,26 @@ fn three_device_workload() -> Workload {
 
 #[test]
 fn permanent_crash_is_survived_and_bypassed() {
-    let faults =
-        FaultPlan::new(vec![Outage::crash(DeviceId(2), VirtualTime::from_secs(0.20))]).unwrap();
-    let config = HadflConfig::builder().num_selected(3).seed(41).build().unwrap();
-    let run =
-        run_hadfl(&three_device_workload(), &config, &opts(&[1.0, 1.0, 1.0], 8.0, faults))
-            .unwrap();
-    assert!(!run.bypass_log.is_empty(), "the crash must trigger a bypass");
+    let faults = FaultPlan::new(vec![Outage::crash(
+        DeviceId(2),
+        VirtualTime::from_secs(0.20),
+    )])
+    .unwrap();
+    let config = HadflConfig::builder()
+        .num_selected(3)
+        .seed(41)
+        .build()
+        .unwrap();
+    let run = run_hadfl(
+        &three_device_workload(),
+        &config,
+        &opts(&[1.0, 1.0, 1.0], 8.0, faults),
+    )
+    .unwrap();
+    assert!(
+        !run.bypass_log.is_empty(),
+        "the crash must trigger a bypass"
+    );
     let last = run.trace.records.last().unwrap();
     assert!(last.epoch_equiv >= 8.0, "training must finish");
     assert!(last.test_accuracy > 0.4, "accuracy {}", last.test_accuracy);
@@ -44,14 +57,25 @@ fn transient_outage_lets_device_rejoin() {
         VirtualTime::from_secs(0.32),
     )])
     .unwrap();
-    let config = HadflConfig::builder().num_selected(2).seed(42).build().unwrap();
-    let run =
-        run_hadfl(&three_device_workload(), &config, &opts(&[1.0, 1.0, 1.0], 10.0, faults))
-            .unwrap();
+    let config = HadflConfig::builder()
+        .num_selected(2)
+        .seed(42)
+        .build()
+        .unwrap();
+    let run = run_hadfl(
+        &three_device_workload(),
+        &config,
+        &opts(&[1.0, 1.0, 1.0], 10.0, faults),
+    )
+    .unwrap();
     let last = run.trace.records.last().unwrap();
     // Device 1 lost some windows but kept training after recovery: its
     // version is behind the healthy devices' but well above zero.
-    assert!(last.versions[1] > 20.0, "device 1 never rejoined: {:?}", last.versions);
+    assert!(
+        last.versions[1] > 20.0,
+        "device 1 never rejoined: {:?}",
+        last.versions
+    );
     assert!(last.versions[1] < last.versions[0], "{:?}", last.versions);
 }
 
@@ -80,7 +104,11 @@ fn training_continues_with_one_survivor_pair() {
         Outage::crash(DeviceId(3), VirtualTime::from_secs(0.3)),
     ])
     .unwrap();
-    let config = HadflConfig::builder().num_selected(2).seed(44).build().unwrap();
+    let config = HadflConfig::builder()
+        .num_selected(2)
+        .seed(44)
+        .build()
+        .unwrap();
     let run = run_hadfl(
         &Workload::quick("mlp", 44),
         &config,
@@ -90,7 +118,12 @@ fn training_continues_with_one_survivor_pair() {
     let last = run.trace.records.last().unwrap();
     assert!(last.epoch_equiv >= 10.0);
     // Late rounds can only ever select the two survivors.
-    let late = run.trace.records.iter().filter(|r| r.time_secs > 0.5).collect::<Vec<_>>();
+    let late = run
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.time_secs > 0.5)
+        .collect::<Vec<_>>();
     for r in late {
         assert!(
             r.selected.iter().all(|&d| d == 1 || d == 2),
@@ -103,9 +136,16 @@ fn training_continues_with_one_survivor_pair() {
 
 #[test]
 fn fault_runs_remain_deterministic() {
-    let faults =
-        FaultPlan::new(vec![Outage::crash(DeviceId(1), VirtualTime::from_secs(0.25))]).unwrap();
-    let config = HadflConfig::builder().num_selected(3).seed(45).build().unwrap();
+    let faults = FaultPlan::new(vec![Outage::crash(
+        DeviceId(1),
+        VirtualTime::from_secs(0.25),
+    )])
+    .unwrap();
+    let config = HadflConfig::builder()
+        .num_selected(3)
+        .seed(45)
+        .build()
+        .unwrap();
     let o = opts(&[2.0, 1.0, 1.0], 8.0, faults);
     let a = run_hadfl(&Workload::quick("mlp", 45), &config, &o).unwrap();
     let b = run_hadfl(&Workload::quick("mlp", 45), &config, &o).unwrap();

@@ -39,8 +39,14 @@ fn hadfl_is_faster_per_epoch_on_heterogeneous_clusters() {
     let d_rate = secs_per_epoch(d.time_secs, d.epoch_equiv);
 
     // HADFL processes data faster than both synchronous schemes…
-    assert!(h_rate < f_rate, "hadfl {h_rate:.4} vs fedavg {f_rate:.4} s/epoch");
-    assert!(h_rate < d_rate, "hadfl {h_rate:.4} vs distributed {d_rate:.4} s/epoch");
+    assert!(
+        h_rate < f_rate,
+        "hadfl {h_rate:.4} vs fedavg {f_rate:.4} s/epoch"
+    );
+    assert!(
+        h_rate < d_rate,
+        "hadfl {h_rate:.4} vs distributed {d_rate:.4} s/epoch"
+    );
     // …by an amount in the ballpark of the mean/min power ratio (2.0
     // here), eroded only by the warm-up phase.
     let speedup = f_rate / h_rate;
@@ -71,7 +77,10 @@ fn hadfl_advantage_shrinks_on_homogeneous_clusters() {
         "heterogeneity should be where HADFL wins: hetero {hetero_speedup:.2} vs homo {homo_speedup:.2}"
     );
     // On a homogeneous cluster there is no straggler waste to reclaim.
-    assert!(homo_speedup < 1.35, "homogeneous speedup {homo_speedup:.2} suspiciously high");
+    assert!(
+        homo_speedup < 1.35,
+        "homogeneous speedup {homo_speedup:.2} suspiciously high"
+    );
 }
 
 #[test]
@@ -97,10 +106,14 @@ fn all_schemes_reach_comparable_accuracy_given_enough_epochs() {
     let fedavg = run_decentralized_fedavg(&w, &BaselineConfig::default(), &o)
         .unwrap()
         .max_accuracy();
-    let dist =
-        run_distributed(&w, &BaselineConfig::default(), &o).unwrap().max_accuracy();
+    let dist = run_distributed(&w, &BaselineConfig::default(), &o)
+        .unwrap()
+        .max_accuracy();
 
-    assert!(fedavg > 0.6 && dist > 0.6 && hadfl > 0.6, "{hadfl} {fedavg} {dist}");
+    assert!(
+        fedavg > 0.6 && dist > 0.6 && hadfl > 0.6,
+        "{hadfl} {fedavg} {dist}"
+    );
     // The paper: "almost no loss of convergence accuracy" — allow a
     // modest partial-aggregation gap at this tiny scale.
     assert!(

@@ -1,0 +1,171 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! crate: `criterion_group!`/`criterion_main!` plus `Criterion`,
+//! benchmark groups, and `Bencher::iter`, measured with plain
+//! wall-clock timing (median of a few samples) instead of criterion's
+//! statistical machinery. Reports `ns/iter` per benchmark to stdout so
+//! `cargo bench` output stays greppable. Set `HADFL_BENCH_FAST=1` to
+//! shrink the measurement budget (used by CI smoke runs).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], like the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var_os("HADFL_BENCH_FAST").is_some();
+        Criterion {
+            measure_budget: if fast {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(150)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.measure_budget, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the stand-in sizes samples by time budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark, reported as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(&full, self.criterion.measure_budget, &mut f);
+        self
+    }
+
+    /// Ends the group (compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`iter`](Bencher::iter) with
+/// the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
+    // Calibrate: grow the iteration count until one sample costs ~1/5 of
+    // the measurement budget.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed * 5 >= budget || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            ((budget.as_secs_f64() / 5.0 / b.elapsed.as_secs_f64()).ceil() as u64).clamp(2, 16)
+        };
+        iters = iters.saturating_mul(grow);
+    }
+    // Measure: median of 5 samples.
+    let mut per_iter: Vec<f64> = (0..5)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median_ns = per_iter[per_iter.len() / 2] * 1e9;
+    println!("bench: {name:<40} {median_ns:>12.1} ns/iter ({iters} iters/sample)");
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("HADFL_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the [`rand_chacha`](https://docs.rs/rand_chacha)
+//! crate: [`ChaCha8Rng`] is a genuine ChaCha stream cipher keystream
+//! (8 double-rounds) driven through the vendored `rand` traits. The
+//! keystream is a faithful ChaCha implementation, so output quality and
+//! cross-platform stability match the real crate; the word-consumption
+//! order is this crate's own (stable forever, which is what the
+//! workspace's reproducibility guarantee needs).
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+const WORDS: usize = 16;
+
+/// A deterministic RNG backed by the ChaCha8 stream cipher.
+#[derive(Clone)]
+pub struct ChaCha8Rng {
+    seed: [u8; 32],
+    /// 64-bit block counter (words 12–13 of the ChaCha state).
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; WORDS],
+    /// Next unconsumed word in `block`; `WORDS` forces a refill.
+    index: usize,
+}
+
+impl std::fmt::Debug for ChaCha8Rng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha8Rng")
+            .field("counter", &self.counter)
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// The 256-bit seed this generator was built from.
+    pub fn get_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes(self.seed[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // words 14–15: stream id, fixed to zero.
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // column round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        ChaCha8Rng {
+            seed,
+            counter: 0,
+            block: [0; WORDS],
+            index: WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= WORDS {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same <= 1, "streams should be unrelated, {same} collisions");
+    }
+
+    #[test]
+    fn get_seed_roundtrips() {
+        let seed = [9u8; 32];
+        let rng = ChaCha8Rng::from_seed(seed);
+        assert_eq!(rng.get_seed(), seed);
+    }
+
+    #[test]
+    fn keystream_is_balanced() {
+        // Crude sanity check on the keystream: ones-density near 50%.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        let density = ones as f64 / (1000.0 * 32.0);
+        assert!((density - 0.5).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

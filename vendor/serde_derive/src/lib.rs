@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored `serde` stub's value-tree traits. Because the
+//! registry (and with it `syn`/`quote`) is unavailable, the item is
+//! parsed directly from the [`proc_macro::TokenStream`]: attributes and
+//! visibility are skipped, then the struct/enum shape is extracted.
+//! Supported shapes — everything this workspace derives on:
+//!
+//! - structs with named fields,
+//! - tuple structs (single-field newtypes are transparent, like serde),
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   serde's default).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and panic
+//! at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` with the arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(__fields))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::__field(__obj, \"{f}\", \"{name}\")?,\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                         if __items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"{arity}-element array\", \"{name}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({gets}))\n\
+                     }}\n\
+                 }}",
+                gets = gets.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms
+                        .push_str(&format!("\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n")),
+                    Variant::Tuple(vn, arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?));"
+                            )
+                        } else {
+                            let gets: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            format!(
+                                "let __items = __inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::expected(\"{arity}-element array\", \"{name}::{vn}\"));\n\
+                                 }}\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({gets}));",
+                                gets = gets.join(", ")
+                            )
+                        };
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::__field(__vobj, \"{f}\", \"{name}::{vn}\")?,\n"
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __vobj = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(__s) = v.as_str() {{\n\
+                             match __s {{\n{unit_arms}_ => {{}}\n}}\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(__entries) = v.as_object() {{\n\
+                             if __entries.len() == 1 {{\n\
+                                 let (__key, __inner) = &__entries[0];\n\
+                                 match __key.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", \"{name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// --- Token-level item parsing. ---
+
+fn parse_item(input: TokenStream) -> Item {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&trees, &mut i);
+    let kind = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &trees[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other} {name}`"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(trees: &[TokenTree], i: &mut usize) {
+    loop {
+        match trees.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = trees.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field body, skipping types
+/// (tracking `<...>` nesting so generic arguments' commas don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs_and_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let fname = match &trees[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &trees[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{fname}`, found {other}"),
+        }
+        let mut angle_depth = 0i32;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &trees {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parses enum variants: name plus unit/tuple/struct shape.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        skip_attrs_and_vis(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let vname = match &trees[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let variant = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Struct(vname, parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Variant::Tuple(vname, count_tuple_fields(g.stream()))
+            }
+            _ => Variant::Unit(vname),
+        };
+        variants.push(variant);
+        // Skip to the comma ending the variant (covers `= discr`).
+        while i < trees.len() {
+            if let TokenTree::Punct(p) = &trees[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
