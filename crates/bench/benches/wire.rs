@@ -76,6 +76,7 @@ fn bench_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_roundtrip");
     // The dominant per-round flow: one accumulate hop of the ring.
     let msg = Message::ParamAccum {
+        round: 1,
         hops: 2,
         params: param_vec(26_506),
     };

@@ -162,6 +162,8 @@ enum RingExit {
 
 /// Per-round ring state of one member (§III-D bookkeeping).
 struct RingRun {
+    /// Round this ring synchronizes; ring frames carry the same tag.
+    round: u32,
     /// Live members in ring order; shrinks as deaths are bypassed.
     live: Vec<usize>,
     /// Broadcaster for the round's merged model.
@@ -174,6 +176,28 @@ struct RingRun {
     /// Set once this member has installed the merged model; duplicate
     /// merges (possible after a re-send) are ignored.
     merged_done: bool,
+    /// Set once this member's parameters are inside an accumulation it
+    /// forwarded; a re-sent [`Message::ParamAccum`] (possible after a
+    /// bypass) must not count the member twice.
+    contributed: bool,
+}
+
+/// The round a ring frame belongs to; `None` for non-ring messages.
+fn ring_frame_round(msg: &Message) -> Option<u32> {
+    match msg {
+        Message::ParamAccum { round, .. } | Message::MergedParams { round, .. } => Some(*round),
+        _ => None,
+    }
+}
+
+/// Holds a ring frame that belongs to a different round than the ring
+/// currently running: frames for future rounds are replayed when their
+/// plan arrives, frames for past rounds are re-send duplicates and are
+/// dropped.
+fn stash_ring_frame(backlog: &mut Vec<Message>, current: u32, msg: Message) {
+    if ring_frame_round(&msg).is_some_and(|r| r > current) {
+        backlog.push(msg);
+    }
 }
 
 impl RingRun {
@@ -217,6 +241,15 @@ pub fn run_device<P: Port>(
     let me = port.id();
     let coord = coordinator_id(port.participants() - 1);
     rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
+    // Highest round whose ring this member finished, that ring's state
+    // (kept: a late §III-D bypass may still need this member's last
+    // frame re-sent), and ring frames that overtook their RoundPlan —
+    // TCP gives no ordering between the coordinator's connection and a
+    // peer's, so an accumulation can arrive before the plan it belongs
+    // to.
+    let mut done_round = 0u32;
+    let mut last_ring: Option<RingRun> = None;
+    let mut backlog: Vec<Message> = Vec::new();
     loop {
         match port.try_recv()? {
             Some(Message::Shutdown) => {
@@ -240,22 +273,37 @@ pub fn run_device<P: Port>(
                 );
             }
             Some(Message::RoundPlan {
+                round,
                 ring,
                 broadcaster,
                 unselected,
-                ..
             }) => {
                 let mut run = RingRun {
+                    round,
                     live: ring.iter().map(|&d| d as usize).collect(),
                     broadcaster: broadcaster as usize,
                     unselected: unselected.iter().map(|&d| d as usize).collect(),
                     last_sent: None,
                     merged_done: false,
+                    contributed: false,
                 };
                 if run.pos(me).is_none() {
                     continue; // not addressed to us; stale broadcast
                 }
-                match run_ring(&mut port, &mut rt, &mut run, me, coord, timing)? {
+                // Frames for rings before this one are dead history.
+                backlog.retain(|m| ring_frame_round(m).is_some_and(|r| r >= round));
+                let exit = run_ring(
+                    &mut port,
+                    &mut rt,
+                    &mut run,
+                    me,
+                    coord,
+                    timing,
+                    &mut backlog,
+                )?;
+                done_round = done_round.max(round);
+                last_ring = Some(run);
+                match exit {
                     RingExit::Done => {}
                     RingExit::Shutdown => {
                         let _ = port.send(
@@ -279,12 +327,49 @@ pub fn run_device<P: Port>(
             Some(Message::Handshake { from }) => {
                 let _ = port.send(from as usize, &Message::HandshakeAck { from: me as u32 });
             }
-            Some(_) => {} // heartbeats, stale acks/warnings
+            Some(msg @ (Message::ParamAccum { .. } | Message::MergedParams { .. })) => {
+                // A ring frame outside a ring: either it overtook its
+                // RoundPlan (hold it for the plan) or it is a re-send
+                // duplicate for a ring already finished (drop it).
+                if ring_frame_round(&msg).is_some_and(|r| r > done_round) {
+                    backlog.push(msg);
+                }
+            }
+            Some(Message::BypassWarning { dead }) => {
+                // A death in the ring this member already finished: if
+                // the member's last frame was addressed to the dead
+                // device, the stranded new downstream still needs it.
+                if let Some(run) = last_ring.as_mut() {
+                    bypass_in_finished_ring(&mut port, run, me, dead as usize);
+                }
+            }
+            Some(_) => {} // heartbeats, stale acks
             None => {
                 // No command: one heterogeneity-aware local step.
                 rt.train_steps(1)?;
                 thread::sleep(step_sleep);
             }
+        }
+    }
+}
+
+/// Applies a [`Message::BypassWarning`] to a ring this member already
+/// finished. The member forwarded its last frame and left the ring
+/// loop; if that frame's recipient is the one now declared dead, the
+/// frame never reached the rest of the ring and must be re-sent to the
+/// new downstream.
+fn bypass_in_finished_ring<P: Port>(port: &mut P, run: &mut RingRun, me: usize, dead: usize) {
+    if dead == me || run.pos(dead).is_none() {
+        return;
+    }
+    run.live.retain(|&d| d != dead);
+    if run.live.len() < 2 {
+        return;
+    }
+    if let Some((to, msg)) = run.last_sent.clone() {
+        if to == dead {
+            let downstream = run.downstream(me);
+            send_ring(port, run, downstream, msg);
         }
     }
 }
@@ -321,6 +406,7 @@ fn finish_reduce<P: Port>(
             run,
             downstream,
             Message::MergedParams {
+                round: run.round,
                 ttl: (run.live.len() - 1) as u32,
                 params: params.clone(),
             },
@@ -347,7 +433,7 @@ fn broadcast_if_mine<P: Port>(port: &mut P, run: &RingRun, me: usize, params: &[
         let _ = port.send(
             u,
             &Message::ParamSync {
-                round: 0,
+                round: run.round,
                 params: params.to_vec(),
             },
         );
@@ -372,12 +458,14 @@ fn repair_after_bypass<P: Port>(
         None if run.live[0] == me && !run.merged_done => {
             // The origin died silent; its downstream (now first) starts
             // the reduce.
+            run.contributed = true;
             let downstream = run.downstream(me);
             send_ring(
                 port,
                 run,
                 downstream,
                 Message::ParamAccum {
+                    round: run.round,
                     hops: 1,
                     params: rt.model.param_vector(),
                 },
@@ -396,16 +484,19 @@ fn run_ring<P: Port>(
     me: usize,
     coord: usize,
     timing: &ProtocolTiming,
+    backlog: &mut Vec<Message>,
 ) -> Result<RingExit, HadflError> {
     let started = Instant::now();
     // The first member initiates the reduce with its own parameters.
     if run.live[0] == me {
+        run.contributed = true;
         let downstream = run.downstream(me);
         send_ring(
             port,
             run,
             downstream,
             Message::ParamAccum {
+                round: run.round,
                 hops: 1,
                 params: rt.model.param_vector(),
             },
@@ -419,13 +510,48 @@ fn run_ring<P: Port>(
                 "ring synchronization stalled".into(),
             ));
         }
-        let wait = match probe {
-            Some((_, deadline)) => deadline.saturating_duration_since(Instant::now()),
-            None => timing.ring_wait,
+        // Frames for this ring that arrived before its RoundPlan (or
+        // during an earlier ring) are replayed before the socket is
+        // polled.
+        let next = match backlog
+            .iter()
+            .position(|m| ring_frame_round(m) == Some(run.round))
+        {
+            Some(held) => Some(backlog.remove(held)),
+            None => {
+                let wait = match probe {
+                    Some((_, deadline)) => deadline.saturating_duration_since(Instant::now()),
+                    None => timing.ring_wait,
+                };
+                port.recv_timeout(wait.max(Duration::from_millis(1)))?
+            }
         };
-        match port.recv_timeout(wait.max(Duration::from_millis(1)))? {
-            Some(Message::ParamAccum { hops, mut params }) => {
+        match next {
+            Some(Message::ParamAccum {
+                round,
+                hops,
+                mut params,
+            }) => {
+                if round != run.round {
+                    stash_ring_frame(
+                        backlog,
+                        run.round,
+                        Message::ParamAccum {
+                            round,
+                            hops,
+                            params,
+                        },
+                    );
+                    continue;
+                }
                 probe = None;
+                if run.contributed {
+                    // Re-send duplicate after a bypass: our parameters
+                    // already ride an accumulation we forwarded; adding
+                    // them again would skew the merged mean.
+                    continue;
+                }
+                run.contributed = true;
                 let mine = rt.model.param_vector();
                 for (a, m) in params.iter_mut().zip(&mine) {
                     *a += m;
@@ -435,14 +561,28 @@ fn run_ring<P: Port>(
                     finish_reduce(port, rt, run, me, params, hops)?;
                 } else {
                     let downstream = run.downstream(me);
-                    send_ring(port, run, downstream, Message::ParamAccum { hops, params });
+                    send_ring(
+                        port,
+                        run,
+                        downstream,
+                        Message::ParamAccum {
+                            round: run.round,
+                            hops,
+                            params,
+                        },
+                    );
                 }
             }
-            Some(Message::MergedParams { ttl, params }) => {
-                probe = None;
-                if run.merged_done {
-                    continue; // duplicate after a re-send
+            Some(Message::MergedParams { round, ttl, params }) => {
+                if round != run.round {
+                    stash_ring_frame(
+                        backlog,
+                        run.round,
+                        Message::MergedParams { round, ttl, params },
+                    );
+                    continue;
                 }
+                probe = None;
                 rt.model.set_param_vector(&params)?;
                 run.merged_done = true;
                 if ttl > 1 {
@@ -452,6 +592,7 @@ fn run_ring<P: Port>(
                         run,
                         downstream,
                         Message::MergedParams {
+                            round: run.round,
                             ttl: ttl - 1,
                             params: params.clone(),
                         },
@@ -612,6 +753,13 @@ pub fn run_coordinator<P: Port>(
             dropped.push((d, round));
         }
         if alive.len() < 2 {
+            // Best-effort shutdown of *every* device, dropped included:
+            // a device the coordinator dropped may well still be
+            // running, and without a Shutdown it would train forever
+            // (and a threaded harness would never join its thread).
+            for d in 0..k {
+                let _ = port.send(d, &Message::Shutdown);
+            }
             return Err(HadflError::ClusterDead { round });
         }
 
@@ -647,8 +795,11 @@ pub fn run_coordinator<P: Port>(
         });
     }
 
-    // Shutdown: collect every live device's final parameters.
-    for &d in &alive {
+    // Shutdown goes to every device, dropped ones included — being
+    // dropped from planning does not stop a device's training loop, so
+    // it must still hear that the run is over. Only live devices'
+    // final parameters are collected.
+    for d in 0..k {
         let _ = port.send(d, &Message::Shutdown);
     }
     let mut final_models: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
@@ -871,6 +1022,335 @@ mod tests {
         // Control traffic through the coordinator must be negligible
         // next to the parameter frames (decentralization claim).
         assert!(report.comm.server_bytes < report.peer_bytes);
+    }
+
+    /// A device the coordinator drops keeps training — being excluded
+    /// from planning does not stop its loop. Shutdown must reach it
+    /// anyway, or the harness would block forever joining its thread.
+    #[test]
+    fn shutdown_reaches_dropped_devices() {
+        let k = 3;
+        let config = quick_config(67);
+        let workload = Workload::quick("mlp", 67);
+        let built = workload.build(k).unwrap();
+        let mut timing = ProtocolTiming::quick();
+        timing.report_deadline = Duration::from_millis(500);
+        let step_sleep = Duration::from_millis(4);
+
+        let mut hub = ChannelTransport::hub(k + 1);
+        let coordinator_port = hub.claim(coordinator_id(k)).unwrap();
+        let mute_id = 2usize;
+        let mut mute_port = hub.claim(mute_id).unwrap();
+        let mut ports: Vec<_> = (0..k)
+            .filter(|&i| i != mute_id)
+            .map(|i| hub.claim(i).unwrap())
+            .collect();
+
+        let outcome = thread::scope(|scope| {
+            let mut runtimes: Vec<_> = built.runtimes.into_iter().enumerate().collect();
+            runtimes.retain(|(i, _)| *i != mute_id);
+            for ((_, rt), port) in runtimes.into_iter().zip(ports.drain(..)) {
+                let timing = timing.clone();
+                let config = &config;
+                scope.spawn(move || run_device(port, rt, config, step_sleep, &timing));
+            }
+            // The mute device never reports (so it is dropped in round
+            // 1) but stays alive until it hears Shutdown.
+            scope.spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(30);
+                loop {
+                    assert!(
+                        Instant::now() < deadline,
+                        "dropped device never heard Shutdown"
+                    );
+                    if let Ok(Some(Message::Shutdown)) =
+                        mute_port.recv_timeout(Duration::from_millis(100))
+                    {
+                        return;
+                    }
+                }
+            });
+            run_coordinator(
+                coordinator_port,
+                &config,
+                Duration::from_millis(60),
+                2,
+                &timing,
+            )
+        })
+        .unwrap();
+
+        assert!(
+            outcome.dropped.iter().any(|&(d, _)| d == mute_id),
+            "mute device must be dropped: {:?}",
+            outcome.dropped
+        );
+        assert_eq!(outcome.final_models.len(), 2);
+    }
+
+    /// When the cluster collapses below two devices the coordinator
+    /// errors out — but it must still shut the stragglers down instead
+    /// of leaving them training forever.
+    #[test]
+    fn cluster_dead_still_shuts_devices_down() {
+        let k = 2;
+        let config = quick_config(68);
+        let mut timing = ProtocolTiming::quick();
+        timing.report_deadline = Duration::from_millis(300);
+
+        let mut hub = ChannelTransport::hub(k + 1);
+        let coordinator_port = hub.claim(coordinator_id(k)).unwrap();
+        let mut mute_ports: Vec<_> = (0..k).map(|i| hub.claim(i).unwrap()).collect();
+
+        let err = thread::scope(|scope| {
+            for mut port in mute_ports.drain(..) {
+                scope.spawn(move || {
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    loop {
+                        assert!(
+                            Instant::now() < deadline,
+                            "device never heard Shutdown after ClusterDead"
+                        );
+                        if let Ok(Some(Message::Shutdown)) =
+                            port.recv_timeout(Duration::from_millis(100))
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+            run_coordinator(
+                coordinator_port,
+                &config,
+                Duration::from_millis(40),
+                2,
+                &timing,
+            )
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, HadflError::ClusterDead { round: 1 }),
+            "expected ClusterDead, got {err:?}"
+        );
+    }
+
+    /// TCP gives no ordering between the coordinator's connection and a
+    /// peer's: a ring frame can arrive before the RoundPlan it belongs
+    /// to. The member must hold it and replay it once the plan lands.
+    #[test]
+    fn ring_frames_overtaking_their_plan_are_replayed() {
+        let k = 2;
+        let config = quick_config(69);
+        let workload = Workload::quick("mlp", 69);
+        let mut runtimes = workload.build(k).unwrap().runtimes;
+        let rt = runtimes.remove(0);
+        let dim = rt.model.param_vector().len();
+        let timing = ProtocolTiming::quick();
+
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut coord_port = hub.claim(coordinator_id(k)).unwrap();
+        let device_port = hub.claim(0).unwrap();
+        let mut peer_port = hub.claim(1).unwrap();
+
+        thread::scope(|scope| {
+            // The accumulation overtakes the plan that explains it.
+            peer_port
+                .send(
+                    0,
+                    &Message::ParamAccum {
+                        round: 1,
+                        hops: 1,
+                        params: vec![0.5; dim],
+                    },
+                )
+                .unwrap();
+            coord_port
+                .send(
+                    0,
+                    &Message::RoundPlan {
+                        round: 1,
+                        ring: vec![1, 0],
+                        broadcaster: 1,
+                        unselected: vec![],
+                    },
+                )
+                .unwrap();
+            coord_port.send(0, &Message::Shutdown).unwrap();
+            let config = &config;
+            let timing = timing.clone();
+            let handle = scope.spawn(move || {
+                run_device(device_port, rt, config, Duration::from_millis(1), &timing)
+            });
+            // The device closes the reduce it replayed from its backlog.
+            match peer_port.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Some(Message::MergedParams {
+                    round: 1,
+                    ttl: 1,
+                    params,
+                }) => assert_eq!(params.len(), dim),
+                other => panic!("expected the merged model, got {other:?}"),
+            }
+            match coord_port.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Some(Message::FinalParams { device: 0, .. }) => {}
+                other => panic!("expected final params, got {other:?}"),
+            }
+            handle.join().unwrap().unwrap();
+        });
+    }
+
+    /// After a bypass, the dead member's upstream re-sends its last
+    /// accumulation — which can reach a member that already added its
+    /// parameters. The duplicate must not be counted twice.
+    #[test]
+    fn duplicate_accum_after_bypass_is_ignored() {
+        let k = 3;
+        let config = quick_config(70);
+        let workload = Workload::quick("mlp", 70);
+        let mut runtimes = workload.build(k).unwrap().runtimes;
+        let rt = runtimes.remove(0);
+        let dim = rt.model.param_vector().len();
+        let timing = ProtocolTiming::quick();
+
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut coord_port = hub.claim(coordinator_id(k)).unwrap();
+        let device_port = hub.claim(0).unwrap();
+        let mut peer1 = hub.claim(1).unwrap();
+        let mut peer2 = hub.claim(2).unwrap();
+
+        thread::scope(|scope| {
+            coord_port
+                .send(
+                    0,
+                    &Message::RoundPlan {
+                        round: 1,
+                        ring: vec![1, 0, 2],
+                        broadcaster: 1,
+                        unselected: vec![],
+                    },
+                )
+                .unwrap();
+            let accum = Message::ParamAccum {
+                round: 1,
+                hops: 1,
+                params: vec![3.0; dim],
+            };
+            peer1.send(0, &accum).unwrap();
+            // A bypass-repair re-send of the same accumulation.
+            peer1.send(0, &accum).unwrap();
+            peer1
+                .send(
+                    0,
+                    &Message::MergedParams {
+                        round: 1,
+                        ttl: 1,
+                        params: vec![7.0; dim],
+                    },
+                )
+                .unwrap();
+            coord_port.send(0, &Message::Shutdown).unwrap();
+            let config = &config;
+            let timing = timing.clone();
+            let handle = scope.spawn(move || {
+                run_device(device_port, rt, config, Duration::from_millis(1), &timing)
+            });
+            match coord_port.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Some(Message::FinalParams { device: 0, params }) => {
+                    assert!(
+                        params.iter().all(|&p| p == 7.0),
+                        "device must install the merged model unchanged"
+                    );
+                }
+                other => panic!("expected final params, got {other:?}"),
+            }
+            handle.join().unwrap().unwrap();
+            // Exactly one accumulation reaches the downstream: the
+            // duplicate was dropped, not forwarded with doubled params.
+            let mut accums = 0;
+            while let Some(msg) = peer2.try_recv().unwrap() {
+                if let Message::ParamAccum { hops, .. } = msg {
+                    assert_eq!(hops, 2);
+                    accums += 1;
+                }
+            }
+            assert_eq!(accums, 1, "the re-sent duplicate must not be forwarded");
+        });
+    }
+
+    /// A member that finished its ring and went back to training may
+    /// still hold the only copy of the frame its (now dead) downstream
+    /// never forwarded: a late BypassWarning must trigger the re-send
+    /// even outside the ring loop.
+    #[test]
+    fn finished_member_repairs_ring_after_downstream_death() {
+        let k = 3;
+        let config = quick_config(71);
+        let workload = Workload::quick("mlp", 71);
+        let mut runtimes = workload.build(k).unwrap().runtimes;
+        let rt = runtimes.remove(0);
+        let dim = rt.model.param_vector().len();
+        let timing = ProtocolTiming::quick();
+
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut coord_port = hub.claim(coordinator_id(k)).unwrap();
+        let device_port = hub.claim(0).unwrap();
+        let mut peer1 = hub.claim(1).unwrap();
+        let mut peer2 = hub.claim(2).unwrap();
+
+        thread::scope(|scope| {
+            coord_port
+                .send(
+                    0,
+                    &Message::RoundPlan {
+                        round: 1,
+                        ring: vec![2, 0, 1],
+                        broadcaster: 2,
+                        unselected: vec![],
+                    },
+                )
+                .unwrap();
+            // Device 0 closes the reduce and forwards the merged model
+            // to its downstream 1...
+            peer2
+                .send(
+                    0,
+                    &Message::ParamAccum {
+                        round: 1,
+                        hops: 2,
+                        params: vec![1.0; dim],
+                    },
+                )
+                .unwrap();
+            // ...which dies before forwarding; the stranded member 2
+            // broadcasts the bypass.
+            peer2.send(0, &Message::BypassWarning { dead: 1 }).unwrap();
+            coord_port.send(0, &Message::Shutdown).unwrap();
+            let config = &config;
+            let timing = timing.clone();
+            let handle = scope.spawn(move || {
+                run_device(device_port, rt, config, Duration::from_millis(1), &timing)
+            });
+            match peer1.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Some(Message::MergedParams {
+                    round: 1, ttl: 2, ..
+                }) => {}
+                other => panic!("downstream 1 should get the merge first, got {other:?}"),
+            }
+            // The repair: device 0 re-sends its merged frame to the new
+            // downstream even though its own ring is long finished.
+            match peer2.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Some(Message::MergedParams {
+                    round: 1,
+                    ttl: 2,
+                    params,
+                }) => assert_eq!(params.len(), dim),
+                other => panic!("stranded member must be repaired, got {other:?}"),
+            }
+            match coord_port.recv_timeout(Duration::from_secs(10)).unwrap() {
+                Some(Message::FinalParams { device: 0, .. }) => {}
+                other => panic!("expected final params, got {other:?}"),
+            }
+            handle.join().unwrap().unwrap();
+        });
     }
 
     /// A planned ring member that dies silently mid-protocol: it

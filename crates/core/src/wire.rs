@@ -56,6 +56,10 @@ pub enum Message {
     /// A running parameter sum travelling around the gossip ring (the
     /// reduce half of the ring aggregation).
     ParamAccum {
+        /// Synchronization round the accumulation belongs to. Ring
+        /// frames can overtake their [`Message::RoundPlan`] (TCP gives
+        /// no ordering across connections), so they carry their round.
+        round: u32,
         /// How many members' parameters the sum already contains.
         hops: u32,
         /// The running elementwise sum.
@@ -64,6 +68,9 @@ pub enum Message {
     /// The merged model travelling back around the ring (the
     /// distribute half), forwarded while `ttl > 0`.
     MergedParams {
+        /// Synchronization round the merge belongs to (same rationale
+        /// as the [`Message::ParamAccum`] round tag).
+        round: u32,
         /// Remaining forwards.
         ttl: u32,
         /// The merged parameter vector.
@@ -196,13 +203,19 @@ impl Message {
                 buf.put_u32_le(*local_steps);
                 buf.put_u32_le(*window_ms);
             }
-            Message::ParamAccum { hops, params } => {
+            Message::ParamAccum {
+                round,
+                hops,
+                params,
+            } => {
                 buf.put_u8(TAG_PARAM_ACCUM);
+                buf.put_u32_le(*round);
                 buf.put_u32_le(*hops);
                 put_params(&mut buf, params);
             }
-            Message::MergedParams { ttl, params } => {
+            Message::MergedParams { round, ttl, params } => {
                 buf.put_u8(TAG_MERGED_PARAMS);
+                buf.put_u32_le(*round);
                 buf.put_u32_le(*ttl);
                 put_params(&mut buf, params);
             }
@@ -246,10 +259,12 @@ impl Message {
     /// what the simulator's communication accounting charges.
     pub fn encoded_len(&self) -> usize {
         match self {
-            Message::ParamSync { params, .. }
-            | Message::ParamAccum { params, .. }
-            | Message::MergedParams { params, .. }
-            | Message::FinalParams { params, .. } => 1 + 4 + 4 + 4 * params.len(),
+            Message::ParamSync { params, .. } | Message::FinalParams { params, .. } => {
+                1 + 4 + 4 + 4 * params.len()
+            }
+            Message::ParamAccum { params, .. } | Message::MergedParams { params, .. } => {
+                1 + 4 + 4 + 4 + 4 * params.len()
+            }
             Message::VersionReport { .. } => 1 + 4 + 4 + 8,
             Message::Handshake { .. } | Message::HandshakeAck { .. } => 1 + 4,
             Message::BypassWarning { .. } => 1 + 4,
@@ -328,7 +343,8 @@ impl Message {
                 }
             }
             TAG_PARAM_ACCUM | TAG_MERGED_PARAMS => {
-                need(frame, 8)?;
+                need(frame, 12)?;
+                let round = frame.get_u32_le();
                 let head = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
@@ -337,9 +353,17 @@ impl Message {
                     params.push(frame.get_f32_le());
                 }
                 if tag == TAG_PARAM_ACCUM {
-                    Message::ParamAccum { hops: head, params }
+                    Message::ParamAccum {
+                        round,
+                        hops: head,
+                        params,
+                    }
                 } else {
-                    Message::MergedParams { ttl: head, params }
+                    Message::MergedParams {
+                        round,
+                        ttl: head,
+                        params,
+                    }
                 }
             }
             TAG_ROUND_PLAN => {
@@ -446,10 +470,12 @@ mod tests {
             window_ms: 450,
         });
         roundtrip(Message::ParamAccum {
+            round: 5,
             hops: 2,
             params: vec![0.5, 0.25],
         });
         roundtrip(Message::MergedParams {
+            round: 5,
             ttl: 3,
             params: vec![-1.0],
         });

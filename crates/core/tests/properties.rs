@@ -207,8 +207,16 @@ fn arb_message(variant: usize, a: u32, b: u32, v: f64, params: Vec<f32>, ids: Ve
             local_steps: a,
             window_ms: b,
         },
-        6 => Message::ParamAccum { hops: a, params },
-        7 => Message::MergedParams { ttl: a, params },
+        6 => Message::ParamAccum {
+            round: b,
+            hops: a,
+            params,
+        },
+        7 => Message::MergedParams {
+            round: b,
+            ttl: a,
+            params,
+        },
         8 => Message::RoundPlan {
             round: a,
             ring: ids.clone(),

@@ -45,6 +45,12 @@ pub struct TcpOptions {
     /// Socket read timeout; also the granularity at which reader
     /// threads notice shutdown.
     pub read_timeout: Duration,
+    /// Socket write timeout, set on every dialed connection. A peer
+    /// whose TCP connection is alive but which stopped reading would
+    /// otherwise block `write_all` forever once the socket buffer
+    /// fills; with the timeout the send fails and the §III-D machinery
+    /// takes over.
+    pub write_timeout: Duration,
     /// Dial attempts per send before the peer is declared unreachable.
     pub max_dial_attempts: u32,
     /// First reconnect backoff; doubles per attempt.
@@ -64,6 +70,7 @@ impl Default for TcpOptions {
         TcpOptions {
             connect_timeout: Duration::from_secs(1),
             read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(5),
             max_dial_attempts: 6,
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(2),
@@ -244,6 +251,9 @@ impl TcpPort {
                     stream
                         .set_nodelay(true)
                         .map_err(|e| HadflError::InvalidConfig(format!("nodelay: {e}")))?;
+                    stream
+                        .set_write_timeout(Some(opts.write_timeout))
+                        .map_err(|e| HadflError::InvalidConfig(format!("write timeout: {e}")))?;
                     let hello = Message::Hello {
                         from: self.shared.me as u32,
                     }
@@ -297,19 +307,18 @@ impl Port for TcpPort {
         let frame = msg.encode();
         // One reconnect round: a cached connection may have died since
         // the last send; re-dial (with its own backoff budget) once.
+        // The stream is taken *out* of the map for the duration of the
+        // write, so the `conns` lock is never held across `dial` (which
+        // sleeps through backoff) or `write_all` (which can block on a
+        // stalled peer until the write timeout) — heartbeats and the
+        // port's other sends stay unblocked.
         for fresh in [false, true] {
-            let mut conns = self.conns.lock();
-            if fresh {
-                conns.remove(&to);
-            }
-            let stream = match conns.entry(to) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    let stream = self.dial(to)?;
-                    v.insert(stream)
-                }
+            let cached = self.conns.lock().remove(&to);
+            let mut stream = match cached {
+                Some(stream) => stream,
+                None => self.dial(to)?,
             };
-            match write_frame(stream, &frame) {
+            match write_frame(&mut stream, &frame) {
                 Ok(()) => {
                     self.shared
                         .raw_bytes
@@ -319,13 +328,13 @@ impl Port for TcpPort {
                         endpoint_of(to, self.shared.devices),
                         frame.len() as u64,
                     );
+                    self.conns.lock().insert(to, stream);
                     return Ok(());
                 }
                 Err(e) if !fresh => {
                     let _ = e; // stale socket: drop it and re-dial
                 }
                 Err(e) => {
-                    conns.remove(&to);
                     return Err(HadflError::InvalidConfig(format!("send to {to}: {e}")));
                 }
             }
@@ -513,6 +522,7 @@ mod tests {
         TcpOptions {
             connect_timeout: Duration::from_millis(500),
             read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_millis(500),
             max_dial_attempts: 8,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(200),

@@ -17,6 +17,7 @@ fn tcp_opts() -> TcpOptions {
     TcpOptions {
         connect_timeout: Duration::from_millis(500),
         read_timeout: Duration::from_millis(25),
+        write_timeout: Duration::from_millis(500),
         max_dial_attempts: 5,
         backoff_base: Duration::from_millis(10),
         backoff_cap: Duration::from_millis(100),
@@ -250,6 +251,7 @@ fn tcp_ledger_matches_channel_fabric() {
             1,
             0,
             Message::ParamAccum {
+                round: 2,
                 hops: 1,
                 params: vec![1.0; 33],
             },
