@@ -1,0 +1,256 @@
+//! Breadth-first exhaustive exploration with state deduplication,
+//! counterexample traces, and graph-based liveness checking.
+
+use std::collections::{HashMap, VecDeque};
+
+use hadfl::HadflError;
+
+use crate::model::{describe_message, Action, CheckConfig, Violation, World};
+
+/// The outcome of exploring one [`CheckConfig`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct states discovered (after deduplication).
+    pub states: usize,
+    /// Transitions executed (including ones that led to known states).
+    pub transitions: usize,
+    /// Deepest BFS layer reached.
+    pub max_depth: usize,
+    /// Failure-quiescent states (no progress action enabled).
+    pub terminals: usize,
+    /// Exploration hit `max_states` or `max_depth` before closure; the
+    /// liveness verdict is skipped when truncated.
+    pub truncated: bool,
+    /// The first violation found, with its schedule — `None` means
+    /// every invariant held over the whole explored space.
+    pub counterexample: Option<CounterExample>,
+}
+
+/// A violation plus the shortest action schedule reaching it (BFS
+/// order makes the schedule minimal in length).
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// What broke.
+    pub violation: Violation,
+    /// The exact schedule to replay from [`World::new`].
+    pub trace: Vec<Action>,
+}
+
+struct Node {
+    world: World,
+    parent: Option<(usize, Action)>,
+    depth: usize,
+}
+
+fn trace_to(nodes: &[Node], mut i: usize) -> Vec<Action> {
+    let mut trace = Vec::new();
+    while let Some((parent, action)) = &nodes[i].parent {
+        trace.push(action.clone());
+        i = *parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Exhaustively explores every schedulable interleaving of `cfg`'s
+/// cluster, checking the safety invariants on every transition and —
+/// when the space closes without truncation — the liveness property
+/// that every reachable state can still complete the run without
+/// further failures.
+///
+/// # Errors
+///
+/// Returns [`HadflError::InvalidConfig`] for configs outside the
+/// modeled bounds; violations are reported in the [`Report`], not as
+/// errors.
+pub fn explore(cfg: &CheckConfig) -> Result<Report, HadflError> {
+    cfg.validate()?;
+    let mut nodes = vec![Node {
+        world: World::new(cfg.clone()),
+        parent: None,
+        depth: 0,
+    }];
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    index.insert(nodes[0].world.digest(), 0);
+    let mut edges: Vec<Vec<(usize, bool)>> = vec![Vec::new()];
+    let mut queue = VecDeque::from([0usize]);
+
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+    let mut max_depth = 0usize;
+    let mut truncated = false;
+
+    let partial = |nodes: &Vec<Node>, transitions, terminals, max_depth, ce| Report {
+        states: nodes.len(),
+        transitions,
+        max_depth,
+        terminals,
+        truncated: false,
+        counterexample: Some(ce),
+    };
+
+    while let Some(i) = queue.pop_front() {
+        let actions = nodes[i].world.enabled_actions();
+        if actions.iter().all(Action::is_crash) {
+            terminals += 1;
+            if !nodes[i].world.is_complete() {
+                let ce = CounterExample {
+                    violation: Violation::Stranded(
+                        "nothing can run, yet the cluster never shut down".into(),
+                    ),
+                    trace: trace_to(&nodes, i),
+                };
+                return Ok(partial(&nodes, transitions, terminals, max_depth, ce));
+            }
+        }
+        for action in actions {
+            transitions += 1;
+            let mut world = nodes[i].world.clone();
+            if let Err(violation) = world.apply(&action) {
+                let mut trace = trace_to(&nodes, i);
+                trace.push(action);
+                let ce = CounterExample { violation, trace };
+                return Ok(partial(&nodes, transitions, terminals, max_depth, ce));
+            }
+            let digest = world.digest();
+            let target = match index.get(&digest) {
+                Some(&known) => known,
+                None => {
+                    let depth = nodes[i].depth + 1;
+                    if nodes.len() >= cfg.max_states
+                        || cfg.max_depth.is_some_and(|bound| depth > bound)
+                    {
+                        truncated = true;
+                        continue;
+                    }
+                    let fresh = nodes.len();
+                    index.insert(digest, fresh);
+                    nodes.push(Node {
+                        world,
+                        parent: Some((i, action.clone())),
+                        depth,
+                    });
+                    edges.push(Vec::new());
+                    max_depth = max_depth.max(depth);
+                    queue.push_back(fresh);
+                    fresh
+                }
+            };
+            edges[i].push((target, action.is_crash()));
+        }
+    }
+
+    // Liveness: every state must be able to reach a completed run
+    // following only progress (non-crash) edges. A closed cycle that
+    // cannot — e.g. an endless probe/ack exchange around a lost frame
+    // — is a livelock even though no state is a deadlock.
+    let counterexample = if truncated {
+        None
+    } else {
+        let complete: Vec<usize> = (0..nodes.len())
+            .filter(|&i| nodes[i].world.is_complete())
+            .collect();
+        if complete.is_empty() {
+            let witness = (0..nodes.len())
+                .max_by_key(|&i| nodes[i].depth)
+                .unwrap_or(0);
+            Some(CounterExample {
+                violation: Violation::Livelock("no reachable state completes the run".into()),
+                trace: trace_to(&nodes, witness),
+            })
+        } else {
+            let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+            for (from, out) in edges.iter().enumerate() {
+                for &(to, is_crash) in out {
+                    if !is_crash {
+                        reverse[to].push(from);
+                    }
+                }
+            }
+            let mut can_finish = vec![false; nodes.len()];
+            let mut back = VecDeque::new();
+            for &g in &complete {
+                can_finish[g] = true;
+                back.push_back(g);
+            }
+            while let Some(x) = back.pop_front() {
+                for &p in &reverse[x] {
+                    if !can_finish[p] {
+                        can_finish[p] = true;
+                        back.push_back(p);
+                    }
+                }
+            }
+            (0..nodes.len())
+                .filter(|&i| !can_finish[i])
+                .min_by_key(|&i| nodes[i].depth)
+                .map(|stuck| CounterExample {
+                    violation: Violation::Livelock(format!(
+                        "state at depth {} can never complete the run, even \
+                         failure-free from here on",
+                        nodes[stuck].depth
+                    )),
+                    trace: trace_to(&nodes, stuck),
+                })
+        }
+    };
+
+    Ok(Report {
+        states: nodes.len(),
+        transitions,
+        max_depth,
+        terminals,
+        truncated,
+        counterexample,
+    })
+}
+
+/// Deterministically re-executes a counterexample schedule from the
+/// initial state — a printed trace doubles as a regression test.
+///
+/// # Errors
+///
+/// Returns the [`Violation`] the schedule provokes (for safety
+/// counterexamples, the expected outcome), or a `protocol-error`
+/// violation if the schedule fires an action that is not enabled.
+pub fn replay(cfg: &CheckConfig, trace: &[Action]) -> Result<World, Violation> {
+    let mut world = World::new(cfg.clone());
+    for action in trace {
+        if !world.enabled_actions().contains(action) {
+            return Err(Violation::ProtocolError(format!(
+                "replayed action `{action}` is not enabled at this point"
+            )));
+        }
+        world.apply(action)?;
+    }
+    Ok(world)
+}
+
+/// Renders a schedule with message annotations by replaying it.
+pub fn format_trace(cfg: &CheckConfig, trace: &[Action]) -> String {
+    let mut world = World::new(cfg.clone());
+    let mut out = String::new();
+    for (i, action) in trace.iter().enumerate() {
+        let line = match action {
+            Action::Deliver { from, to } => format!(
+                "{} -> {}: {}",
+                world.endpoint_name(*from),
+                world.endpoint_name(*to),
+                world
+                    .peek(*from, *to)
+                    .map_or_else(|| "<empty channel>".into(), describe_message),
+            ),
+            Action::DeviceTimer { device } => {
+                format!("timer fires at {}", world.endpoint_name(*device))
+            }
+            Action::CoordTimer => "timer fires at coord".into(),
+            Action::Crash { device } => format!("{} crashes", world.endpoint_name(*device)),
+        };
+        out.push_str(&format!("  {:>3}. {line}\n", i + 1));
+        if let Err(violation) = world.apply(action) {
+            out.push_str(&format!("       ^ violation fires here: {violation}\n"));
+            break;
+        }
+    }
+    out
+}

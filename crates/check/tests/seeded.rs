@@ -1,0 +1,120 @@
+//! The checker must rediscover the three PR-1 review bugs when they
+//! are compiled back in (`--features seeded-bugs`) — and each printed
+//! counterexample must actually replay to the violation it claims.
+//!
+//! The seams are process-global toggles, so these tests serialize on a
+//! mutex and reset the flags on every exit path.
+#![cfg(feature = "seeded-bugs")]
+
+use std::sync::Mutex;
+
+use hadfl::exec::seeded;
+use hadfl_check::{explore, replay, Action, CheckConfig, CounterExample};
+
+static FLAGS: Mutex<()> = Mutex::new(());
+
+/// Resets the seams even if the test panics mid-way.
+struct FlagGuard;
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        seeded::reset();
+    }
+}
+
+fn rediscover(cfg: &CheckConfig, arm: impl FnOnce()) -> CounterExample {
+    let _serial = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FlagGuard;
+    seeded::reset();
+    arm();
+    let report = explore(cfg).expect("seeded configs are valid");
+    report
+        .counterexample
+        .expect("the seeded bug must be rediscovered")
+}
+
+#[test]
+fn bug_a_dropped_early_frames_is_a_livelock() {
+    // Two rounds: in the final round the trailing Shutdown would
+    // rescue the stalled ring and mask the bug.
+    let cfg = CheckConfig {
+        devices: 2,
+        select: 2,
+        rounds: 2,
+        ..CheckConfig::default()
+    };
+    let ce = rediscover(&cfg, || seeded::set_drop_early_ring_frames(true));
+    assert_eq!(ce.violation.kind(), "livelock");
+
+    // The schedule must replay onto a state that cannot complete.
+    let _serial = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FlagGuard;
+    seeded::set_drop_early_ring_frames(true);
+    let world = replay(&cfg, &ce.trace).expect("livelock traces replay cleanly");
+    assert!(!world.is_complete(), "trace must end short of completion");
+}
+
+#[test]
+fn bug_b_double_counted_resend_breaks_the_algebra() {
+    // Two rounds: only a non-final ring goes quiet enough for the
+    // death probe to arm (a pending Shutdown keeps inboxes busy).
+    let cfg = CheckConfig {
+        devices: 3,
+        select: 3,
+        rounds: 2,
+        crashes: 1,
+        ..CheckConfig::default()
+    };
+    let ce = rediscover(&cfg, || seeded::set_double_count_on_resend(true));
+    assert!(
+        matches!(ce.violation.kind(), "merged-algebra" | "accum-algebra"),
+        "double counting must surface in the aggregation algebra, got {}",
+        ce.violation.kind()
+    );
+
+    // Replaying the schedule must provoke the same class of violation.
+    let _serial = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FlagGuard;
+    seeded::set_double_count_on_resend(true);
+    let verdict = replay(&cfg, &ce.trace);
+    let violation = verdict.expect_err("safety trace must replay to its violation");
+    assert_eq!(violation.kind(), ce.violation.kind());
+}
+
+#[test]
+fn bug_c_partial_shutdown_strands_devices() {
+    let cfg = CheckConfig {
+        devices: 3,
+        select: 2,
+        rounds: 1,
+        aggressive_deadline: true,
+        allow_cluster_dead: true,
+        ..CheckConfig::default()
+    };
+    let ce = rediscover(&cfg, || seeded::set_shutdown_alive_only(true));
+    assert_eq!(ce.violation.kind(), "stranded");
+
+    // The replayed end state is quiescent yet unfinished: the dropped
+    // device never received its Shutdown.
+    let _serial = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = FlagGuard;
+    seeded::set_shutdown_alive_only(true);
+    let world = replay(&cfg, &ce.trace).expect("stranded traces replay cleanly");
+    assert!(!world.is_complete());
+    assert!(
+        world.enabled_actions().iter().all(Action::is_crash),
+        "nothing but failures can run from the stranded state"
+    );
+}
+
+#[test]
+fn seams_default_off_leaves_the_battery_clean() {
+    let _serial = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    seeded::reset();
+    for (name, cfg) in hadfl_check::standard_battery() {
+        let report = explore(&cfg).expect("battery configs are valid");
+        assert!(
+            report.counterexample.is_none(),
+            "{name}: seams off must behave exactly like main"
+        );
+    }
+}

@@ -9,8 +9,23 @@
 //! executed hop by hop between devices. The coordinator only ever sees
 //! control-plane messages plus the final parameter uploads.
 //!
-//! The protocol loops — [`run_device`] and [`run_coordinator`] — are
-//! transport-agnostic. [`run_threaded`] wires them to the in-process
+//! # Actors and drivers
+//!
+//! The protocol logic lives in two *single-steppable actors* —
+//! [`DeviceActor`] and [`CoordinatorActor`] — whose only side effects
+//! are sends on the [`Port`] they are handed. Each actor advances one
+//! event at a time: [`DeviceActor::on_message`] /
+//! [`CoordinatorActor::on_message`] for a delivered frame,
+//! [`DeviceActor::on_timer`] / [`CoordinatorActor::on_timer`] for an
+//! elapsed deadline, [`DeviceActor::on_idle`] for a local training
+//! step. The blocking entry points — [`run_device`] and
+//! [`run_coordinator`] — are thin drivers that pump a real port into
+//! the actor, sleeping and timing via the [`Clock`] seam
+//! ([`crate::clock`]): wall clock in production, virtual time under
+//! `hadfl-check`, which schedules the very same actors exhaustively
+//! through every message ordering.
+//!
+//! [`run_threaded`] wires the loops to the in-process
 //! [`ChannelTransport`]; `hadfl-net` wires the same loops to TCP
 //! sockets for multi-process clusters.
 //!
@@ -21,21 +36,121 @@
 //! its new downstream. The coordinator also drops devices that miss a
 //! report deadline and excludes them from later plans.
 
+// Protocol hot path: panicking on a malformed peer frame or a poisoned
+// invariant would take down a device thread silently. Every unwrap that
+// remains must be an `#[allow]` with its invariant spelled out.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{BTreeMap, BTreeSet};
+use std::mem;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use hadfl_nn::LrSchedule;
 
 use crate::aggregate::blend_params;
+use crate::clock::{Clock, WallClock};
 use crate::config::HadflConfig;
-use crate::coordinator::StrategyGenerator;
+use crate::coordinator::{RoundPlan, StrategyGenerator};
 use crate::error::HadflError;
 use crate::trace::CommSummary;
 use crate::transport::{coordinator_id, ChannelTransport, Port};
 use crate::wire::Message;
 use crate::workload::{DeviceRuntime, Workload};
 use hadfl_simnet::DeviceId;
+
+pub mod seeded {
+    //! Seeded re-introductions of the three interleaving bugs PR 1's
+    //! review caught by hand, used by `hadfl-check` to prove the model
+    //! checker would have found them mechanically.
+    //!
+    //! Without the `seeded-bugs` cargo feature every query compiles to
+    //! a constant `false` and the protocol is unchanged. With the
+    //! feature, each bug is an `AtomicBool` the checker flips per run:
+    //!
+    //! * [`drop_early_ring_frames`] — ring frames that overtake their
+    //!   `RoundPlan` are dropped instead of held in the backlog
+    //!   (PR-1 bug: round-tag overtake loses an accumulation).
+    //! * [`double_count_on_resend`] — the `contributed` guard is
+    //!   skipped, so a bypass re-send adds a member's parameters twice
+    //!   (PR-1 bug: bypass double-count skews the merged mean).
+    //! * [`shutdown_alive_only`] — the coordinator shuts down only the
+    //!   devices it still considers alive, stranding dropped-but-running
+    //!   devices in their training loops (PR-1 bug: missing shutdown).
+
+    #[cfg(feature = "seeded-bugs")]
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[cfg(feature = "seeded-bugs")]
+    static DROP_EARLY_RING_FRAMES: AtomicBool = AtomicBool::new(false);
+    #[cfg(feature = "seeded-bugs")]
+    static DOUBLE_COUNT_ON_RESEND: AtomicBool = AtomicBool::new(false);
+    #[cfg(feature = "seeded-bugs")]
+    static SHUTDOWN_ALIVE_ONLY: AtomicBool = AtomicBool::new(false);
+
+    /// Is the round-tag-overtake bug seeded?
+    #[cfg(feature = "seeded-bugs")]
+    pub fn drop_early_ring_frames() -> bool {
+        DROP_EARLY_RING_FRAMES.load(Ordering::SeqCst)
+    }
+    /// Is the round-tag-overtake bug seeded? (feature off: never)
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[inline(always)]
+    pub const fn drop_early_ring_frames() -> bool {
+        false
+    }
+
+    /// Is the bypass-double-count bug seeded?
+    #[cfg(feature = "seeded-bugs")]
+    pub fn double_count_on_resend() -> bool {
+        DOUBLE_COUNT_ON_RESEND.load(Ordering::SeqCst)
+    }
+    /// Is the bypass-double-count bug seeded? (feature off: never)
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[inline(always)]
+    pub const fn double_count_on_resend() -> bool {
+        false
+    }
+
+    /// Is the missing-shutdown bug seeded?
+    #[cfg(feature = "seeded-bugs")]
+    pub fn shutdown_alive_only() -> bool {
+        SHUTDOWN_ALIVE_ONLY.load(Ordering::SeqCst)
+    }
+    /// Is the missing-shutdown bug seeded? (feature off: never)
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[inline(always)]
+    pub const fn shutdown_alive_only() -> bool {
+        false
+    }
+
+    /// Seeds (or clears) the round-tag-overtake bug.
+    #[cfg(feature = "seeded-bugs")]
+    pub fn set_drop_early_ring_frames(on: bool) {
+        DROP_EARLY_RING_FRAMES.store(on, Ordering::SeqCst);
+    }
+
+    /// Seeds (or clears) the bypass-double-count bug.
+    #[cfg(feature = "seeded-bugs")]
+    pub fn set_double_count_on_resend(on: bool) {
+        DOUBLE_COUNT_ON_RESEND.store(on, Ordering::SeqCst);
+    }
+
+    /// Seeds (or clears) the missing-shutdown bug.
+    #[cfg(feature = "seeded-bugs")]
+    pub fn set_shutdown_alive_only(on: bool) {
+        SHUTDOWN_ALIVE_ONLY.store(on, Ordering::SeqCst);
+    }
+
+    /// Clears every seeded bug (call between checker runs — the flags
+    /// are process-global).
+    #[cfg(feature = "seeded-bugs")]
+    pub fn reset() {
+        set_drop_early_ring_frames(false);
+        set_double_count_on_resend(false);
+        set_shutdown_alive_only(false);
+    }
+}
 
 /// Failure-detection and deadline knobs of the deployed protocol.
 #[derive(Debug, Clone)]
@@ -76,6 +191,19 @@ impl ProtocolTiming {
             report_deadline: Duration::from_secs(5),
             final_deadline: Duration::from_secs(10),
             ring_hard_limit: Duration::from_secs(30),
+        }
+    }
+
+    /// All-zero timing for virtual-time model checking: every deadline
+    /// is considered elapsed the moment the scheduler chooses to fire
+    /// the timer, so timeouts are explicit events rather than races.
+    pub fn zero() -> Self {
+        ProtocolTiming {
+            ring_wait: Duration::ZERO,
+            handshake_wait: Duration::ZERO,
+            report_deadline: Duration::ZERO,
+            final_deadline: Duration::ZERO,
+            ring_hard_limit: Duration::ZERO,
         }
     }
 }
@@ -142,7 +270,7 @@ pub struct ThreadedReport {
 }
 
 /// What the coordinator learned from a deployed run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CoordinatorRun {
     /// Per-round records.
     pub rounds: Vec<ThreadedRound>,
@@ -152,15 +280,85 @@ pub struct CoordinatorRun {
     pub dropped: Vec<(usize, usize)>,
 }
 
-/// How a device left the ring synchronization.
-enum RingExit {
-    /// Merge complete (or ring dissolved); back to local training.
-    Done,
-    /// A [`Message::Shutdown`] arrived mid-ring.
-    Shutdown,
+/// The training-side state a [`DeviceActor`] owns: the real
+/// [`DeviceRuntime`] in production, a ghost model under `hadfl-check`
+/// whose parameters are chosen to make the ring arithmetic
+/// machine-checkable.
+pub trait TrainState {
+    /// Current parameter vector (what rides in ring frames).
+    fn params(&self) -> Vec<f32>;
+
+    /// Installs a parameter vector (merged model or blended broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns substrate errors (e.g. a length mismatch).
+    fn set_params(&mut self, params: &[f32]) -> Result<(), HadflError>;
+
+    /// One heterogeneity-aware local training step.
+    ///
+    /// # Errors
+    ///
+    /// Returns substrate errors from the training step.
+    fn train_step(&mut self) -> Result<(), HadflError>;
+
+    /// Parameter version reported to the coordinator.
+    fn version(&self) -> f64;
+
+    /// Canonical bytes of this state for model-checker deduplication.
+    fn digest(&self, out: &mut Vec<u8>) {
+        for p in self.params() {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.version().to_bits().to_le_bytes());
+    }
+}
+
+impl TrainState for DeviceRuntime {
+    fn params(&self) -> Vec<f32> {
+        self.model.param_vector()
+    }
+
+    fn set_params(&mut self, params: &[f32]) -> Result<(), HadflError> {
+        self.model.set_param_vector(params)?;
+        Ok(())
+    }
+
+    fn train_step(&mut self) -> Result<(), HadflError> {
+        self.train_steps(1)?;
+        Ok(())
+    }
+
+    fn version(&self) -> f64 {
+        self.steps_done as f64
+    }
+}
+
+/// The coordinator's round-planning policy: the paper's
+/// [`StrategyGenerator`] in production, a deterministic fixture under
+/// `hadfl-check`.
+pub trait Planner {
+    /// Plans one synchronization round over the available devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when no valid ring exists
+    /// (e.g. fewer than two available devices).
+    fn plan(&mut self, available: &[DeviceId], versions: &[f64]) -> Result<RoundPlan, HadflError>;
+
+    /// Canonical bytes of planner state for model-checker deduplication
+    /// (stateless planners need not override).
+    fn digest(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Planner for StrategyGenerator {
+    fn plan(&mut self, available: &[DeviceId], versions: &[f64]) -> Result<RoundPlan, HadflError> {
+        self.plan_round(available, versions)
+    }
 }
 
 /// Per-round ring state of one member (§III-D bookkeeping).
+#[derive(Debug, Clone)]
 struct RingRun {
     /// Round this ring synchronizes; ring frames carry the same tag.
     round: u32,
@@ -195,6 +393,10 @@ fn ring_frame_round(msg: &Message) -> Option<u32> {
 /// plan arrives, frames for past rounds are re-send duplicates and are
 /// dropped.
 fn stash_ring_frame(backlog: &mut Vec<Message>, current: u32, msg: Message) {
+    // Seeded PR-1 bug: no backlog at all — early frames vanish.
+    if seeded::drop_early_ring_frames() {
+        return;
+    }
     if ring_frame_round(&msg).is_some_and(|r| r > current) {
         backlog.push(msg);
     }
@@ -205,172 +407,20 @@ impl RingRun {
         self.live.iter().position(|&d| d == id)
     }
 
+    // Invariant: `downstream`/`upstream` are only asked for members of
+    // `live` — a member never removes *itself* from its own ring (the
+    // in-ring BypassWarning handler ignores `dead == me`), and every
+    // caller passes either `me` or a value just checked with `pos`.
+    #[allow(clippy::expect_used)]
     fn downstream(&self, id: usize) -> usize {
         let pos = self.pos(id).expect("member of own ring");
         self.live[(pos + 1) % self.live.len()]
     }
 
+    #[allow(clippy::expect_used)]
     fn upstream(&self, id: usize) -> usize {
         let pos = self.pos(id).expect("member of own ring");
         self.live[(pos + self.live.len() - 1) % self.live.len()]
-    }
-}
-
-/// Runs one device's protocol loop over `port` until the coordinator
-/// sends [`Message::Shutdown`]; the device then uploads its final
-/// parameters and returns.
-///
-/// The loop trains one heterogeneity-aware local step at a time
-/// (sleeping `step_sleep` per step to emulate compute power), answers
-/// [`Message::Handshake`] probes, reports versions on request, joins
-/// ring synchronizations it is planned into, and blends broadcast
-/// models it receives while unselected.
-///
-/// # Errors
-///
-/// Returns substrate errors from training, and
-/// [`HadflError::InvalidConfig`] when the fabric is torn down or a ring
-/// synchronization exceeds `timing.ring_hard_limit`.
-pub fn run_device<P: Port>(
-    mut port: P,
-    mut rt: DeviceRuntime,
-    config: &HadflConfig,
-    step_sleep: Duration,
-    timing: &ProtocolTiming,
-) -> Result<(), HadflError> {
-    let me = port.id();
-    let coord = coordinator_id(port.participants() - 1);
-    rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
-    // Highest round whose ring this member finished, that ring's state
-    // (kept: a late §III-D bypass may still need this member's last
-    // frame re-sent), and ring frames that overtook their RoundPlan —
-    // TCP gives no ordering between the coordinator's connection and a
-    // peer's, so an accumulation can arrive before the plan it belongs
-    // to.
-    let mut done_round = 0u32;
-    let mut last_ring: Option<RingRun> = None;
-    let mut backlog: Vec<Message> = Vec::new();
-    loop {
-        match port.try_recv()? {
-            Some(Message::Shutdown) => {
-                let _ = port.send(
-                    coord,
-                    &Message::FinalParams {
-                        device: me as u32,
-                        params: rt.model.param_vector(),
-                    },
-                );
-                return Ok(());
-            }
-            Some(Message::ReportRequest { round }) => {
-                let _ = port.send(
-                    coord,
-                    &Message::VersionReport {
-                        device: me as u32,
-                        round,
-                        version: rt.steps_done as f64,
-                    },
-                );
-            }
-            Some(Message::RoundPlan {
-                round,
-                ring,
-                broadcaster,
-                unselected,
-            }) => {
-                let mut run = RingRun {
-                    round,
-                    live: ring.iter().map(|&d| d as usize).collect(),
-                    broadcaster: broadcaster as usize,
-                    unselected: unselected.iter().map(|&d| d as usize).collect(),
-                    last_sent: None,
-                    merged_done: false,
-                    contributed: false,
-                };
-                if run.pos(me).is_none() {
-                    continue; // not addressed to us; stale broadcast
-                }
-                // Frames for rings before this one are dead history.
-                backlog.retain(|m| ring_frame_round(m).is_some_and(|r| r >= round));
-                let exit = run_ring(
-                    &mut port,
-                    &mut rt,
-                    &mut run,
-                    me,
-                    coord,
-                    timing,
-                    &mut backlog,
-                )?;
-                done_round = done_round.max(round);
-                last_ring = Some(run);
-                match exit {
-                    RingExit::Done => {}
-                    RingExit::Shutdown => {
-                        let _ = port.send(
-                            coord,
-                            &Message::FinalParams {
-                                device: me as u32,
-                                params: rt.model.param_vector(),
-                            },
-                        );
-                        return Ok(());
-                    }
-                }
-            }
-            Some(Message::ParamSync { params, .. }) => {
-                // Unselected device receiving the broadcast: blend
-                // non-blockingly and keep training.
-                let mut local = rt.model.param_vector();
-                blend_params(&mut local, &params, config.blend_beta)?;
-                rt.model.set_param_vector(&local)?;
-            }
-            Some(Message::Handshake { from }) => {
-                let _ = port.send(from as usize, &Message::HandshakeAck { from: me as u32 });
-            }
-            Some(msg @ (Message::ParamAccum { .. } | Message::MergedParams { .. })) => {
-                // A ring frame outside a ring: either it overtook its
-                // RoundPlan (hold it for the plan) or it is a re-send
-                // duplicate for a ring already finished (drop it).
-                if ring_frame_round(&msg).is_some_and(|r| r > done_round) {
-                    backlog.push(msg);
-                }
-            }
-            Some(Message::BypassWarning { dead }) => {
-                // A death in the ring this member already finished: if
-                // the member's last frame was addressed to the dead
-                // device, the stranded new downstream still needs it.
-                if let Some(run) = last_ring.as_mut() {
-                    bypass_in_finished_ring(&mut port, run, me, dead as usize);
-                }
-            }
-            Some(_) => {} // heartbeats, stale acks
-            None => {
-                // No command: one heterogeneity-aware local step.
-                rt.train_steps(1)?;
-                thread::sleep(step_sleep);
-            }
-        }
-    }
-}
-
-/// Applies a [`Message::BypassWarning`] to a ring this member already
-/// finished. The member forwarded its last frame and left the ring
-/// loop; if that frame's recipient is the one now declared dead, the
-/// frame never reached the rest of the ring and must be re-sent to the
-/// new downstream.
-fn bypass_in_finished_ring<P: Port>(port: &mut P, run: &mut RingRun, me: usize, dead: usize) {
-    if dead == me || run.pos(dead).is_none() {
-        return;
-    }
-    run.live.retain(|&d| d != dead);
-    if run.live.len() < 2 {
-        return;
-    }
-    if let Some((to, msg)) = run.last_sent.clone() {
-        if to == dead {
-            let downstream = run.downstream(me);
-            send_ring(port, run, downstream, msg);
-        }
     }
 }
 
@@ -385,9 +435,9 @@ fn send_ring<P: Port>(port: &mut P, run: &mut RingRun, to: usize, msg: Message) 
 /// Finishes the reduce half: installs the mean, starts the distribute
 /// half, and broadcasts to the unselected if this member is the
 /// round's broadcaster.
-fn finish_reduce<P: Port>(
+fn finish_reduce<P: Port, T: TrainState>(
     port: &mut P,
-    rt: &mut DeviceRuntime,
+    train: &mut T,
     run: &mut RingRun,
     me: usize,
     mut params: Vec<f32>,
@@ -397,7 +447,7 @@ fn finish_reduce<P: Port>(
     for a in &mut params {
         *a *= scale;
     }
-    rt.model.set_param_vector(&params)?;
+    train.set_params(&params)?;
     run.merged_done = true;
     if run.live.len() > 1 {
         let downstream = run.downstream(me);
@@ -443,9 +493,9 @@ fn broadcast_if_mine<P: Port>(port: &mut P, run: &RingRun, me: usize, params: &[
 /// After `dead` was removed from `run.live`: re-send the last frame if
 /// it was addressed to the dead member, or initiate the reduce if the
 /// origin died before anything was sent.
-fn repair_after_bypass<P: Port>(
+fn repair_after_bypass<P: Port, T: TrainState>(
     port: &mut P,
-    rt: &mut DeviceRuntime,
+    train: &mut T,
     run: &mut RingRun,
     me: usize,
     dead: usize,
@@ -467,7 +517,7 @@ fn repair_after_bypass<P: Port>(
                 Message::ParamAccum {
                     round: run.round,
                     hops: 1,
-                    params: rt.model.param_vector(),
+                    params: train.params(),
                 },
             );
         }
@@ -475,297 +525,1136 @@ fn repair_after_bypass<P: Port>(
     }
 }
 
-/// One member's participation in one ring synchronization, with §III-D
-/// death detection and bypass.
-fn run_ring<P: Port>(
-    port: &mut P,
-    rt: &mut DeviceRuntime,
-    run: &mut RingRun,
+/// Applies a [`Message::BypassWarning`] to a ring this member already
+/// finished. The member forwarded its last frame and left the ring
+/// loop; if that frame's recipient is the one now declared dead, the
+/// frame never reached the rest of the ring and must be re-sent to the
+/// new downstream.
+fn bypass_in_finished_ring<P: Port>(port: &mut P, run: &mut RingRun, me: usize, dead: usize) {
+    if dead == me || run.pos(dead).is_none() {
+        return;
+    }
+    run.live.retain(|&d| d != dead);
+    if run.live.len() < 2 {
+        return;
+    }
+    if let Some((to, msg)) = run.last_sent.clone() {
+        if to == dead {
+            let downstream = run.downstream(me);
+            send_ring(port, run, downstream, msg);
+        }
+    }
+}
+
+/// A member's in-ring bookkeeping beyond [`RingRun`]: the probe in
+/// flight and when the ring began (for the hard stall limit).
+#[derive(Debug, Clone)]
+struct RingPhase {
+    run: RingRun,
+    /// Upstream we handshaked, and the ack deadline.
+    probe: Option<(usize, Duration)>,
+    /// Clock reading at ring entry.
+    started: Duration,
+}
+
+/// Where a device is in its protocol loop.
+#[derive(Debug, Clone)]
+enum DevicePhase {
+    /// Local training; polling for coordinator commands.
+    Training,
+    /// Inside a ring synchronization.
+    Ring(RingPhase),
+    /// Shutdown acknowledged; final parameters uploaded.
+    Finished,
+}
+
+/// What the blocking driver should do next for a [`DeviceActor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHint {
+    /// Poll without blocking; if nothing is pending, run one training
+    /// step ([`DeviceActor::on_idle`]) and sleep `step_sleep`.
+    Train,
+    /// Block up to this long for a message; on timeout call
+    /// [`DeviceActor::on_timer`].
+    Ring(Duration),
+    /// The device is done; stop driving.
+    Finished,
+}
+
+/// How one in-ring step left the ring.
+enum RingStep {
+    Continue,
+    Completed,
+    Shutdown,
+}
+
+/// One device's §III-D protocol state machine, advanced one event at a
+/// time. Side effects are sends on the [`Port`] passed to each step.
+#[derive(Debug, Clone)]
+pub struct DeviceActor<T: TrainState> {
     me: usize,
     coord: usize,
-    timing: &ProtocolTiming,
-    backlog: &mut Vec<Message>,
-) -> Result<RingExit, HadflError> {
-    let started = Instant::now();
-    // The first member initiates the reduce with its own parameters.
-    if run.live[0] == me {
-        run.contributed = true;
-        let downstream = run.downstream(me);
-        send_ring(
-            port,
-            run,
-            downstream,
-            Message::ParamAccum {
-                round: run.round,
-                hops: 1,
-                params: rt.model.param_vector(),
-            },
-        );
+    blend_beta: f32,
+    timing: ProtocolTiming,
+    /// Highest round whose ring this member finished.
+    done_round: u32,
+    /// The finished ring's state — kept because a late §III-D bypass
+    /// may still need this member's last frame re-sent.
+    last_ring: Option<RingRun>,
+    /// Ring frames that overtook their RoundPlan: TCP gives no ordering
+    /// between the coordinator's connection and a peer's, so an
+    /// accumulation can arrive before the plan it belongs to.
+    backlog: Vec<Message>,
+    /// Peers a §III-D bypass declared dead, remembered across rounds.
+    /// A `BypassWarning` can overtake the `RoundPlan` of the ring it
+    /// belongs to (independent connections again); joining with the
+    /// stale membership would forward frames to the dead member and
+    /// stall the ring (found by hadfl-check), so plan membership is
+    /// filtered through this set on entry.
+    known_dead: BTreeSet<usize>,
+    phase: DevicePhase,
+    train: T,
+}
+
+impl<T: TrainState> DeviceActor<T> {
+    /// An actor for device `me` of a `participants`-port cluster
+    /// (devices plus coordinator).
+    pub fn new(
+        me: usize,
+        participants: usize,
+        train: T,
+        blend_beta: f32,
+        timing: ProtocolTiming,
+    ) -> Self {
+        DeviceActor {
+            me,
+            coord: coordinator_id(participants - 1),
+            blend_beta,
+            timing,
+            done_round: 0,
+            last_ring: None,
+            backlog: Vec::new(),
+            known_dead: BTreeSet::new(),
+            phase: DevicePhase::Training,
+            train,
+        }
     }
-    // `probe`: upstream we handshaked, and the ack deadline.
-    let mut probe: Option<(usize, Instant)> = None;
-    while !run.merged_done {
-        if started.elapsed() > timing.ring_hard_limit {
+
+    /// This device's id.
+    pub fn id(&self) -> usize {
+        self.me
+    }
+
+    /// The owned training state (checker introspection).
+    pub fn train(&self) -> &T {
+        &self.train
+    }
+
+    /// Highest round whose ring this member finished.
+    pub fn done_round(&self) -> u32 {
+        self.done_round
+    }
+
+    /// Has the device acknowledged shutdown?
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, DevicePhase::Finished)
+    }
+
+    /// The round of the ring this member is currently inside, if any.
+    pub fn ring_round(&self) -> Option<u32> {
+        match &self.phase {
+            DevicePhase::Ring(ring) => Some(ring.run.round),
+            _ => None,
+        }
+    }
+
+    /// Is a handshake probe pending (checker scheduling detail)?
+    pub fn probe_armed(&self) -> bool {
+        matches!(&self.phase, DevicePhase::Ring(ring) if ring.probe.is_some())
+    }
+
+    /// The upstream a pending handshake probe is addressed to, if any
+    /// (checker scheduling detail: a probe deadline may only elapse
+    /// unanswered when its suspect really is dead).
+    pub fn probe_suspect(&self) -> Option<usize> {
+        match &self.phase {
+            DevicePhase::Ring(ring) => ring.probe.map(|(suspect, _)| suspect),
+            _ => None,
+        }
+    }
+
+    /// What the blocking driver should do next.
+    pub fn hint(&self, now: Duration) -> DeviceHint {
+        match &self.phase {
+            DevicePhase::Finished => DeviceHint::Finished,
+            DevicePhase::Training => DeviceHint::Train,
+            DevicePhase::Ring(ring) => {
+                let wait = match ring.probe {
+                    Some((_, deadline)) => deadline.saturating_sub(now),
+                    None => self.timing.ring_wait,
+                };
+                DeviceHint::Ring(wait.max(Duration::from_millis(1)))
+            }
+        }
+    }
+
+    /// Delivers one message to the actor.
+    ///
+    /// # Errors
+    ///
+    /// Returns substrate errors from training-state updates and
+    /// [`HadflError::InvalidConfig`] when a ring synchronization
+    /// exceeds `timing.ring_hard_limit`.
+    pub fn on_message<P: Port>(
+        &mut self,
+        port: &mut P,
+        msg: Message,
+        now: Duration,
+    ) -> Result<(), HadflError> {
+        match self.phase {
+            DevicePhase::Finished => Ok(()),
+            DevicePhase::Training => self.training_message(port, msg, now),
+            DevicePhase::Ring(_) => match self.ring_message(port, msg, now)? {
+                RingStep::Continue => Ok(()),
+                RingStep::Completed => {
+                    self.complete_ring();
+                    Ok(())
+                }
+                RingStep::Shutdown => {
+                    self.finish(port);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// One local training step (the driver's idle action while the
+    /// device is in its training phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns substrate errors from the training step.
+    pub fn on_idle<P: Port>(&mut self, _port: &mut P) -> Result<(), HadflError> {
+        if matches!(self.phase, DevicePhase::Training) {
+            self.train.train_step()?;
+        }
+        Ok(())
+    }
+
+    /// An elapsed wait inside a ring: §III-D silence handling — probe
+    /// the upstream, or declare it dead when the probe deadline passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::InvalidConfig`] when the ring exceeds
+    /// `timing.ring_hard_limit`.
+    pub fn on_timer<P: Port>(&mut self, port: &mut P, now: Duration) -> Result<(), HadflError> {
+        let me = self.me;
+        let coord = self.coord;
+        let handshake_wait = self.timing.handshake_wait;
+        let hard_limit = self.timing.ring_hard_limit;
+        let DevicePhase::Ring(ring) = &mut self.phase else {
+            return Ok(());
+        };
+        if now.saturating_sub(ring.started) > hard_limit {
             return Err(HadflError::InvalidConfig(
                 "ring synchronization stalled".into(),
             ));
         }
-        // Frames for this ring that arrived before its RoundPlan (or
-        // during an earlier ring) are replayed before the socket is
-        // polled.
-        let next = match backlog
-            .iter()
-            .position(|m| ring_frame_round(m) == Some(run.round))
-        {
-            Some(held) => Some(backlog.remove(held)),
-            None => {
-                let wait = match probe {
-                    Some((_, deadline)) => deadline.saturating_duration_since(Instant::now()),
-                    None => timing.ring_wait,
-                };
-                port.recv_timeout(wait.max(Duration::from_millis(1)))?
+        match ring.probe {
+            Some((suspect, deadline)) if now >= deadline => {
+                // §III-D: no ack — declare the upstream dead, warn
+                // everyone, bypass.
+                ring.probe = None;
+                for &member in &ring.run.live {
+                    if member != me && member != suspect {
+                        let _ = port.send(
+                            member,
+                            &Message::BypassWarning {
+                                dead: suspect as u32,
+                            },
+                        );
+                    }
+                }
+                let _ = port.send(
+                    coord,
+                    &Message::BypassWarning {
+                        dead: suspect as u32,
+                    },
+                );
+                ring.run.live.retain(|&d| d != suspect);
+                self.known_dead.insert(suspect);
+                if ring.run.live.len() < 2 {
+                    ring.run.merged_done = true; // dissolved; keep local model
+                } else {
+                    repair_after_bypass(port, &mut self.train, &mut ring.run, me, suspect);
+                }
             }
+            Some(_) => {} // ack still pending
+            None => {
+                // Silence: probe the upstream we are waiting on.
+                let suspect = ring.run.upstream(me);
+                let _ = port.send(suspect, &Message::Handshake { from: me as u32 });
+                ring.probe = Some((suspect, now + handshake_wait));
+            }
+        }
+        let done = ring.run.merged_done;
+        if done {
+            self.complete_ring();
+        }
+        Ok(())
+    }
+
+    /// Canonical bytes of the actor's full state (model-checker
+    /// deduplication).
+    pub fn digest_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.me as u64).to_le_bytes());
+        out.extend_from_slice(&self.done_round.to_le_bytes());
+        digest_opt_ring(out, self.last_ring.as_ref());
+        out.extend_from_slice(&(self.backlog.len() as u64).to_le_bytes());
+        for m in &self.backlog {
+            digest_msg(out, m);
+        }
+        out.extend_from_slice(&(self.known_dead.len() as u64).to_le_bytes());
+        for &d in &self.known_dead {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        match &self.phase {
+            DevicePhase::Training => out.push(0),
+            DevicePhase::Ring(ring) => {
+                out.push(1);
+                digest_ring(out, &ring.run);
+                match ring.probe {
+                    Some((suspect, deadline)) => {
+                        out.push(1);
+                        out.extend_from_slice(&(suspect as u64).to_le_bytes());
+                        out.extend_from_slice(&(deadline.as_nanos() as u64).to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+                out.extend_from_slice(&(ring.started.as_nanos() as u64).to_le_bytes());
+            }
+            DevicePhase::Finished => out.push(2),
+        }
+        self.train.digest(out);
+    }
+
+    /// Uploads final parameters and retires the actor.
+    fn finish<P: Port>(&mut self, port: &mut P) {
+        let _ = port.send(
+            self.coord,
+            &Message::FinalParams {
+                device: self.me as u32,
+                params: self.train.params(),
+            },
+        );
+        self.phase = DevicePhase::Finished;
+    }
+
+    /// Leaves the ring phase, recording the finished ring for late
+    /// bypass repairs.
+    fn complete_ring(&mut self) {
+        if let DevicePhase::Ring(ring) = mem::replace(&mut self.phase, DevicePhase::Training) {
+            self.done_round = self.done_round.max(ring.run.round);
+            self.last_ring = Some(ring.run);
+        }
+    }
+
+    /// A message delivered while the device is locally training.
+    fn training_message<P: Port>(
+        &mut self,
+        port: &mut P,
+        msg: Message,
+        now: Duration,
+    ) -> Result<(), HadflError> {
+        match msg {
+            Message::Shutdown => {
+                self.finish(port);
+            }
+            Message::ReportRequest { round } => {
+                let _ = port.send(
+                    self.coord,
+                    &Message::VersionReport {
+                        device: self.me as u32,
+                        round,
+                        version: self.train.version(),
+                    },
+                );
+            }
+            Message::RoundPlan {
+                round,
+                ring,
+                broadcaster,
+                unselected,
+            } => {
+                self.enter_ring(port, round, &ring, broadcaster, &unselected, now)?;
+            }
+            Message::ParamSync { params, .. } => {
+                // Unselected device receiving the broadcast: blend
+                // non-blockingly and keep training.
+                let mut local = self.train.params();
+                blend_params(&mut local, &params, self.blend_beta)?;
+                self.train.set_params(&local)?;
+            }
+            Message::Handshake { from } => {
+                let _ = port.send(
+                    from as usize,
+                    &Message::HandshakeAck {
+                        from: self.me as u32,
+                    },
+                );
+            }
+            // A ring frame outside a ring: either it overtook its
+            // RoundPlan (hold it for the plan) or it is a re-send
+            // duplicate for a ring already finished (drop it, via the
+            // final `_` arm). Seeded PR-1 bug: no backlog — early
+            // frames vanish.
+            msg @ (Message::ParamAccum { .. } | Message::MergedParams { .. })
+                if !seeded::drop_early_ring_frames()
+                    && ring_frame_round(&msg).is_some_and(|r| r > self.done_round) =>
+            {
+                self.backlog.push(msg);
+            }
+            Message::BypassWarning { dead } => {
+                let dead = dead as usize;
+                if dead != self.me {
+                    self.known_dead.insert(dead);
+                }
+                // A death in the ring this member already finished: if
+                // the member's last frame was addressed to the dead
+                // device, the stranded new downstream still needs it.
+                if let Some(run) = self.last_ring.as_mut() {
+                    bypass_in_finished_ring(port, run, self.me, dead);
+                }
+            }
+            _ => {} // heartbeats, stale acks
+        }
+        Ok(())
+    }
+
+    /// Joins the ring a [`Message::RoundPlan`] describes, initiating
+    /// the reduce if this member is first, and replays any backlogged
+    /// frames that overtook the plan.
+    fn enter_ring<P: Port>(
+        &mut self,
+        port: &mut P,
+        round: u32,
+        ring: &[u32],
+        broadcaster: u32,
+        unselected: &[u32],
+        now: Duration,
+    ) -> Result<(), HadflError> {
+        let mut run = RingRun {
+            round,
+            live: ring.iter().map(|&d| d as usize).collect(),
+            broadcaster: broadcaster as usize,
+            unselected: unselected.iter().map(|&d| d as usize).collect(),
+            last_sent: None,
+            merged_done: false,
+            contributed: false,
         };
-        match next {
-            Some(Message::ParamAccum {
+        if run.pos(self.me).is_none() {
+            return Ok(()); // not addressed to us; stale broadcast
+        }
+        // A BypassWarning may have overtaken this plan: membership the
+        // coordinator believed alive at planning time can already be
+        // known dead here. Joining with the stale membership would
+        // forward the accumulation to the dead member and stall the
+        // ring forever (found by hadfl-check).
+        run.live.retain(|d| !self.known_dead.contains(d));
+        run.unselected.retain(|d| !self.known_dead.contains(d));
+        if run.live.len() < 2 {
+            // The ring dissolved before it began; keep the local model
+            // and treat the round as synchronized, as the in-ring
+            // bypass does when membership drops below two.
+            self.done_round = self.done_round.max(round);
+            self.backlog
+                .retain(|m| ring_frame_round(m).is_some_and(|r| r > round));
+            return Ok(());
+        }
+        // Frames for rings before this one are dead history.
+        self.backlog
+            .retain(|m| ring_frame_round(m).is_some_and(|r| r >= round));
+        // The first member initiates the reduce with its own parameters.
+        if run.live[0] == self.me {
+            run.contributed = true;
+            let downstream = run.downstream(self.me);
+            send_ring(
+                port,
+                &mut run,
+                downstream,
+                Message::ParamAccum {
+                    round,
+                    hops: 1,
+                    params: self.train.params(),
+                },
+            );
+        }
+        self.phase = DevicePhase::Ring(RingPhase {
+            run,
+            probe: None,
+            started: now,
+        });
+        // Frames for this ring that arrived before its RoundPlan are
+        // replayed ahead of anything the fabric delivers next. (No new
+        // backlog entry for the *current* round can appear while the
+        // ring runs — stash_ring_frame only holds future rounds — so
+        // replaying here is equivalent to the pre-poll replay of the
+        // former blocking loop.)
+        while matches!(self.phase, DevicePhase::Ring(_)) {
+            let Some(held) = self
+                .backlog
+                .iter()
+                .position(|m| ring_frame_round(m) == Some(round))
+            else {
+                break;
+            };
+            let msg = self.backlog.remove(held);
+            match self.ring_message(port, msg, now)? {
+                RingStep::Continue => {}
+                RingStep::Completed => self.complete_ring(),
+                RingStep::Shutdown => self.finish(port),
+            }
+        }
+        Ok(())
+    }
+
+    /// A message delivered while inside a ring synchronization.
+    fn ring_message<P: Port>(
+        &mut self,
+        port: &mut P,
+        msg: Message,
+        now: Duration,
+    ) -> Result<RingStep, HadflError> {
+        let me = self.me;
+        let hard_limit = self.timing.ring_hard_limit;
+        let DevicePhase::Ring(ring) = &mut self.phase else {
+            return Ok(RingStep::Continue);
+        };
+        if now.saturating_sub(ring.started) > hard_limit {
+            return Err(HadflError::InvalidConfig(
+                "ring synchronization stalled".into(),
+            ));
+        }
+        match msg {
+            Message::ParamAccum {
                 round,
                 hops,
                 mut params,
-            }) => {
-                if round != run.round {
+            } => {
+                if round != ring.run.round {
                     stash_ring_frame(
-                        backlog,
-                        run.round,
+                        &mut self.backlog,
+                        ring.run.round,
                         Message::ParamAccum {
                             round,
                             hops,
                             params,
                         },
                     );
-                    continue;
+                    return Ok(RingStep::Continue);
                 }
-                probe = None;
-                if run.contributed {
+                ring.probe = None;
+                if ring.run.contributed && !seeded::double_count_on_resend() {
                     // Re-send duplicate after a bypass: our parameters
                     // already ride an accumulation we forwarded; adding
-                    // them again would skew the merged mean.
-                    continue;
-                }
-                run.contributed = true;
-                let mine = rt.model.param_vector();
-                for (a, m) in params.iter_mut().zip(&mine) {
-                    *a += m;
-                }
-                let hops = hops + 1;
-                if hops as usize >= run.live.len() {
-                    finish_reduce(port, rt, run, me, params, hops)?;
+                    // them again would skew the merged mean. One shape
+                    // of duplicate is still load-bearing: when the dead
+                    // member was the last hop before the wrap back to
+                    // the initiator, the re-sent frame carries *every*
+                    // live member's contribution — it IS the finished
+                    // sum, and dropping it would stall the ring (found
+                    // by `hadfl-check`, see DESIGN.md §Protocol
+                    // invariants). Merge it without adding ourselves.
+                    if hops as usize >= ring.run.live.len() && !ring.run.merged_done {
+                        finish_reduce(port, &mut self.train, &mut ring.run, me, params, hops)?;
+                    }
                 } else {
-                    let downstream = run.downstream(me);
-                    send_ring(
-                        port,
-                        run,
-                        downstream,
-                        Message::ParamAccum {
-                            round: run.round,
-                            hops,
-                            params,
-                        },
-                    );
+                    ring.run.contributed = true;
+                    let mine = self.train.params();
+                    for (a, m) in params.iter_mut().zip(&mine) {
+                        *a += m;
+                    }
+                    let hops = hops + 1;
+                    if hops as usize >= ring.run.live.len() {
+                        finish_reduce(port, &mut self.train, &mut ring.run, me, params, hops)?;
+                    } else {
+                        let downstream = ring.run.downstream(me);
+                        let round = ring.run.round;
+                        send_ring(
+                            port,
+                            &mut ring.run,
+                            downstream,
+                            Message::ParamAccum {
+                                round,
+                                hops,
+                                params,
+                            },
+                        );
+                    }
                 }
             }
-            Some(Message::MergedParams { round, ttl, params }) => {
-                if round != run.round {
+            Message::MergedParams { round, ttl, params } => {
+                if round != ring.run.round {
                     stash_ring_frame(
-                        backlog,
-                        run.round,
+                        &mut self.backlog,
+                        ring.run.round,
                         Message::MergedParams { round, ttl, params },
                     );
-                    continue;
+                    return Ok(RingStep::Continue);
                 }
-                probe = None;
-                rt.model.set_param_vector(&params)?;
-                run.merged_done = true;
+                ring.probe = None;
+                self.train.set_params(&params)?;
+                ring.run.merged_done = true;
                 if ttl > 1 {
-                    let downstream = run.downstream(me);
+                    let downstream = ring.run.downstream(me);
+                    let round = ring.run.round;
                     send_ring(
                         port,
-                        run,
+                        &mut ring.run,
                         downstream,
                         Message::MergedParams {
-                            round: run.round,
+                            round,
                             ttl: ttl - 1,
                             params: params.clone(),
                         },
                     );
                 }
-                broadcast_if_mine(port, run, me, &params);
+                broadcast_if_mine(port, &ring.run, me, &params);
             }
-            Some(Message::Handshake { from }) => {
+            Message::Handshake { from } => {
                 let _ = port.send(from as usize, &Message::HandshakeAck { from: me as u32 });
             }
-            Some(Message::HandshakeAck { from }) => {
-                if let Some((suspect, _)) = probe {
+            Message::HandshakeAck { from } => {
+                if let Some((suspect, _)) = ring.probe {
                     if suspect == from as usize {
                         // Upstream is alive, just slow; wait afresh.
-                        probe = None;
+                        ring.probe = None;
                     }
                 }
             }
-            Some(Message::BypassWarning { dead }) => {
+            Message::BypassWarning { dead } => {
                 let dead = dead as usize;
-                if run.pos(dead).is_some() {
-                    run.live.retain(|&d| d != dead);
-                    if let Some((suspect, _)) = probe {
+                // `dead == me` is unreachable via the protocol (nobody
+                // warns a device about itself) but would corrupt the
+                // neighbour lookups; ignore it defensively.
+                if dead != me {
+                    self.known_dead.insert(dead);
+                }
+                if dead != me && ring.run.pos(dead).is_some() {
+                    ring.run.live.retain(|&d| d != dead);
+                    if let Some((suspect, _)) = ring.probe {
                         if suspect == dead {
-                            probe = None;
+                            ring.probe = None;
                         }
                     }
-                    if run.live.len() < 2 {
-                        run.merged_done = true; // dissolved; keep local model
+                    if ring.run.live.len() < 2 {
+                        ring.run.merged_done = true; // dissolved; keep local model
                     } else {
-                        repair_after_bypass(port, rt, run, me, dead);
+                        repair_after_bypass(port, &mut self.train, &mut ring.run, me, dead);
                     }
                 }
             }
-            Some(Message::ReportRequest { round }) => {
+            Message::ReportRequest { round } => {
                 let _ = port.send(
-                    coord,
+                    self.coord,
                     &Message::VersionReport {
                         device: me as u32,
                         round,
-                        version: rt.steps_done as f64,
+                        version: self.train.version(),
                     },
                 );
             }
-            Some(Message::Shutdown) => return Ok(RingExit::Shutdown),
-            Some(_) => {} // heartbeats, broadcasts meant for the unselected
-            None => {
-                match probe {
-                    Some((suspect, deadline)) if Instant::now() >= deadline => {
-                        // §III-D: no ack — declare the upstream dead,
-                        // warn everyone, bypass.
-                        probe = None;
-                        for &member in &run.live {
-                            if member != me && member != suspect {
-                                let _ = port.send(
-                                    member,
-                                    &Message::BypassWarning {
-                                        dead: suspect as u32,
-                                    },
-                                );
-                            }
-                        }
-                        let _ = port.send(
-                            coord,
-                            &Message::BypassWarning {
-                                dead: suspect as u32,
-                            },
-                        );
-                        run.live.retain(|&d| d != suspect);
-                        if run.live.len() < 2 {
-                            run.merged_done = true;
-                        } else {
-                            repair_after_bypass(port, rt, run, me, suspect);
-                        }
-                    }
-                    Some(_) => {} // ack still pending
-                    None => {
-                        // Silence: probe the upstream we are waiting on.
-                        let suspect = run.upstream(me);
-                        let _ = port.send(suspect, &Message::Handshake { from: me as u32 });
-                        probe = Some((suspect, Instant::now() + timing.handshake_wait));
-                    }
-                }
-            }
+            Message::Shutdown => return Ok(RingStep::Shutdown),
+            _ => {} // heartbeats, broadcasts meant for the unselected
         }
+        let DevicePhase::Ring(ring) = &self.phase else {
+            return Ok(RingStep::Continue);
+        };
+        Ok(if ring.run.merged_done {
+            RingStep::Completed
+        } else {
+            RingStep::Continue
+        })
     }
-    Ok(RingExit::Done)
 }
 
-/// Runs the coordinator's protocol loop over `port`: per round, waits
-/// out the window, collects version reports (dropping devices that miss
-/// the deadline or are reported dead by a ring), plans the ring via
-/// [`StrategyGenerator`], and distributes the plan. After the last
-/// round it shuts the cluster down and collects final parameters.
+fn digest_msg(out: &mut Vec<u8>, msg: &Message) {
+    let frame = msg.encode();
+    out.extend_from_slice(&(frame.len() as u64).to_le_bytes());
+    out.extend_from_slice(&frame);
+}
+
+fn digest_ring(out: &mut Vec<u8>, run: &RingRun) {
+    out.extend_from_slice(&run.round.to_le_bytes());
+    out.extend_from_slice(&(run.live.len() as u64).to_le_bytes());
+    for &d in &run.live {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(run.broadcaster as u64).to_le_bytes());
+    out.extend_from_slice(&(run.unselected.len() as u64).to_le_bytes());
+    for &d in &run.unselected {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    match &run.last_sent {
+        Some((to, msg)) => {
+            out.push(1);
+            out.extend_from_slice(&(*to as u64).to_le_bytes());
+            digest_msg(out, msg);
+        }
+        None => out.push(0),
+    }
+    out.push(run.merged_done as u8);
+    out.push(run.contributed as u8);
+}
+
+fn digest_opt_ring(out: &mut Vec<u8>, run: Option<&RingRun>) {
+    match run {
+        Some(run) => {
+            out.push(1);
+            digest_ring(out, run);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Runs one device's protocol loop over `port` until the coordinator
+/// sends [`Message::Shutdown`]; the device then uploads its final
+/// parameters and returns. Timing comes from a fresh [`WallClock`];
+/// see [`run_device_with_clock`] for an injected clock.
+///
+/// The loop trains one heterogeneity-aware local step at a time
+/// (sleeping `step_sleep` per step to emulate compute power), answers
+/// [`Message::Handshake`] probes, reports versions on request, joins
+/// ring synchronizations it is planned into, and blends broadcast
+/// models it receives while unselected.
 ///
 /// # Errors
 ///
-/// Returns [`HadflError::ClusterDead`] when fewer than two devices
-/// remain, and fabric errors from the transport.
-pub fn run_coordinator<P: Port>(
-    mut port: P,
+/// Returns substrate errors from training, and
+/// [`HadflError::InvalidConfig`] when the fabric is torn down or a ring
+/// synchronization exceeds `timing.ring_hard_limit`.
+pub fn run_device<P: Port>(
+    port: P,
+    rt: DeviceRuntime,
     config: &HadflConfig,
-    window: Duration,
-    rounds: usize,
+    step_sleep: Duration,
     timing: &ProtocolTiming,
-) -> Result<CoordinatorRun, HadflError> {
-    let k = port.participants() - 1;
-    let mut alive: BTreeSet<usize> = (0..k).collect();
-    let mut dropped: Vec<(usize, usize)> = Vec::new();
-    let mut generator = StrategyGenerator::new(config);
-    let mut rounds_log = Vec::with_capacity(rounds);
+) -> Result<(), HadflError> {
+    run_device_with_clock(port, rt, config, step_sleep, timing, &WallClock::new())
+}
 
-    for round in 1..=rounds {
-        thread::sleep(window);
-        for &d in &alive {
-            let _ = port.send(
-                d,
-                &Message::ReportRequest {
-                    round: round as u32,
-                },
-            );
-        }
-        let mut versions: BTreeMap<usize, f64> = BTreeMap::new();
-        let deadline = Instant::now() + timing.report_deadline;
-        while versions.len() < alive.len() {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                break;
-            }
-            match port.recv_timeout(left)? {
-                Some(Message::VersionReport {
-                    device, version, ..
-                }) => {
-                    let device = device as usize;
-                    if alive.contains(&device) {
-                        versions.insert(device, version);
-                    }
+/// [`run_device`] with an injected [`Clock`] (deterministic tests).
+///
+/// # Errors
+///
+/// As [`run_device`].
+pub fn run_device_with_clock<P: Port>(
+    mut port: P,
+    mut rt: DeviceRuntime,
+    config: &HadflConfig,
+    step_sleep: Duration,
+    timing: &ProtocolTiming,
+    clock: &dyn Clock,
+) -> Result<(), HadflError> {
+    rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
+    let me = port.id();
+    let participants = port.participants();
+    let mut actor = DeviceActor::new(me, participants, rt, config.blend_beta, timing.clone());
+    loop {
+        match actor.hint(clock.now()) {
+            DeviceHint::Finished => return Ok(()),
+            DeviceHint::Train => match port.try_recv()? {
+                Some(msg) => actor.on_message(&mut port, msg, clock.now())?,
+                None => {
+                    // No command: one heterogeneity-aware local step.
+                    actor.on_idle(&mut port)?;
+                    clock.sleep(step_sleep);
                 }
-                Some(Message::BypassWarning { dead }) => {
-                    let dead = dead as usize;
-                    if alive.remove(&dead) {
-                        dropped.push((dead, round));
-                        versions.remove(&dead);
-                    }
+            },
+            DeviceHint::Ring(wait) => match port.recv_timeout(wait)? {
+                Some(msg) => actor.on_message(&mut port, msg, clock.now())?,
+                None => actor.on_timer(&mut port, clock.now())?,
+            },
+        }
+    }
+}
+
+/// Where the coordinator is in its round script.
+#[derive(Debug, Clone)]
+enum CoordPhase {
+    /// Letting devices train until the window closes.
+    Window { round: usize, until: Duration },
+    /// Collecting version reports for `round` until the deadline.
+    Collect {
+        round: usize,
+        versions: BTreeMap<usize, f64>,
+        deadline: Duration,
+    },
+    /// Shutdown sent; collecting final parameter uploads.
+    Final { deadline: Duration },
+    /// Run complete.
+    Done,
+}
+
+/// Which phase a [`CoordinatorActor`] is in (checker introspection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordPhaseKind {
+    /// Training window open.
+    Window,
+    /// Collecting version reports.
+    Collect,
+    /// Collecting final parameters.
+    Final,
+    /// Run complete.
+    Done,
+}
+
+/// What the blocking driver should do next for a [`CoordinatorActor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordHint {
+    /// Sleep this long, then call [`CoordinatorActor::on_timer`].
+    Sleep(Duration),
+    /// Block up to this long for a message; on timeout call
+    /// [`CoordinatorActor::on_timer`].
+    Recv(Duration),
+    /// A deadline already passed: call [`CoordinatorActor::on_timer`]
+    /// immediately.
+    Timer,
+    /// The run is complete; collect it with
+    /// [`CoordinatorActor::into_run`].
+    Done,
+}
+
+/// The coordinator's protocol state machine, advanced one event at a
+/// time: per round, wait out the window, collect version reports
+/// (dropping devices that miss the deadline or are reported dead by a
+/// ring), plan the ring via a [`Planner`], distribute the plan; after
+/// the last round shut the cluster down and collect final parameters.
+#[derive(Debug, Clone)]
+pub struct CoordinatorActor<Pl: Planner> {
+    k: usize,
+    rounds: usize,
+    window: Duration,
+    timing: ProtocolTiming,
+    planner: Pl,
+    alive: BTreeSet<usize>,
+    dropped: Vec<(usize, usize)>,
+    rounds_log: Vec<ThreadedRound>,
+    final_models: BTreeMap<usize, Vec<f32>>,
+    phase: CoordPhase,
+}
+
+impl<Pl: Planner> CoordinatorActor<Pl> {
+    /// An actor for a `k`-device cluster starting its first window at
+    /// `now`.
+    pub fn new(
+        k: usize,
+        planner: Pl,
+        window: Duration,
+        rounds: usize,
+        timing: ProtocolTiming,
+        now: Duration,
+    ) -> Self {
+        CoordinatorActor {
+            k,
+            rounds,
+            window,
+            timing,
+            planner,
+            alive: (0..k).collect(),
+            dropped: Vec::new(),
+            rounds_log: Vec::new(),
+            final_models: BTreeMap::new(),
+            phase: CoordPhase::Window {
+                round: 1,
+                until: now + window,
+            },
+        }
+    }
+
+    /// Devices still considered alive.
+    pub fn alive(&self) -> &BTreeSet<usize> {
+        &self.alive
+    }
+
+    /// Which phase the coordinator is in.
+    pub fn phase_kind(&self) -> CoordPhaseKind {
+        match self.phase {
+            CoordPhase::Window { .. } => CoordPhaseKind::Window,
+            CoordPhase::Collect { .. } => CoordPhaseKind::Collect,
+            CoordPhase::Final { .. } => CoordPhaseKind::Final,
+            CoordPhase::Done => CoordPhaseKind::Done,
+        }
+    }
+
+    /// Is the run complete?
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, CoordPhase::Done)
+    }
+
+    /// Alive devices whose report (Collect) or final upload (Final)
+    /// has not arrived yet — empty in other phases. The checker uses
+    /// this to decide when a deadline may legitimately elapse: under
+    /// correctly-tuned production timeouts a deadline only fires for
+    /// devices that are really gone.
+    pub fn awaiting(&self) -> Vec<usize> {
+        match &self.phase {
+            CoordPhase::Collect { versions, .. } => self
+                .alive
+                .iter()
+                .copied()
+                .filter(|d| !versions.contains_key(d))
+                .collect(),
+            CoordPhase::Final { .. } => self
+                .alive
+                .iter()
+                .copied()
+                .filter(|d| !self.final_models.contains_key(d))
+                .collect(),
+            CoordPhase::Window { .. } | CoordPhase::Done => Vec::new(),
+        }
+    }
+
+    /// The round currently being windowed or collected, if any
+    /// (checker introspection: round tags must be monotone).
+    pub fn current_round(&self) -> Option<usize> {
+        match &self.phase {
+            CoordPhase::Window { round, .. } | CoordPhase::Collect { round, .. } => Some(*round),
+            CoordPhase::Final { .. } | CoordPhase::Done => None,
+        }
+    }
+
+    /// What the blocking driver should do next.
+    pub fn hint(&self, now: Duration) -> CoordHint {
+        match &self.phase {
+            CoordPhase::Window { until, .. } => CoordHint::Sleep(until.saturating_sub(now)),
+            CoordPhase::Collect { deadline, .. } | CoordPhase::Final { deadline } => {
+                let left = deadline.saturating_sub(now);
+                if left.is_zero() {
+                    CoordHint::Timer
+                } else {
+                    CoordHint::Recv(left)
                 }
-                Some(_) => {}
-                None => break,
+            }
+            CoordPhase::Done => CoordHint::Done,
+        }
+    }
+
+    /// The run's outcome. Meaningful once [`is_done`](Self::is_done).
+    pub fn into_run(self) -> CoordinatorRun {
+        CoordinatorRun {
+            rounds: self.rounds_log,
+            final_models: self.final_models,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Delivers one message to the actor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::ClusterDead`] when a report collection
+    /// this message completes leaves fewer than two devices, and
+    /// planner errors.
+    pub fn on_message<P: Port>(
+        &mut self,
+        port: &mut P,
+        msg: Message,
+        now: Duration,
+    ) -> Result<(), HadflError> {
+        let mut collect_full = false;
+        let mut final_full = false;
+        match &mut self.phase {
+            CoordPhase::Collect {
+                round, versions, ..
+            } => {
+                let round = *round;
+                match msg {
+                    Message::VersionReport {
+                        device, version, ..
+                    } => {
+                        let device = device as usize;
+                        if self.alive.contains(&device) {
+                            versions.insert(device, version);
+                        }
+                    }
+                    Message::BypassWarning { dead } => {
+                        let dead = dead as usize;
+                        if self.alive.remove(&dead) {
+                            self.dropped.push((dead, round));
+                            versions.remove(&dead);
+                        }
+                    }
+                    _ => {}
+                }
+                collect_full = versions.len() >= self.alive.len();
+            }
+            CoordPhase::Final { .. } => {
+                match msg {
+                    Message::FinalParams { device, params } => {
+                        let device = device as usize;
+                        if self.alive.contains(&device) {
+                            self.final_models.insert(device, params);
+                        }
+                    }
+                    Message::BypassWarning { dead } => {
+                        let dead = dead as usize;
+                        if self.alive.remove(&dead) {
+                            self.dropped.push((dead, self.rounds));
+                        }
+                    }
+                    _ => {}
+                }
+                final_full = self.final_models.len() >= self.alive.len();
+            }
+            // The blocking driver never polls during a window (it
+            // sleeps); under the checker, deliveries are gated off.
+            // Anything that does land here is dropped, matching a
+            // message the blocking coordinator would only have read
+            // later from its mailbox.
+            CoordPhase::Window { .. } | CoordPhase::Done => {}
+        }
+        if collect_full {
+            self.finish_collect(port, now)?;
+        }
+        if final_full {
+            self.phase = CoordPhase::Done;
+        }
+        Ok(())
+    }
+
+    /// An elapsed deadline: close the window, the report collection, or
+    /// the final-upload collection — whichever is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HadflError::ClusterDead`] when a closed report
+    /// collection leaves fewer than two devices, and planner errors.
+    pub fn on_timer<P: Port>(&mut self, port: &mut P, now: Duration) -> Result<(), HadflError> {
+        match &self.phase {
+            CoordPhase::Window { round, until } if now >= *until => {
+                let round = *round;
+                for &d in &self.alive {
+                    let _ = port.send(
+                        d,
+                        &Message::ReportRequest {
+                            round: round as u32,
+                        },
+                    );
+                }
+                self.phase = CoordPhase::Collect {
+                    round,
+                    versions: BTreeMap::new(),
+                    deadline: now + self.timing.report_deadline,
+                };
+                Ok(())
+            }
+            CoordPhase::Collect { deadline, .. } if now >= *deadline => {
+                self.finish_collect(port, now)
+            }
+            CoordPhase::Final { deadline } if now >= *deadline => {
+                self.phase = CoordPhase::Done;
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Canonical bytes of the actor's full state (model-checker
+    /// deduplication).
+    pub fn digest_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.extend_from_slice(&(self.alive.len() as u64).to_le_bytes());
+        for &d in &self.alive {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.dropped.len() as u64).to_le_bytes());
+        for &(d, r) in &self.dropped {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+            out.extend_from_slice(&(r as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.rounds_log.len() as u64).to_le_bytes());
+        for entry in &self.rounds_log {
+            out.extend_from_slice(&(entry.round as u64).to_le_bytes());
+            for &v in &entry.versions {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &s in &entry.selected {
+                out.extend_from_slice(&(s as u64).to_le_bytes());
             }
         }
+        out.extend_from_slice(&(self.final_models.len() as u64).to_le_bytes());
+        for (&d, params) in &self.final_models {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+            for p in params {
+                out.extend_from_slice(&p.to_bits().to_le_bytes());
+            }
+        }
+        match &self.phase {
+            CoordPhase::Window { round, until } => {
+                out.push(0);
+                out.extend_from_slice(&(*round as u64).to_le_bytes());
+                out.extend_from_slice(&(until.as_nanos() as u64).to_le_bytes());
+            }
+            CoordPhase::Collect {
+                round,
+                versions,
+                deadline,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&(*round as u64).to_le_bytes());
+                out.extend_from_slice(&(versions.len() as u64).to_le_bytes());
+                for (&d, &v) in versions {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                out.extend_from_slice(&(deadline.as_nanos() as u64).to_le_bytes());
+            }
+            CoordPhase::Final { deadline } => {
+                out.push(2);
+                out.extend_from_slice(&(deadline.as_nanos() as u64).to_le_bytes());
+            }
+            CoordPhase::Done => out.push(3),
+        }
+        self.planner.digest(out);
+    }
+
+    /// Closes the round's report collection: drops devices that missed
+    /// the deadline, plans and distributes the next ring — or, after
+    /// the last round, shuts the cluster down.
+    fn finish_collect<P: Port>(&mut self, port: &mut P, now: Duration) -> Result<(), HadflError> {
+        let CoordPhase::Collect {
+            round, versions, ..
+        } = mem::replace(&mut self.phase, CoordPhase::Done)
+        else {
+            return Ok(());
+        };
         // §III-D, coordinator side: missing the deadline means dead.
-        let missing: Vec<usize> = alive
+        let missing: Vec<usize> = self
+            .alive
             .iter()
             .copied()
             .filter(|d| !versions.contains_key(d))
             .collect();
         for d in missing {
-            alive.remove(&d);
-            dropped.push((d, round));
+            self.alive.remove(&d);
+            self.dropped.push((d, round));
         }
-        if alive.len() < 2 {
+        if self.alive.len() < 2 {
             // Best-effort shutdown of *every* device, dropped included:
             // a device the coordinator dropped may well still be
             // running, and without a Shutdown it would train forever
             // (and a threaded harness would never join its thread).
-            for d in 0..k {
+            for d in self.shutdown_targets() {
                 let _ = port.send(d, &Message::Shutdown);
             }
             return Err(HadflError::ClusterDead { round });
         }
 
-        let available: Vec<DeviceId> = alive.iter().map(|&d| DeviceId(d)).collect();
+        let available: Vec<DeviceId> = self.alive.iter().map(|&d| DeviceId(d)).collect();
         let avail_versions: Vec<f64> = available.iter().map(|d| versions[&d.index()]).collect();
-        let plan = generator.plan_round(&available, &avail_versions)?;
+        let plan = self.planner.plan(&available, &avail_versions)?;
         let ring: Vec<u32> = plan
             .ring
             .members()
@@ -784,53 +1673,98 @@ pub fn run_coordinator<P: Port>(
                 },
             );
         }
-        let mut version_row = vec![0u64; k];
+        let mut version_row = vec![0u64; self.k];
         for (&d, &v) in &versions {
             version_row[d] = v as u64;
         }
-        rounds_log.push(ThreadedRound {
+        self.rounds_log.push(ThreadedRound {
             round,
             versions: version_row,
             selected: plan.selected.iter().map(|d| d.index()).collect(),
         });
+
+        if round >= self.rounds {
+            // Shutdown goes to every device, dropped ones included —
+            // being dropped from planning does not stop a device's
+            // training loop, so it must still hear that the run is
+            // over. Only live devices' final parameters are collected.
+            for d in self.shutdown_targets() {
+                let _ = port.send(d, &Message::Shutdown);
+            }
+            self.phase = CoordPhase::Final {
+                deadline: now + self.timing.final_deadline,
+            };
+        } else {
+            self.phase = CoordPhase::Window {
+                round: round + 1,
+                until: now + self.window,
+            };
+        }
+        Ok(())
     }
 
-    // Shutdown goes to every device, dropped ones included — being
-    // dropped from planning does not stop a device's training loop, so
-    // it must still hear that the run is over. Only live devices'
-    // final parameters are collected.
-    for d in 0..k {
-        let _ = port.send(d, &Message::Shutdown);
-    }
-    let mut final_models: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
-    let deadline = Instant::now() + timing.final_deadline;
-    while final_models.len() < alive.len() {
-        let left = deadline.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            break;
-        }
-        match port.recv_timeout(left)? {
-            Some(Message::FinalParams { device, params }) => {
-                let device = device as usize;
-                if alive.contains(&device) {
-                    final_models.insert(device, params);
-                }
-            }
-            Some(Message::BypassWarning { dead }) => {
-                let dead = dead as usize;
-                if alive.remove(&dead) {
-                    dropped.push((dead, rounds));
-                }
-            }
-            Some(_) => {}
-            None => break,
+    /// Who a cluster shutdown is addressed to: every device — unless
+    /// the seeded PR-1 bug narrows it to the alive set, stranding
+    /// dropped-but-running devices.
+    fn shutdown_targets(&self) -> Vec<usize> {
+        if seeded::shutdown_alive_only() {
+            self.alive.iter().copied().collect()
+        } else {
+            (0..self.k).collect()
         }
     }
-    Ok(CoordinatorRun {
-        rounds: rounds_log,
-        final_models,
-        dropped,
-    })
+}
+
+/// Runs the coordinator's protocol loop over `port` (see
+/// [`CoordinatorActor`] for the script). Timing comes from a fresh
+/// [`WallClock`]; see [`run_coordinator_with_clock`] for an injected
+/// clock.
+///
+/// # Errors
+///
+/// Returns [`HadflError::ClusterDead`] when fewer than two devices
+/// remain, and fabric errors from the transport.
+pub fn run_coordinator<P: Port>(
+    port: P,
+    config: &HadflConfig,
+    window: Duration,
+    rounds: usize,
+    timing: &ProtocolTiming,
+) -> Result<CoordinatorRun, HadflError> {
+    run_coordinator_with_clock(port, config, window, rounds, timing, &WallClock::new())
+}
+
+/// [`run_coordinator`] with an injected [`Clock`] (deterministic
+/// tests).
+///
+/// # Errors
+///
+/// As [`run_coordinator`].
+pub fn run_coordinator_with_clock<P: Port>(
+    mut port: P,
+    config: &HadflConfig,
+    window: Duration,
+    rounds: usize,
+    timing: &ProtocolTiming,
+    clock: &dyn Clock,
+) -> Result<CoordinatorRun, HadflError> {
+    let k = port.participants() - 1;
+    let planner = StrategyGenerator::new(config);
+    let mut actor = CoordinatorActor::new(k, planner, window, rounds, timing.clone(), clock.now());
+    loop {
+        match actor.hint(clock.now()) {
+            CoordHint::Sleep(d) => {
+                clock.sleep(d);
+                actor.on_timer(&mut port, clock.now())?;
+            }
+            CoordHint::Timer => actor.on_timer(&mut port, clock.now())?,
+            CoordHint::Recv(left) => match port.recv_timeout(left)? {
+                Some(msg) => actor.on_message(&mut port, msg, clock.now())?,
+                None => actor.on_timer(&mut port, clock.now())?,
+            },
+            CoordHint::Done => return Ok(actor.into_run()),
+        }
+    }
 }
 
 /// Runs HADFL over real threads and in-process channels. See the
@@ -876,7 +1810,7 @@ pub fn run_threaded(
         )));
     }
     let built = workload.build(k)?;
-    let start = Instant::now();
+    let wall_clock = WallClock::new();
 
     let mut hub = ChannelTransport::hub(k + 1);
     let coordinator_port = hub.claim(coordinator_id(k))?;
@@ -925,13 +1859,15 @@ pub fn run_threaded(
         peer_bytes: stats.total_bytes() - stats.server_bytes(),
         comm: CommSummary::from_stats(&stats, k),
         dropped: outcome.dropped,
-        wall: start.elapsed(),
+        wall: wall_clock.now(),
     })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
 
     fn quick_config(seed: u64) -> HadflConfig {
         HadflConfig::builder()
@@ -1057,10 +1993,11 @@ mod tests {
             // The mute device never reports (so it is dropped in round
             // 1) but stays alive until it hears Shutdown.
             scope.spawn(move || {
-                let deadline = Instant::now() + Duration::from_secs(30);
+                let clock = WallClock::new();
+                let deadline = clock.now() + Duration::from_secs(30);
                 loop {
                     assert!(
-                        Instant::now() < deadline,
+                        clock.now() < deadline,
                         "dropped device never heard Shutdown"
                     );
                     if let Ok(Some(Message::Shutdown)) =
@@ -1105,10 +2042,11 @@ mod tests {
         let err = thread::scope(|scope| {
             for mut port in mute_ports.drain(..) {
                 scope.spawn(move || {
-                    let deadline = Instant::now() + Duration::from_secs(30);
+                    let clock = WallClock::new();
+                    let deadline = clock.now() + Duration::from_secs(30);
                     loop {
                         assert!(
-                            Instant::now() < deadline,
+                            clock.now() < deadline,
                             "device never heard Shutdown after ClusterDead"
                         );
                         if let Ok(Some(Message::Shutdown)) =
@@ -1428,5 +2366,444 @@ mod tests {
         // The three live devices all upload final parameters.
         assert_eq!(outcome.final_models.len(), 3);
         assert!(!outcome.final_models.contains_key(&zombie_id));
+    }
+
+    /// A minimal [`TrainState`] for single-stepping the actors without
+    /// a real training substrate.
+    #[derive(Debug, Clone)]
+    struct StubTrain {
+        params: Vec<f32>,
+        steps: u64,
+    }
+
+    impl TrainState for StubTrain {
+        fn params(&self) -> Vec<f32> {
+            self.params.clone()
+        }
+        fn set_params(&mut self, params: &[f32]) -> Result<(), HadflError> {
+            self.params = params.to_vec();
+            Ok(())
+        }
+        fn train_step(&mut self) -> Result<(), HadflError> {
+            self.steps += 1;
+            Ok(())
+        }
+        fn version(&self) -> f64 {
+            self.steps as f64
+        }
+    }
+
+    fn stub_actor(me: usize, k: usize) -> DeviceActor<StubTrain> {
+        DeviceActor::new(
+            me,
+            k + 1,
+            StubTrain {
+                params: vec![1.0, 2.0],
+                steps: 0,
+            },
+            0.5,
+            ProtocolTiming::zero(),
+        )
+    }
+
+    /// Single-stepped through a full two-member ring, the actor walks
+    /// Training → Ring → Training → Finished and its digest changes at
+    /// every transition.
+    #[test]
+    fn device_actor_single_steps_a_ring() {
+        let k = 2;
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut port = hub.claim(0).unwrap();
+        let mut peer = hub.claim(1).unwrap();
+        let mut actor = stub_actor(0, k);
+        let t = Duration::ZERO;
+
+        assert_eq!(actor.hint(t), DeviceHint::Train);
+        let mut d0 = Vec::new();
+        actor.digest_into(&mut d0);
+
+        actor
+            .on_message(
+                &mut port,
+                Message::RoundPlan {
+                    round: 1,
+                    ring: vec![0, 1],
+                    broadcaster: 0,
+                    unselected: vec![],
+                },
+                t,
+            )
+            .unwrap();
+        assert_eq!(actor.ring_round(), Some(1));
+        let mut d1 = Vec::new();
+        actor.digest_into(&mut d1);
+        assert_ne!(d0, d1, "entering the ring must change the digest");
+        // As live[0] the actor initiated the reduce.
+        match peer.try_recv().unwrap() {
+            Some(Message::ParamAccum {
+                round: 1, hops: 1, ..
+            }) => {}
+            other => panic!("expected the opening accumulation, got {other:?}"),
+        }
+
+        actor
+            .on_message(
+                &mut port,
+                Message::MergedParams {
+                    round: 1,
+                    ttl: 1,
+                    params: vec![5.0, 5.0],
+                },
+                t,
+            )
+            .unwrap();
+        assert_eq!(actor.ring_round(), None);
+        assert_eq!(actor.done_round(), 1);
+        assert_eq!(actor.train().params, vec![5.0, 5.0]);
+
+        actor.on_message(&mut port, Message::Shutdown, t).unwrap();
+        assert!(actor.is_finished());
+        assert_eq!(actor.hint(t), DeviceHint::Finished);
+    }
+
+    /// Two timer firings — probe, then expired probe — bypass a dead
+    /// upstream, exactly the §III-D schedule the checker explores.
+    #[test]
+    fn device_actor_timers_drive_the_bypass() {
+        let k = 3;
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut port = hub.claim(0).unwrap();
+        let mut peer1 = hub.claim(1).unwrap();
+        let mut peer2 = hub.claim(2).unwrap();
+        let mut coord = hub.claim(k).unwrap();
+        let mut actor = stub_actor(0, k);
+        let t = Duration::ZERO;
+
+        // Ring 2 → 0 → 1: the upstream 2 will never answer.
+        actor
+            .on_message(
+                &mut port,
+                Message::RoundPlan {
+                    round: 1,
+                    ring: vec![2, 0, 1],
+                    broadcaster: 2,
+                    unselected: vec![],
+                },
+                t,
+            )
+            .unwrap();
+        assert!(!actor.probe_armed());
+        actor.on_timer(&mut port, t).unwrap();
+        assert!(actor.probe_armed(), "first timer arms the probe");
+        match peer2.try_recv().unwrap() {
+            Some(Message::Handshake { from: 0 }) => {}
+            other => panic!("expected a handshake probe, got {other:?}"),
+        }
+        actor.on_timer(&mut port, t).unwrap();
+        assert!(!actor.probe_armed(), "second timer declares the death");
+        match peer1.try_recv().unwrap() {
+            Some(Message::BypassWarning { dead: 2 }) => {}
+            other => panic!("ring peers must hear the bypass, got {other:?}"),
+        }
+        match coord.try_recv().unwrap() {
+            Some(Message::BypassWarning { dead: 2 }) => {}
+            other => panic!("coordinator must hear the bypass, got {other:?}"),
+        }
+        // The origin died silent, so this member (now first) initiates.
+        match peer1.try_recv().unwrap() {
+            Some(Message::ParamAccum {
+                round: 1, hops: 1, ..
+            }) => {}
+            other => panic!("survivor must initiate the reduce, got {other:?}"),
+        }
+    }
+
+    /// A live upstream's ack clears the probe instead of killing it.
+    #[test]
+    fn device_actor_ack_clears_probe() {
+        let k = 2;
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut port = hub.claim(0).unwrap();
+        let _peer = hub.claim(1).unwrap();
+        let mut actor = stub_actor(0, k);
+        let t = Duration::ZERO;
+        actor
+            .on_message(
+                &mut port,
+                Message::RoundPlan {
+                    round: 1,
+                    ring: vec![1, 0],
+                    broadcaster: 1,
+                    unselected: vec![],
+                },
+                t,
+            )
+            .unwrap();
+        actor.on_timer(&mut port, t).unwrap();
+        assert!(actor.probe_armed());
+        actor
+            .on_message(&mut port, Message::HandshakeAck { from: 1 }, t)
+            .unwrap();
+        assert!(!actor.probe_armed(), "ack must clear the §III-D probe");
+        assert_eq!(actor.ring_round(), Some(1), "ring continues after ack");
+    }
+
+    /// The wrap-around bypass shape `hadfl-check` found: in ring
+    /// 0→1→2→0, member 2 dies after 1 forwarded it the two-member
+    /// accumulation; 1's bypass re-send hands the *complete* sum back
+    /// to the already-contributed initiator 0, who must merge it (not
+    /// drop it as a duplicate, which stalls the ring for good).
+    #[test]
+    fn complete_resend_to_contributed_initiator_finishes_the_ring() {
+        let k = 3;
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut port = hub.claim(0).unwrap();
+        let mut peer1 = hub.claim(1).unwrap();
+        let _peer2 = hub.claim(2).unwrap();
+        let mut actor = stub_actor(0, k);
+        let t = Duration::ZERO;
+        actor
+            .on_message(
+                &mut port,
+                Message::RoundPlan {
+                    round: 1,
+                    ring: vec![0, 1, 2],
+                    broadcaster: 0,
+                    unselected: vec![],
+                },
+                t,
+            )
+            .unwrap();
+        // Initiator sent accum(hops=1) to 1; now its upstream 2 goes
+        // silent: probe, then declare dead — live shrinks to [0, 1].
+        actor.on_timer(&mut port, t).unwrap();
+        assert!(actor.probe_armed());
+        actor.on_timer(&mut port, t).unwrap();
+        assert_eq!(actor.ring_round(), Some(1), "ring repaired, not done");
+        // 1's bypass re-send: the accumulation that was addressed to
+        // the dead 2, carrying both live members' parameters.
+        actor
+            .on_message(
+                &mut port,
+                Message::ParamAccum {
+                    round: 1,
+                    hops: 2,
+                    params: vec![6.0, 6.0],
+                },
+                t,
+            )
+            .unwrap();
+        assert_eq!(actor.done_round(), 1, "complete re-send ends the ring");
+        assert_eq!(
+            actor.train().params,
+            vec![3.0, 3.0],
+            "merged model is the accumulation averaged over its hops"
+        );
+        let mut merged = 0;
+        while let Some(msg) = peer1.try_recv().unwrap() {
+            if let Message::MergedParams {
+                round: 1,
+                ttl: 1,
+                params,
+            } = msg
+            {
+                assert_eq!(params, vec![3.0, 3.0]);
+                merged += 1;
+            }
+        }
+        assert_eq!(merged, 1, "survivor 1 must receive the merged model");
+    }
+
+    /// The warning-overtakes-plan shape `hadfl-check` found: device 2
+    /// hears `BypassWarning(dead 0)` *before* the round-1 `RoundPlan`
+    /// naming 0 arrives (independent connections give no ordering).
+    /// Joining with the stale membership would forward the
+    /// accumulation to dead 0 and stall the ring; instead the plan's
+    /// membership must be filtered through the remembered death.
+    #[test]
+    fn bypass_warning_before_the_plan_filters_ring_membership() {
+        let k = 3;
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut port = hub.claim(2).unwrap();
+        let _peer0 = hub.claim(0).unwrap();
+        let mut peer1 = hub.claim(1).unwrap();
+        let mut actor = stub_actor(2, k);
+        let t = Duration::ZERO;
+        actor
+            .on_message(&mut port, Message::BypassWarning { dead: 0 }, t)
+            .unwrap();
+        actor
+            .on_message(
+                &mut port,
+                Message::RoundPlan {
+                    round: 1,
+                    ring: vec![0, 1, 2],
+                    broadcaster: 0,
+                    unselected: vec![],
+                },
+                t,
+            )
+            .unwrap();
+        assert_eq!(actor.ring_round(), Some(1), "ring runs without dead 0");
+        // With 0 filtered out, 1 initiates; its hops-1 accumulation
+        // closes the two-member ring at this actor.
+        actor
+            .on_message(
+                &mut port,
+                Message::ParamAccum {
+                    round: 1,
+                    hops: 1,
+                    params: vec![5.0, 2.0],
+                },
+                t,
+            )
+            .unwrap();
+        assert_eq!(actor.done_round(), 1, "two survivors finish the ring");
+        assert_eq!(
+            actor.train().params,
+            vec![3.0, 2.0],
+            "merge averages the initiator's [5, 2] with our own [1, 2]"
+        );
+        let mut merged = 0;
+        while let Some(msg) = peer1.try_recv().unwrap() {
+            if let Message::MergedParams {
+                round: 1,
+                ttl: 1,
+                params,
+            } = msg
+            {
+                assert_eq!(params, vec![3.0, 2.0]);
+                merged += 1;
+            }
+        }
+        assert_eq!(merged, 1, "initiator 1 must receive the merged model");
+    }
+
+    /// When every other planned member is already known dead, the ring
+    /// dissolves at entry: the device keeps its local model, marks the
+    /// round synchronized, and keeps training instead of stalling.
+    #[test]
+    fn ring_dissolved_at_entry_keeps_local_model() {
+        let k = 2;
+        let mut hub = ChannelTransport::hub(k + 1);
+        let mut port = hub.claim(1).unwrap();
+        let mut peer0 = hub.claim(0).unwrap();
+        let mut actor = stub_actor(1, k);
+        let t = Duration::ZERO;
+        actor
+            .on_message(&mut port, Message::BypassWarning { dead: 0 }, t)
+            .unwrap();
+        actor
+            .on_message(
+                &mut port,
+                Message::RoundPlan {
+                    round: 1,
+                    ring: vec![0, 1],
+                    broadcaster: 0,
+                    unselected: vec![],
+                },
+                t,
+            )
+            .unwrap();
+        assert_eq!(actor.ring_round(), None, "no ring with a lone member");
+        assert_eq!(actor.done_round(), 1, "round counts as synchronized");
+        assert_eq!(actor.train().params, vec![1.0, 2.0], "model untouched");
+        assert_eq!(
+            peer0.try_recv().unwrap(),
+            None,
+            "nothing may be sent to the dead member"
+        );
+    }
+
+    /// The coordinator driver runs to completion on a [`ManualClock`]:
+    /// virtual time advances through window, report deadline, and final
+    /// deadline without any wall-clock waiting.
+    #[test]
+    fn coordinator_runs_on_a_manual_clock() {
+        let k = 2;
+        let config = quick_config(72);
+        let timing = ProtocolTiming::quick();
+        let clock = ManualClock::new();
+        let mut hub = ChannelTransport::hub(k + 1);
+        let coordinator_port = hub.claim(coordinator_id(k)).unwrap();
+        let mut ports: Vec<_> = (0..k).map(|i| hub.claim(i).unwrap()).collect();
+
+        let outcome = thread::scope(|scope| {
+            for (i, mut port) in ports.drain(..).enumerate() {
+                scope.spawn(move || {
+                    // A scripted device: answer reports, echo ring
+                    // frames to close the reduce, upload on shutdown.
+                    let me = i;
+                    loop {
+                        match port.recv_timeout(Duration::from_secs(10)) {
+                            Ok(Some(Message::ReportRequest { round })) => {
+                                let _ = port.send(
+                                    k,
+                                    &Message::VersionReport {
+                                        device: me as u32,
+                                        round,
+                                        version: 1.0,
+                                    },
+                                );
+                            }
+                            Ok(Some(Message::RoundPlan { round, ring, .. })) => {
+                                // First member starts; the other just
+                                // completes the two-hop reduce.
+                                if ring.first() == Some(&(me as u32)) {
+                                    let other = ring[1] as usize;
+                                    let _ = port.send(
+                                        other,
+                                        &Message::ParamAccum {
+                                            round,
+                                            hops: 1,
+                                            params: vec![1.0, 1.0],
+                                        },
+                                    );
+                                }
+                            }
+                            Ok(Some(Message::ParamAccum { round, .. })) => {
+                                let other = 1 - me;
+                                let _ = port.send(
+                                    other,
+                                    &Message::MergedParams {
+                                        round,
+                                        ttl: 1,
+                                        params: vec![1.0, 1.0],
+                                    },
+                                );
+                            }
+                            Ok(Some(Message::Shutdown)) => {
+                                let _ = port.send(
+                                    k,
+                                    &Message::FinalParams {
+                                        device: me as u32,
+                                        params: vec![1.0, 1.0],
+                                    },
+                                );
+                                return;
+                            }
+                            Ok(Some(_)) => {}
+                            _ => return,
+                        }
+                    }
+                });
+            }
+            run_coordinator_with_clock(
+                coordinator_port,
+                &config,
+                Duration::from_millis(50),
+                2,
+                &timing,
+                &clock,
+            )
+        })
+        .unwrap();
+        assert_eq!(outcome.rounds.len(), 2);
+        assert_eq!(outcome.final_models.len(), 2);
+        assert!(outcome.dropped.is_empty());
+        assert!(
+            clock.now() >= Duration::from_millis(100),
+            "windows must have advanced the virtual clock"
+        );
     }
 }

@@ -47,6 +47,7 @@
 // reject NaN, which is exactly what the validators want.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 pub mod aggregate;
+pub mod clock;
 mod config;
 pub mod coordinator;
 pub mod driver;

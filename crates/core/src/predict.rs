@@ -234,6 +234,51 @@ mod tests {
         assert!((run(0.9) - 50.0).abs() < (run(0.1) - 50.0).abs());
     }
 
+    /// Eq. 7 by hand, α = 0.5, series [10, 20]:
+    /// s₁⁽¹⁾ = 10, s₂⁽¹⁾ = 10 (seeded with the first observation);
+    /// s₁⁽²⁾ = 0.5·20 + 0.5·10 = 15, s₂⁽²⁾ = 0.5·15 + 0.5·10 = 12.5;
+    /// a = 2·15 − 12.5 = 17.5, b = (0.5/0.5)·(15 − 12.5) = 2.5,
+    /// so the forecast line is 17.5 + 2.5·m.
+    #[test]
+    fn two_observations_match_eq7_by_hand() {
+        let mut p = VersionPredictor::new(0.5, 0.0).unwrap();
+        p.observe(10.0);
+        p.observe(20.0);
+        assert_eq!(p.forecast(0), 17.5);
+        assert_eq!(p.forecast(1), 20.0);
+        assert_eq!(p.forecast(2), 22.5);
+        assert_eq!(p.forecast(3), 25.0);
+    }
+
+    /// A constant series keeps s₁ = s₂ exactly, so the trend term
+    /// b = α/(1−α)·(s₁−s₂) is exactly zero at every horizon — not
+    /// merely small.
+    #[test]
+    fn constant_series_has_exactly_zero_trend() {
+        let mut p = VersionPredictor::new(0.3, 0.0).unwrap();
+        p.observe(50.0);
+        p.observe(50.0);
+        for m in 0..6 {
+            assert_eq!(p.forecast(m), 50.0);
+        }
+    }
+
+    /// Until two observations arrive there is no trend to extrapolate:
+    /// every horizon falls back to the prior, then to the single
+    /// observation.
+    #[test]
+    fn horizons_collapse_below_two_observations() {
+        let mut p = VersionPredictor::new(0.3, 7.0).unwrap();
+        for m in 0..4 {
+            assert_eq!(p.forecast(m), 7.0);
+        }
+        p.observe(12.0);
+        assert_eq!(p.observations(), 1);
+        for m in 0..4 {
+            assert_eq!(p.forecast(m), 12.0);
+        }
+    }
+
     #[test]
     fn rejects_bad_alpha() {
         assert!(VersionPredictor::new(0.0, 0.0).is_err());

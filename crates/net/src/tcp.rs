@@ -20,15 +20,21 @@
 //! messages, while [`TcpPort::raw_bytes`] additionally counts length
 //! prefixes, hellos, and heartbeats — the transport's own overhead.
 
+// Transport hot path: a panic here kills a reader or heartbeat thread
+// silently and wedges the node. Any remaining unwrap must carry an
+// `#[allow]` with its invariant spelled out.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use hadfl::clock::{Clock, WallClock};
 use hadfl::transport::{endpoint_of, Port};
 use hadfl::wire::Message;
 use hadfl::HadflError;
@@ -87,14 +93,19 @@ struct Shared {
     inbound_tx: Sender<Message>,
     stats: Mutex<NetStats>,
     raw_bytes: AtomicU64,
-    last_seen: Mutex<HashMap<usize, Instant>>,
+    /// Clock readings (durations since the port's clock epoch) of the
+    /// last traffic per peer. Timestamps go through the [`Clock`] seam
+    /// so tests and the model checker can run on virtual time.
+    last_seen: Mutex<HashMap<usize, Duration>>,
     shutdown: AtomicBool,
+    clock: Arc<dyn Clock>,
     opts: TcpOptions,
 }
 
 impl Shared {
     fn note_seen(&self, peer: usize) {
-        self.last_seen.lock().insert(peer, Instant::now());
+        let now = self.clock.now();
+        self.last_seen.lock().insert(peer, now);
     }
 }
 
@@ -143,6 +154,21 @@ impl BoundNode {
         cluster: &ClusterConfig,
         opts: TcpOptions,
     ) -> Result<TcpPort, HadflError> {
+        self.into_port_with_clock(cluster, opts, WallClock::shared())
+    }
+
+    /// [`Self::into_port`] with an injected [`Clock`] — deterministic
+    /// tests drive liveness horizons and dial backoff on virtual time.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::into_port`].
+    pub fn into_port_with_clock(
+        self,
+        cluster: &ClusterConfig,
+        opts: TcpOptions,
+        clock: Arc<dyn Clock>,
+    ) -> Result<TcpPort, HadflError> {
         cluster.validate()?;
         cluster.node(self.id)?;
         let (inbound_tx, inbound_rx) = unbounded();
@@ -154,6 +180,7 @@ impl BoundNode {
             raw_bytes: AtomicU64::new(0),
             last_seen: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            clock,
             opts: opts.clone(),
         });
         self.listener
@@ -205,11 +232,12 @@ impl TcpPort {
     /// Whether `peer` produced any traffic (frames or heartbeats)
     /// within `horizon`. `false` also for peers never heard from.
     pub fn is_live(&self, peer: usize, horizon: Duration) -> bool {
+        let now = self.shared.clock.now();
         self.shared
             .last_seen
             .lock()
             .get(&peer)
-            .is_some_and(|seen| seen.elapsed() <= horizon)
+            .is_some_and(|&seen| now.saturating_sub(seen) <= horizon)
     }
 
     /// Every byte this port put on or took off the wire, including
@@ -232,7 +260,7 @@ impl TcpPort {
         let mut last_err = String::new();
         for attempt in 0..opts.max_dial_attempts {
             if attempt > 0 {
-                thread::sleep(backoff);
+                self.shared.clock.sleep(backoff);
                 backoff = (backoff * 2).min(opts.backoff_cap);
             }
             let addrs: Vec<SocketAddr> = match addr_str.to_socket_addrs() {
@@ -434,8 +462,9 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             }
             want = Some(len as usize);
         }
-        // Phase 2: frame body.
-        let need = want.expect("phase 1 ran");
+        // Phase 2: frame body. Phase 1 always leaves `want` set; the
+        // `else` arm is dead but keeps the hot loop panic-free.
+        let Some(need) = want else { continue };
         while pending.len() < need {
             let mut chunk = vec![0u8; (need - pending.len()).min(64 << 10)];
             match stream.read(&mut chunk) {
@@ -495,7 +524,7 @@ fn heartbeat_loop(
     }
     .encode();
     while !shared.shutdown.load(Ordering::SeqCst) {
-        thread::sleep(interval);
+        shared.clock.sleep(interval);
         let mut conns = conns.lock();
         let mut dead = Vec::new();
         for (&peer, stream) in conns.iter_mut() {
@@ -515,6 +544,7 @@ fn heartbeat_loop(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -634,9 +664,9 @@ mod tests {
         opts.max_dial_attempts = 2;
         opts.backoff_base = Duration::from_millis(5);
         let mut sender = nodes.remove(0).into_port(&cluster, opts).unwrap();
-        let started = Instant::now();
+        let clock = WallClock::new();
         assert!(sender.send(1, &Message::Handshake { from: 0 }).is_err());
-        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(clock.now() < Duration::from_secs(5));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Pattern gates that clippy cannot express, enforced in CI (see
+# .github/workflows/ci.yml) and runnable locally:
+#
+#   1. No ambient time in the protocol paths. `crates/core/src/exec.rs`
+#      and `crates/net/src/tcp.rs` must take time through the
+#      `hadfl::clock::Clock` seam — a raw `Instant::now()` or
+#      `SystemTime::now()` there is invisible to `hadfl-check`'s
+#      deterministic scheduler and breaks exhaustive exploration.
+#
+#   2. No lock guard held across `Port::send`. A send can block on a
+#      slow peer's TCP buffer; holding a mutex meanwhile stalls the
+#      reader/heartbeat threads into a distributed deadlock. Guards
+#      must be dropped (or confined to a temporary) before sending.
+#
+# Exit status: 0 clean, 1 any gate tripped.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLOCKED_FILES="crates/core/src/exec.rs crates/net/src/tcp.rs"
+status=0
+
+# ---- gate 1: ambient clocks -------------------------------------------------
+for f in $CLOCKED_FILES; do
+    hits=$(grep -n 'Instant::now()\|SystemTime::now()' "$f" || true)
+    if [ -n "$hits" ]; then
+        echo "lint: ambient clock in $f (use the hadfl::clock::Clock seam):"
+        echo "$hits" | sed "s|^|  $f:|"
+        status=1
+    fi
+done
+
+# ---- gate 2: lock guard held across Port::send ------------------------------
+# Heuristic: a `let`-bound `.lock()` guard lives to the end of its
+# block; flag any two-argument `.send(to, msg)` (the `Port::send`
+# shape — one-argument channel sends are non-blocking and exempt)
+# while such a guard is in scope. Expression-temporary locks like
+# `x.lock().insert(..)` drop their guard at the statement boundary
+# and are exempt.
+for f in $CLOCKED_FILES; do
+    hits=$(awk '
+        function brace_delta(s,    t, opens, closes) {
+            t = s; opens = gsub(/{/, "", t)
+            t = s; closes = gsub(/}/, "", t)
+            return opens - closes
+        }
+        {
+            line = $0
+            sub(/\/\/.*/, "", line)
+            if (line ~ /let[ \t]+(mut[ \t]+)?[A-Za-z_][A-Za-z0-9_]*[^;]*\.lock\(\)/ \
+                && line !~ /\.lock\(\)[ \t]*\./) {
+                g_n += 1; g_depth[g_n] = depth; g_line[g_n] = FNR
+            }
+            if (line ~ /\.send\([^,)]+,/) {
+                for (i = 1; i <= g_n; i++) {
+                    if (g_depth[i] >= 0)
+                        printf "%d: Port::send with the lock guard from line %d still held\n", FNR, g_line[i]
+                }
+            }
+            depth += brace_delta(line)
+            for (i = 1; i <= g_n; i++)
+                if (g_depth[i] >= 0 && depth < g_depth[i]) g_depth[i] = -1
+        }' "$f")
+    if [ -n "$hits" ]; then
+        echo "lint: lock guard held across Port::send in $f:"
+        echo "$hits" | sed "s|^|  $f:|"
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "lint: clean"
+fi
+exit "$status"
