@@ -1,0 +1,114 @@
+//! The zero-cost-when-disabled claim, measured: `run_partial_sync`'s
+//! hot ring loop with (a) the plain untelemetered entry point, (b) an
+//! explicitly disabled handle through the instrumented entry point
+//! (one `Option` check per emission site), and (c) a live handle
+//! feeding an in-memory ring buffer.
+//!
+//! (a) and (b) must be indistinguishable — that is the baseline this
+//! bench records. (c) bounds the cost of turning telemetry on.
+//!
+//! Run: `cargo bench -p hadfl-bench --bench telemetry`
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hadfl::gossip::{run_partial_sync, run_partial_sync_instrumented};
+use hadfl::topology::Ring;
+use hadfl_simnet::{DeviceId, FaultPlan, LinkModel, NetStats, VirtualTime};
+use hadfl_telemetry::{RingBufferSink, Telemetry};
+
+const RING_SIZE: usize = 8;
+const PARAMS: usize = 26_506; // quick-profile MLP parameter count
+const MODEL_BYTES: u64 = 4 * PARAMS as u64;
+
+fn fixture() -> (Ring, BTreeMap<DeviceId, Vec<f32>>) {
+    let ring = Ring::from_order((0..RING_SIZE).map(DeviceId).collect()).unwrap();
+    let params = (0..RING_SIZE)
+        .map(|i| (DeviceId(i), vec![i as f32 * 0.25; PARAMS]))
+        .collect();
+    (ring, params)
+}
+
+fn bench_partial_sync(c: &mut Criterion) {
+    let (ring, params) = fixture();
+    let faults = FaultPlan::none();
+    let link = LinkModel::default();
+    let mut group = c.benchmark_group("partial_sync_telemetry");
+
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut stats = NetStats::new();
+            black_box(
+                run_partial_sync(
+                    black_box(&ring),
+                    black_box(&params),
+                    None,
+                    &faults,
+                    VirtualTime::from_secs(1.0),
+                    &link,
+                    0.05,
+                    MODEL_BYTES,
+                    MODEL_BYTES,
+                    &mut stats,
+                )
+                .expect("healthy ring"),
+            )
+        });
+    });
+
+    group.bench_function("disabled_handle", |b| {
+        let tel = Telemetry::disabled();
+        b.iter(|| {
+            let mut stats = NetStats::new();
+            black_box(
+                run_partial_sync_instrumented(
+                    black_box(&ring),
+                    black_box(&params),
+                    None,
+                    &faults,
+                    VirtualTime::from_secs(1.0),
+                    &link,
+                    0.05,
+                    MODEL_BYTES,
+                    MODEL_BYTES,
+                    &mut stats,
+                    &tel,
+                    1,
+                )
+                .expect("healthy ring"),
+            )
+        });
+    });
+
+    group.bench_function("ring_buffer_sink", |b| {
+        let sink = RingBufferSink::new(4096);
+        let tel = Telemetry::new(0, vec![Box::new(sink)]);
+        b.iter(|| {
+            let mut stats = NetStats::new();
+            black_box(
+                run_partial_sync_instrumented(
+                    black_box(&ring),
+                    black_box(&params),
+                    None,
+                    &faults,
+                    VirtualTime::from_secs(1.0),
+                    &link,
+                    0.05,
+                    MODEL_BYTES,
+                    MODEL_BYTES,
+                    &mut stats,
+                    &tel,
+                    1,
+                )
+                .expect("healthy ring"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_sync);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::HadflConfig;
 use crate::error::HadflError;
 use crate::predict::VersionPredictor;
-use crate::select::{select_devices, SelectionPolicy, VersionScale};
+use crate::select::{select_devices, selection_weights, SelectionPolicy, VersionScale};
 use crate::topology::Ring;
 
 /// The *liveness monitor*: tracks which devices are reachable.
@@ -128,6 +128,7 @@ pub struct StrategyGenerator {
     scale: VersionScale,
     n_p: usize,
     rng: SeedStream,
+    last_probabilities: Option<Vec<f64>>,
 }
 
 impl StrategyGenerator {
@@ -138,7 +139,18 @@ impl StrategyGenerator {
             scale: config.version_scale,
             n_p: config.num_selected,
             rng: SeedStream::new(config.seed ^ 0x57A7_E6E0),
+            last_probabilities: None,
         }
+    }
+
+    /// The normalized Eq. (8) first-draw probabilities of the most
+    /// recent [`plan_round`](Self::plan_round) call, parallel to its
+    /// `available` argument. These are the pdf weights regardless of
+    /// the configured policy (the worst-case policy draws
+    /// deterministically but the weights still describe Eq. 8's
+    /// expectation), so telemetry can log selection skew against them.
+    pub fn last_probabilities(&self) -> Option<&[f64]> {
+        self.last_probabilities.as_deref()
     }
 
     /// Plans one synchronization round over the available devices.
@@ -160,6 +172,13 @@ impl StrategyGenerator {
                 available.len()
             )));
         }
+        let weights = selection_weights(versions, self.scale)?;
+        let total: f64 = weights.iter().sum();
+        self.last_probabilities = Some(if total > 0.0 {
+            weights.iter().map(|w| w / total).collect()
+        } else {
+            vec![1.0 / versions.len() as f64; versions.len()]
+        });
         let selected = select_devices(
             self.policy,
             available,

@@ -53,11 +53,13 @@ use crate::clock::{Clock, WallClock};
 use crate::config::HadflConfig;
 use crate::coordinator::{RoundPlan, StrategyGenerator};
 use crate::error::HadflError;
+use crate::predict::VersionPredictor;
 use crate::trace::CommSummary;
 use crate::transport::{coordinator_id, ChannelTransport, Port};
 use crate::wire::Message;
 use crate::workload::{DeviceRuntime, Workload};
 use hadfl_simnet::DeviceId;
+use hadfl_telemetry::{EventKind, Telemetry};
 
 pub mod seeded {
     //! Seeded re-introductions of the three interleaving bugs PR 1's
@@ -349,11 +351,23 @@ pub trait Planner {
     /// Canonical bytes of planner state for model-checker deduplication
     /// (stateless planners need not override).
     fn digest(&self, _out: &mut Vec<u8>) {}
+
+    /// The normalized Eq. (8) first-draw probabilities of the most
+    /// recent [`plan`](Self::plan) call, parallel to its `available`
+    /// argument. Planners without a probability model (checker
+    /// fixtures) return `None` and telemetry logs an empty row.
+    fn last_probabilities(&self) -> Option<&[f64]> {
+        None
+    }
 }
 
 impl Planner for StrategyGenerator {
     fn plan(&mut self, available: &[DeviceId], versions: &[f64]) -> Result<RoundPlan, HadflError> {
         self.plan_round(available, versions)
+    }
+
+    fn last_probabilities(&self) -> Option<&[f64]> {
+        StrategyGenerator::last_probabilities(self)
     }
 }
 
@@ -435,6 +449,7 @@ fn send_ring<P: Port>(port: &mut P, run: &mut RingRun, to: usize, msg: Message) 
 /// Finishes the reduce half: installs the mean, starts the distribute
 /// half, and broadcasts to the unselected if this member is the
 /// round's broadcaster.
+#[allow(clippy::too_many_arguments)]
 fn finish_reduce<P: Port, T: TrainState>(
     port: &mut P,
     train: &mut T,
@@ -442,6 +457,8 @@ fn finish_reduce<P: Port, T: TrainState>(
     me: usize,
     mut params: Vec<f32>,
     hops: u32,
+    tel: &Telemetry,
+    now: Duration,
 ) -> Result<(), HadflError> {
     let scale = 1.0 / hops as f32;
     for a in &mut params {
@@ -449,6 +466,13 @@ fn finish_reduce<P: Port, T: TrainState>(
     }
     train.set_params(&params)?;
     run.merged_done = true;
+    tel.emit(
+        now,
+        EventKind::Merge {
+            round: run.round,
+            participants: hops,
+        },
+    );
     if run.live.len() > 1 {
         let downstream = run.downstream(me);
         send_ring(
@@ -614,6 +638,13 @@ pub struct DeviceActor<T: TrainState> {
     known_dead: BTreeSet<usize>,
     phase: DevicePhase,
     train: T,
+    /// Structured-event emitter; disabled by default. Never part of
+    /// [`digest_into`](Self::digest_into) — observability must not
+    /// split model-checker states.
+    tel: Telemetry,
+    /// Local steps taken since the last [`EventKind::LocalSteps`]
+    /// batch; only counted while telemetry is enabled.
+    pending_steps: u64,
 }
 
 impl<T: TrainState> DeviceActor<T> {
@@ -637,7 +668,16 @@ impl<T: TrainState> DeviceActor<T> {
             known_dead: BTreeSet::new(),
             phase: DevicePhase::Training,
             train,
+            tel: Telemetry::disabled(),
+            pending_steps: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; a disabled handle is a no-op.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// This device's id.
@@ -717,11 +757,11 @@ impl<T: TrainState> DeviceActor<T> {
             DevicePhase::Ring(_) => match self.ring_message(port, msg, now)? {
                 RingStep::Continue => Ok(()),
                 RingStep::Completed => {
-                    self.complete_ring();
+                    self.complete_ring(now);
                     Ok(())
                 }
                 RingStep::Shutdown => {
-                    self.finish(port);
+                    self.finish(port, now);
                     Ok(())
                 }
             },
@@ -737,8 +777,29 @@ impl<T: TrainState> DeviceActor<T> {
     pub fn on_idle<P: Port>(&mut self, _port: &mut P) -> Result<(), HadflError> {
         if matches!(self.phase, DevicePhase::Training) {
             self.train.train_step()?;
+            if self.tel.enabled() {
+                self.pending_steps += 1;
+            }
         }
         Ok(())
+    }
+
+    /// Flushes the batched local-step count as one
+    /// [`EventKind::LocalSteps`] event. Batches close at the protocol
+    /// transitions that carry a timestamp (report, ring entry,
+    /// shutdown), so one event covers roughly one training window.
+    fn flush_steps(&mut self, now: Duration) {
+        if self.pending_steps > 0 {
+            self.tel.emit(
+                now,
+                EventKind::LocalSteps {
+                    device: self.me as u32,
+                    steps: self.pending_steps,
+                    version: self.train.version() as u64,
+                },
+            );
+            self.pending_steps = 0;
+        }
     }
 
     /// An elapsed wait inside a ring: §III-D silence handling — probe
@@ -784,9 +845,23 @@ impl<T: TrainState> DeviceActor<T> {
                 );
                 ring.run.live.retain(|&d| d != suspect);
                 self.known_dead.insert(suspect);
+                self.tel.emit(
+                    now,
+                    EventKind::BypassDeclared {
+                        round: ring.run.round,
+                        dead: suspect as u32,
+                    },
+                );
                 if ring.run.live.len() < 2 {
                     ring.run.merged_done = true; // dissolved; keep local model
                 } else {
+                    self.tel.emit(
+                        now,
+                        EventKind::RingRepair {
+                            round: ring.run.round,
+                            dead: suspect as u32,
+                        },
+                    );
                     repair_after_bypass(port, &mut self.train, &mut ring.run, me, suspect);
                 }
             }
@@ -800,7 +875,7 @@ impl<T: TrainState> DeviceActor<T> {
         }
         let done = ring.run.merged_done;
         if done {
-            self.complete_ring();
+            self.complete_ring(now);
         }
         Ok(())
     }
@@ -840,7 +915,7 @@ impl<T: TrainState> DeviceActor<T> {
     }
 
     /// Uploads final parameters and retires the actor.
-    fn finish<P: Port>(&mut self, port: &mut P) {
+    fn finish<P: Port>(&mut self, port: &mut P, now: Duration) {
         let _ = port.send(
             self.coord,
             &Message::FinalParams {
@@ -849,13 +924,29 @@ impl<T: TrainState> DeviceActor<T> {
             },
         );
         self.phase = DevicePhase::Finished;
+        self.flush_steps(now);
+        self.tel.emit(
+            now,
+            EventKind::DeviceFinished {
+                device: self.me as u32,
+                version: self.train.version() as u64,
+            },
+        );
+        self.tel.flush();
     }
 
     /// Leaves the ring phase, recording the finished ring for late
     /// bypass repairs.
-    fn complete_ring(&mut self) {
+    fn complete_ring(&mut self, now: Duration) {
         if let DevicePhase::Ring(ring) = mem::replace(&mut self.phase, DevicePhase::Training) {
             self.done_round = self.done_round.max(ring.run.round);
+            self.tel.emit(
+                now,
+                EventKind::RingExit {
+                    round: ring.run.round,
+                    dissolved: ring.run.live.len() < 2,
+                },
+            );
             self.last_ring = Some(ring.run);
         }
     }
@@ -869,9 +960,10 @@ impl<T: TrainState> DeviceActor<T> {
     ) -> Result<(), HadflError> {
         match msg {
             Message::Shutdown => {
-                self.finish(port);
+                self.finish(port, now);
             }
             Message::ReportRequest { round } => {
+                self.flush_steps(now);
                 let _ = port.send(
                     self.coord,
                     &Message::VersionReport {
@@ -956,6 +1048,7 @@ impl<T: TrainState> DeviceActor<T> {
         if run.pos(self.me).is_none() {
             return Ok(()); // not addressed to us; stale broadcast
         }
+        self.flush_steps(now);
         // A BypassWarning may have overtaken this plan: membership the
         // coordinator believed alive at planning time can already be
         // known dead here. Joining with the stale membership would
@@ -970,8 +1063,22 @@ impl<T: TrainState> DeviceActor<T> {
             self.done_round = self.done_round.max(round);
             self.backlog
                 .retain(|m| ring_frame_round(m).is_some_and(|r| r > round));
+            self.tel.emit(
+                now,
+                EventKind::RingExit {
+                    round,
+                    dissolved: true,
+                },
+            );
             return Ok(());
         }
+        self.tel.emit(
+            now,
+            EventKind::RingEnter {
+                round,
+                ring: run.live.iter().map(|&d| d as u32).collect(),
+            },
+        );
         // Frames for rings before this one are dead history.
         self.backlog
             .retain(|m| ring_frame_round(m).is_some_and(|r| r >= round));
@@ -1012,8 +1119,8 @@ impl<T: TrainState> DeviceActor<T> {
             let msg = self.backlog.remove(held);
             match self.ring_message(port, msg, now)? {
                 RingStep::Continue => {}
-                RingStep::Completed => self.complete_ring(),
-                RingStep::Shutdown => self.finish(port),
+                RingStep::Completed => self.complete_ring(now),
+                RingStep::Shutdown => self.finish(port, now),
             }
         }
         Ok(())
@@ -1067,7 +1174,16 @@ impl<T: TrainState> DeviceActor<T> {
                     // by `hadfl-check`, see DESIGN.md §Protocol
                     // invariants). Merge it without adding ourselves.
                     if hops as usize >= ring.run.live.len() && !ring.run.merged_done {
-                        finish_reduce(port, &mut self.train, &mut ring.run, me, params, hops)?;
+                        finish_reduce(
+                            port,
+                            &mut self.train,
+                            &mut ring.run,
+                            me,
+                            params,
+                            hops,
+                            &self.tel,
+                            now,
+                        )?;
                     }
                 } else {
                     ring.run.contributed = true;
@@ -1076,8 +1192,24 @@ impl<T: TrainState> DeviceActor<T> {
                         *a += m;
                     }
                     let hops = hops + 1;
+                    self.tel.emit(
+                        now,
+                        EventKind::Accumulate {
+                            round: ring.run.round,
+                            hops,
+                        },
+                    );
                     if hops as usize >= ring.run.live.len() {
-                        finish_reduce(port, &mut self.train, &mut ring.run, me, params, hops)?;
+                        finish_reduce(
+                            port,
+                            &mut self.train,
+                            &mut ring.run,
+                            me,
+                            params,
+                            hops,
+                            &self.tel,
+                            now,
+                        )?;
                     } else {
                         let downstream = ring.run.downstream(me);
                         let round = ring.run.round;
@@ -1151,6 +1283,13 @@ impl<T: TrainState> DeviceActor<T> {
                     if ring.run.live.len() < 2 {
                         ring.run.merged_done = true; // dissolved; keep local model
                     } else {
+                        self.tel.emit(
+                            now,
+                            EventKind::RingRepair {
+                                round: ring.run.round,
+                                dead: dead as u32,
+                            },
+                        );
                         repair_after_bypass(port, &mut self.train, &mut ring.run, me, dead);
                     }
                 }
@@ -1250,17 +1389,46 @@ pub fn run_device<P: Port>(
 ///
 /// As [`run_device`].
 pub fn run_device_with_clock<P: Port>(
+    port: P,
+    rt: DeviceRuntime,
+    config: &HadflConfig,
+    step_sleep: Duration,
+    timing: &ProtocolTiming,
+    clock: &dyn Clock,
+) -> Result<(), HadflError> {
+    run_device_instrumented(
+        port,
+        rt,
+        config,
+        step_sleep,
+        timing,
+        clock,
+        Telemetry::disabled(),
+    )
+}
+
+/// [`run_device_with_clock`] with a telemetry handle: emits the device
+/// lifecycle, local-step batches, and ring events, all timestamped from
+/// `clock` so [`crate::clock::ManualClock`] runs are deterministic.
+///
+/// # Errors
+///
+/// As [`run_device`].
+pub fn run_device_instrumented<P: Port>(
     mut port: P,
     mut rt: DeviceRuntime,
     config: &HadflConfig,
     step_sleep: Duration,
     timing: &ProtocolTiming,
     clock: &dyn Clock,
+    tel: Telemetry,
 ) -> Result<(), HadflError> {
     rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
     let me = port.id();
     let participants = port.participants();
-    let mut actor = DeviceActor::new(me, participants, rt, config.blend_beta, timing.clone());
+    tel.emit(clock.now(), EventKind::DeviceStarted { device: me as u32 });
+    let mut actor = DeviceActor::new(me, participants, rt, config.blend_beta, timing.clone())
+        .with_telemetry(tel);
     loop {
         match actor.hint(clock.now()) {
             DeviceHint::Finished => return Ok(()),
@@ -1343,7 +1511,21 @@ pub struct CoordinatorActor<Pl: Planner> {
     rounds_log: Vec<ThreadedRound>,
     final_models: BTreeMap<usize, Vec<f32>>,
     phase: CoordPhase,
+    /// Structured-event emitter; disabled by default. Never part of
+    /// [`digest_into`](Self::digest_into) — observability must not
+    /// split model-checker states.
+    tel: Telemetry,
+    /// Eq. (7) shadow predictors, one per device, maintained only while
+    /// telemetry is enabled so prediction-vs-actual error can be
+    /// logged per round. Planning behavior is untouched: the deployed
+    /// coordinator plans from *reported* versions either way.
+    predictors: Option<Vec<VersionPredictor>>,
+    /// When the current round's window opened (round-latency metric).
+    round_opened: Duration,
 }
+
+/// Smoothing factor of the telemetry-only Eq. (7) shadow predictors.
+const TELEMETRY_PREDICTOR_ALPHA: f64 = 0.3;
 
 impl<Pl: Planner> CoordinatorActor<Pl> {
     /// An actor for a `k`-device cluster starting its first window at
@@ -1370,7 +1552,25 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
                 round: 1,
                 until: now + window,
             },
+            tel: Telemetry::disabled(),
+            predictors: None,
+            round_opened: now,
         }
+    }
+
+    /// Attaches a telemetry handle; a disabled handle is a no-op. An
+    /// enabled handle also switches on the per-device Eq. (7) shadow
+    /// predictors behind the round's prediction-error events.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        if tel.enabled() {
+            self.predictors = (0..self.k)
+                .map(|_| VersionPredictor::new(TELEMETRY_PREDICTOR_ALPHA, 0.0))
+                .collect::<Result<Vec<_>, _>>()
+                .ok();
+        }
+        self.tel = tel;
+        self
     }
 
     /// Devices still considered alive.
@@ -1443,6 +1643,7 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
 
     /// The run's outcome. Meaningful once [`is_done`](Self::is_done).
     pub fn into_run(self) -> CoordinatorRun {
+        self.tel.flush();
         CoordinatorRun {
             rounds: self.rounds_log,
             final_models: self.final_models,
@@ -1484,6 +1685,13 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
                         if self.alive.remove(&dead) {
                             self.dropped.push((dead, round));
                             versions.remove(&dead);
+                            self.tel.emit(
+                                now,
+                                EventKind::DeviceDropped {
+                                    round: round as u32,
+                                    device: dead as u32,
+                                },
+                            );
                         }
                     }
                     _ => {}
@@ -1502,6 +1710,13 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
                         let dead = dead as usize;
                         if self.alive.remove(&dead) {
                             self.dropped.push((dead, self.rounds));
+                            self.tel.emit(
+                                now,
+                                EventKind::DeviceDropped {
+                                    round: self.rounds as u32,
+                                    device: dead as u32,
+                                },
+                            );
                         }
                     }
                     _ => {}
@@ -1640,6 +1855,13 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
         for d in missing {
             self.alive.remove(&d);
             self.dropped.push((d, round));
+            self.tel.emit(
+                now,
+                EventKind::DeviceDropped {
+                    round: round as u32,
+                    device: d as u32,
+                },
+            );
         }
         if self.alive.len() < 2 {
             // Best-effort shutdown of *every* device, dropped included:
@@ -1649,11 +1871,37 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
             for d in self.shutdown_targets() {
                 let _ = port.send(d, &Message::Shutdown);
             }
+            self.tel.emit(
+                now,
+                EventKind::ShutdownSent {
+                    round: round as u32,
+                },
+            );
+            self.tel.flush();
             return Err(HadflError::ClusterDead { round });
         }
 
         let available: Vec<DeviceId> = self.alive.iter().map(|&d| DeviceId(d)).collect();
         let avail_versions: Vec<f64> = available.iter().map(|d| versions[&d.index()]).collect();
+        if let Some(predictors) = self.predictors.as_mut() {
+            // Eq. (7) shadow forecast: predicted-vs-actual *before* the
+            // round's observation updates the smoother.
+            for (d, &actual) in available.iter().zip(&avail_versions) {
+                if let Some(p) = predictors.get_mut(d.index()) {
+                    let predicted = p.forecast(1);
+                    self.tel.emit(
+                        now,
+                        EventKind::Prediction {
+                            round: round as u32,
+                            device: d.index() as u32,
+                            predicted,
+                            actual,
+                        },
+                    );
+                    p.observe(actual);
+                }
+            }
+        }
         let plan = self.planner.plan(&available, &avail_versions)?;
         let ring: Vec<u32> = plan
             .ring
@@ -1682,6 +1930,31 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
             versions: version_row,
             selected: plan.selected.iter().map(|d| d.index()).collect(),
         });
+        if self.tel.enabled() {
+            self.tel.emit(
+                now,
+                EventKind::RoundPlanned {
+                    round: round as u32,
+                    available: available.iter().map(|d| d.index() as u32).collect(),
+                    versions: avail_versions.clone(),
+                    probabilities: self
+                        .planner
+                        .last_probabilities()
+                        .map(<[f64]>::to_vec)
+                        .unwrap_or_default(),
+                    selected: plan.selected.iter().map(|d| d.index() as u32).collect(),
+                    unselected: unselected.clone(),
+                    broadcaster: plan.broadcaster.index() as u32,
+                },
+            );
+            self.tel.emit(
+                now,
+                EventKind::RoundComplete {
+                    round: round as u32,
+                    duration_us: now.saturating_sub(self.round_opened).as_micros() as u64,
+                },
+            );
+        }
 
         if round >= self.rounds {
             // Shutdown goes to every device, dropped ones included —
@@ -1691,10 +1964,18 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
             for d in self.shutdown_targets() {
                 let _ = port.send(d, &Message::Shutdown);
             }
+            self.tel.emit(
+                now,
+                EventKind::ShutdownSent {
+                    round: round as u32,
+                },
+            );
+            self.tel.flush();
             self.phase = CoordPhase::Final {
                 deadline: now + self.timing.final_deadline,
             };
         } else {
+            self.round_opened = now;
             self.phase = CoordPhase::Window {
                 round: round + 1,
                 until: now + self.window,
@@ -1741,16 +2022,44 @@ pub fn run_coordinator<P: Port>(
 ///
 /// As [`run_coordinator`].
 pub fn run_coordinator_with_clock<P: Port>(
-    mut port: P,
+    port: P,
     config: &HadflConfig,
     window: Duration,
     rounds: usize,
     timing: &ProtocolTiming,
     clock: &dyn Clock,
 ) -> Result<CoordinatorRun, HadflError> {
+    run_coordinator_instrumented(
+        port,
+        config,
+        window,
+        rounds,
+        timing,
+        clock,
+        Telemetry::disabled(),
+    )
+}
+
+/// [`run_coordinator_with_clock`] with a telemetry handle: emits round
+/// plans with their Eq. (8) selection probabilities, Eq. (7)
+/// prediction-vs-actual versions, device drops, and round latencies.
+///
+/// # Errors
+///
+/// As [`run_coordinator`].
+pub fn run_coordinator_instrumented<P: Port>(
+    mut port: P,
+    config: &HadflConfig,
+    window: Duration,
+    rounds: usize,
+    timing: &ProtocolTiming,
+    clock: &dyn Clock,
+    tel: Telemetry,
+) -> Result<CoordinatorRun, HadflError> {
     let k = port.participants() - 1;
     let planner = StrategyGenerator::new(config);
-    let mut actor = CoordinatorActor::new(k, planner, window, rounds, timing.clone(), clock.now());
+    let mut actor = CoordinatorActor::new(k, planner, window, rounds, timing.clone(), clock.now())
+        .with_telemetry(tel);
     loop {
         match actor.hint(clock.now()) {
             CoordHint::Sleep(d) => {

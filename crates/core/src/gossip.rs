@@ -7,8 +7,10 @@
 //! and the ring bypasses the dead device ([`crate::topology::Ring::bypass`]).
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use hadfl_simnet::{DeviceId, FaultPlan, LinkModel, NetStats, VirtualTime};
+use hadfl_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{
@@ -70,6 +72,55 @@ pub fn run_partial_sync(
     wire_bytes: u64,
     stats: &mut NetStats,
 ) -> Result<SyncOutcome, HadflError> {
+    run_partial_sync_instrumented(
+        ring,
+        params,
+        weights,
+        faults,
+        at,
+        link,
+        handshake_timeout_secs,
+        model_bytes,
+        wire_bytes,
+        stats,
+        &Telemetry::disabled(),
+        0,
+    )
+}
+
+/// [`run_partial_sync`] with a telemetry handle: emits ring
+/// enter/exit, per-bypass declarations and repairs, the merge, and one
+/// `FrameSent` event per ledger entry `record_gossip_traffic` charges
+/// to `stats` — so the event stream and the [`NetStats`] ledger agree
+/// byte for byte. `round` tags the emitted events; a disabled handle
+/// makes this identical to [`run_partial_sync`].
+///
+/// # Errors
+///
+/// As [`run_partial_sync`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_partial_sync_instrumented(
+    ring: &Ring,
+    params: &BTreeMap<DeviceId, Vec<f32>>,
+    weights: Option<&BTreeMap<DeviceId, f64>>,
+    faults: &FaultPlan,
+    at: VirtualTime,
+    link: &LinkModel,
+    handshake_timeout_secs: f64,
+    model_bytes: u64,
+    wire_bytes: u64,
+    stats: &mut NetStats,
+    tel: &Telemetry,
+    round: u32,
+) -> Result<SyncOutcome, HadflError> {
+    let t0 = Duration::from_secs_f64(at.as_secs());
+    tel.emit(
+        t0,
+        EventKind::RingEnter {
+            round,
+            ring: ring.members().iter().map(|d| d.index() as u32).collect(),
+        },
+    );
     for member in ring.members() {
         if !params.contains_key(member) {
             return Err(HadflError::InvalidConfig(format!(
@@ -91,6 +142,14 @@ pub fn run_partial_sync(
         // Downstream waits, handshakes the dead device, then warns the
         // dead device's upstream: timeout + 2 one-way latencies.
         penalty_secs += handshake_timeout_secs + 2.0 * link.latency_secs();
+        let t_bypass = t0 + Duration::from_secs_f64(penalty_secs);
+        tel.emit(
+            t_bypass,
+            EventKind::BypassDeclared {
+                round,
+                dead: member.index() as u32,
+            },
+        );
         live = match live.bypass(member) {
             Some(next) => next,
             None => {
@@ -103,6 +162,13 @@ pub fn run_partial_sync(
                 let Some(survivor) = survivor else {
                     return Err(HadflError::ClusterDead { round: 0 });
                 };
+                tel.emit(
+                    t_bypass,
+                    EventKind::RingExit {
+                        round,
+                        dissolved: true,
+                    },
+                );
                 return Ok(SyncOutcome {
                     merged: params[&survivor].clone(),
                     participants: vec![survivor],
@@ -112,13 +178,51 @@ pub fn run_partial_sync(
                 });
             }
         };
+        tel.emit(
+            t_bypass,
+            EventKind::RingRepair {
+                round,
+                dead: member.index() as u32,
+            },
+        );
     }
 
     // Time is driven by the bytes actually moved (`model_bytes`); the
     // ledger is driven by `wire_bytes`, which experiments may override to
     // paper-scale model sizes without perturbing the learning dynamics.
     let secs = ring_allreduce_cost(live.members().len(), model_bytes, link)?.secs;
-    record_gossip_traffic(live.members(), wire_bytes, link, stats)?;
+    let wire_cost = record_gossip_traffic(live.members(), wire_bytes, link, stats)?;
+    let t_done = t0 + Duration::from_secs_f64(penalty_secs + secs);
+    if tel.enabled() {
+        // Mirror exactly what `record_gossip_traffic` charged to the
+        // ledger: one frame per directed ring hop.
+        for (i, &from) in live.members().iter().enumerate() {
+            let to = live.members()[(i + 1) % live.members().len()];
+            tel.emit(
+                t_done,
+                EventKind::FrameSent {
+                    src: from.index() as u32,
+                    dst: to.index() as u32,
+                    bytes: wire_cost.bytes_per_member,
+                    kind: "ring_gossip".to_string(),
+                },
+            );
+        }
+        tel.emit(
+            t_done,
+            EventKind::Merge {
+                round,
+                participants: live.members().len() as u32,
+            },
+        );
+        tel.emit(
+            t_done,
+            EventKind::RingExit {
+                round,
+                dissolved: false,
+            },
+        );
+    }
     let vectors: Vec<&[f32]> = live
         .members()
         .iter()

@@ -2,6 +2,7 @@
 //! from which all of the paper's tables and figures are regenerated.
 
 use hadfl_simnet::{DeviceId, NetStats};
+use hadfl_telemetry::{Event, EventKind};
 use serde::{Deserialize, Serialize};
 
 /// One synchronization round's (or epoch's) worth of measurements.
@@ -54,6 +55,39 @@ impl CommSummary {
     /// Bytes sent or received by the busiest device.
     pub fn max_device_bytes(&self) -> u64 {
         self.device_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Summarizes a telemetry event stream for a `devices`-device run:
+    /// every [`EventKind::FrameSent`] counts once, endpoints `0..devices`
+    /// are devices and `devices` itself is the coordinator/server — the
+    /// same convention [`crate::transport::coordinator_id`] uses. With
+    /// the simulator's instrumented driver this reproduces
+    /// [`CommSummary::from_stats`] over the training-phase ledger
+    /// exactly (one schema for simulated and deployed runs).
+    pub fn from_events(events: &[Event], devices: usize) -> Self {
+        let mut summary = CommSummary {
+            device_bytes: vec![0; devices],
+            ..CommSummary::default()
+        };
+        let server = devices as u32;
+        for event in events {
+            let EventKind::FrameSent {
+                src, dst, bytes, ..
+            } = &event.kind
+            else {
+                continue;
+            };
+            summary.total_bytes += bytes;
+            summary.messages += 1;
+            for &end in &[*src, *dst] {
+                if end == server {
+                    summary.server_bytes += bytes;
+                } else if let Some(slot) = summary.device_bytes.get_mut(end as usize) {
+                    *slot += bytes;
+                }
+            }
+        }
+        summary
     }
 }
 

@@ -255,6 +255,27 @@ impl Message {
         buf.freeze()
     }
 
+    /// Short stable label for the message kind, used as the telemetry
+    /// `FrameSent`/`FrameReceived` tag and in metric label values.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::ParamSync { .. } => "param_sync",
+            Message::VersionReport { .. } => "version_report",
+            Message::Handshake { .. } => "handshake",
+            Message::HandshakeAck { .. } => "handshake_ack",
+            Message::BypassWarning { .. } => "bypass_warning",
+            Message::TrainingConfig { .. } => "training_config",
+            Message::ParamAccum { .. } => "param_accum",
+            Message::MergedParams { .. } => "merged_params",
+            Message::RoundPlan { .. } => "round_plan",
+            Message::ReportRequest { .. } => "report_request",
+            Message::Shutdown => "shutdown",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::Hello { .. } => "hello",
+            Message::FinalParams { .. } => "final_params",
+        }
+    }
+
     /// The exact frame size [`encode`](Self::encode) produces, in bytes —
     /// what the simulator's communication accounting charges.
     pub fn encoded_len(&self) -> usize {

@@ -14,18 +14,24 @@
 //! The coordinator prints per-round selections and, at the end, the
 //! consensus accuracy and byte ledger.
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use hadfl::exec::{run_coordinator, run_device, ProtocolTiming};
+use hadfl::clock::{Clock, WallClock};
+use hadfl::exec::{run_coordinator_instrumented, run_device_instrumented, ProtocolTiming};
 use hadfl::trace::CommSummary;
 use hadfl::{HadflConfig, HadflError, Workload};
 use hadfl_net::cluster::{ClusterConfig, Role};
-use hadfl_net::tcp::{TcpOptions, TcpPort};
+use hadfl_net::tcp::{BoundNode, TcpOptions};
+use hadfl_telemetry::{
+    serve_metrics, JsonlSink, MetricsRegistry, MetricsServer, MetricsSink, Sink, Telemetry,
+};
 
 const USAGE: &str = "usage: hadfl-node --cluster <file.toml|file.json> --id <n> \
 [--model mlp] [--seed 0] [--rounds 3] [--window-ms 1000] [--step-sleep-ms 4] \
-[--num-selected 2]";
+[--num-selected 2] [--telemetry-dir <dir>] [--metrics-addr <host:port>]";
 
 struct Args {
     cluster: String,
@@ -36,6 +42,8 @@ struct Args {
     window: Duration,
     step_sleep: Duration,
     num_selected: usize,
+    telemetry_dir: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
     let mut window_ms = 1000u64;
     let mut step_sleep_ms = 4u64;
     let mut num_selected = 2usize;
+    let mut telemetry_dir = None;
+    let mut metrics_addr = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -81,6 +91,8 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--num-selected: {e}"))?;
             }
+            "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -94,7 +106,42 @@ fn parse_args() -> Result<Args, String> {
         window: Duration::from_millis(window_ms),
         step_sleep: Duration::from_millis(step_sleep_ms),
         num_selected,
+        telemetry_dir,
+        metrics_addr,
     })
+}
+
+/// Builds the node's [`Telemetry`] handle from the observability flags:
+/// `--telemetry-dir` adds a per-node JSONL sink (`node-<id>.jsonl`),
+/// `--metrics-addr` adds a metrics sink behind a Prometheus-style text
+/// endpoint. Neither flag ⇒ the zero-cost disabled handle.
+fn build_telemetry(args: &Args) -> Result<(Telemetry, Option<MetricsServer>), HadflError> {
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if let Some(dir) = &args.telemetry_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| HadflError::InvalidConfig(format!("create {dir}: {e}")))?;
+        let path = Path::new(dir).join(format!("node-{}.jsonl", args.id));
+        let sink = JsonlSink::create(&path)
+            .map_err(|e| HadflError::InvalidConfig(format!("create {}: {e}", path.display())))?;
+        sinks.push(Box::new(sink));
+    }
+    let mut server = None;
+    if let Some(addr) = &args.metrics_addr {
+        let registry = MetricsRegistry::new();
+        sinks.push(Box::new(MetricsSink::new(Arc::clone(&registry))));
+        let srv = serve_metrics(addr, registry)
+            .map_err(|e| HadflError::InvalidConfig(format!("metrics on {addr}: {e}")))?;
+        eprintln!(
+            "hadfl-node: serving metrics on http://{}/metrics",
+            srv.addr()
+        );
+        server = Some(srv);
+    }
+    if sinks.is_empty() {
+        Ok((Telemetry::disabled(), None))
+    } else {
+        Ok((Telemetry::new(args.id as u32, sinks), server))
+    }
 }
 
 fn run(args: &Args) -> Result<(), HadflError> {
@@ -110,7 +157,17 @@ fn run(args: &Args) -> Result<(), HadflError> {
         .build()?;
     let workload = Workload::quick(&args.model, args.seed);
     let timing = ProtocolTiming::default();
-    let port = TcpPort::connect(&cluster, args.id, TcpOptions::default())?;
+    let (tel, _metrics_server) = build_telemetry(args)?;
+    // One clock for the transport and the protocol actor, so frame and
+    // protocol events share a timeline.
+    let clock: Arc<dyn Clock> = WallClock::shared();
+    let port = BoundNode::bind(args.id, &cluster.node(args.id)?.addr)?.into_port_instrumented(
+        &cluster,
+        TcpOptions::default(),
+        Arc::clone(&clock),
+        tel.clone(),
+    )?;
+    let stats = port.stats_handle();
 
     match spec.role {
         Role::Device => {
@@ -125,7 +182,9 @@ fn run(args: &Args) -> Result<(), HadflError> {
                 .nth(args.id)
                 .ok_or_else(|| HadflError::InvalidConfig("device id out of range".into()))?;
             let sleep = Duration::from_secs_f64(args.step_sleep.as_secs_f64() / spec.power);
-            run_device(port, rt, &config, sleep, &timing)?;
+            run_device_instrumented(port, rt, &config, sleep, &timing, &*clock, tel.clone())?;
+            stats.emit_ledger();
+            tel.flush();
             eprintln!("hadfl-node: device {} done", args.id);
         }
         Role::Coordinator => {
@@ -133,8 +192,17 @@ fn run(args: &Args) -> Result<(), HadflError> {
                 "hadfl-node: coordinating {k} devices for {} rounds of {:?}",
                 args.rounds, args.window
             );
-            let stats = port.stats_handle();
-            let run = run_coordinator(port, &config, args.window, args.rounds, &timing)?;
+            let run = run_coordinator_instrumented(
+                port,
+                &config,
+                args.window,
+                args.rounds,
+                &timing,
+                &*clock,
+                tel.clone(),
+            )?;
+            stats.emit_ledger();
+            tel.flush();
             for round in &run.rounds {
                 println!(
                     "round {}: versions {:?} selected {:?}",

@@ -39,6 +39,7 @@ use hadfl::transport::{endpoint_of, Port};
 use hadfl::wire::Message;
 use hadfl::HadflError;
 use hadfl_simnet::NetStats;
+use hadfl_telemetry::{EventKind, Telemetry};
 use parking_lot::Mutex;
 
 use crate::cluster::ClusterConfig;
@@ -100,6 +101,10 @@ struct Shared {
     shutdown: AtomicBool,
     clock: Arc<dyn Clock>,
     opts: TcpOptions,
+    /// Emits one `FrameSent`/`FrameReceived` per `stats` ledger entry;
+    /// disabled by default, enabled via the `*_instrumented`
+    /// constructors.
+    tel: Telemetry,
 }
 
 impl Shared {
@@ -169,6 +174,24 @@ impl BoundNode {
         opts: TcpOptions,
         clock: Arc<dyn Clock>,
     ) -> Result<TcpPort, HadflError> {
+        self.into_port_instrumented(cluster, opts, clock, Telemetry::disabled())
+    }
+
+    /// [`Self::into_port_with_clock`] with a [`Telemetry`] handle: the
+    /// port emits one `FrameSent` per outbound payload frame and one
+    /// `FrameReceived` per inbound payload frame, mirroring its
+    /// [`Port::stats`] ledger entry for entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::into_port`].
+    pub fn into_port_instrumented(
+        self,
+        cluster: &ClusterConfig,
+        opts: TcpOptions,
+        clock: Arc<dyn Clock>,
+        tel: Telemetry,
+    ) -> Result<TcpPort, HadflError> {
         cluster.validate()?;
         cluster.node(self.id)?;
         let (inbound_tx, inbound_rx) = unbounded();
@@ -182,6 +205,7 @@ impl BoundNode {
             shutdown: AtomicBool::new(false),
             clock,
             opts: opts.clone(),
+            tel,
         });
         self.listener
             .set_nonblocking(true)
@@ -227,6 +251,27 @@ impl TcpPort {
     ) -> Result<Self, HadflError> {
         cluster.validate()?;
         BoundNode::bind(id, &cluster.node(id)?.addr)?.into_port(cluster, opts)
+    }
+
+    /// [`Self::connect`] with a [`Telemetry`] handle (see
+    /// [`BoundNode::into_port_instrumented`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::connect`].
+    pub fn connect_instrumented(
+        cluster: &ClusterConfig,
+        id: usize,
+        opts: TcpOptions,
+        tel: Telemetry,
+    ) -> Result<Self, HadflError> {
+        cluster.validate()?;
+        BoundNode::bind(id, &cluster.node(id)?.addr)?.into_port_instrumented(
+            cluster,
+            opts,
+            WallClock::shared(),
+            tel,
+        )
     }
 
     /// Whether `peer` produced any traffic (frames or heartbeats)
@@ -320,6 +365,25 @@ impl StatsHandle {
     pub fn raw_bytes(&self) -> u64 {
         self.0.raw_bytes.load(Ordering::Relaxed)
     }
+
+    /// Emits the node's final `Ledger` event — the `NetStats` ground
+    /// truth that the per-frame events must sum to (`hadfl-trace
+    /// --check` verifies the parity). No-op on an uninstrumented port.
+    pub fn emit_ledger(&self) {
+        if !self.0.tel.enabled() {
+            return;
+        }
+        let stats = self.0.stats.lock().clone();
+        let me = endpoint_of(self.0.me, self.0.devices);
+        self.0.tel.emit(
+            self.0.clock.now(),
+            EventKind::Ledger {
+                sent_bytes: stats.sent_by(me),
+                recv_bytes: stats.received_by(me),
+                frames: stats.messages(),
+            },
+        );
+    }
 }
 
 impl Port for TcpPort {
@@ -356,6 +420,17 @@ impl Port for TcpPort {
                         endpoint_of(to, self.shared.devices),
                         frame.len() as u64,
                     );
+                    if self.shared.tel.enabled() {
+                        self.shared.tel.emit(
+                            self.shared.clock.now(),
+                            EventKind::FrameSent {
+                                src: self.shared.me as u32,
+                                dst: to as u32,
+                                bytes: frame.len() as u64,
+                                kind: msg.kind().to_string(),
+                            },
+                        );
+                    }
                     self.conns.lock().insert(to, stream);
                     return Ok(());
                 }
@@ -506,6 +581,17 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                     endpoint_of(shared.me, shared.devices),
                     frame.len() as u64,
                 );
+                if shared.tel.enabled() {
+                    shared.tel.emit(
+                        shared.clock.now(),
+                        EventKind::FrameReceived {
+                            src: peer as u32,
+                            dst: shared.me as u32,
+                            bytes: frame.len() as u64,
+                            kind: other.kind().to_string(),
+                        },
+                    );
+                }
                 if shared.inbound_tx.send(other).is_err() {
                     return; // port dropped
                 }

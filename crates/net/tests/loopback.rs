@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::thread;
 use std::time::Duration;
 
+use hadfl::clock::WallClock;
 use hadfl::exec::{run_coordinator, run_device, run_threaded, ProtocolTiming, ThreadedOptions};
 use hadfl::transport::{coordinator_id, ChannelTransport, Port};
 use hadfl::wire::Message;
@@ -12,6 +13,7 @@ use hadfl::{HadflConfig, HadflError, Workload};
 use hadfl_net::cluster::ClusterConfig;
 use hadfl_net::tcp::{BoundNode, TcpOptions, TcpPort};
 use hadfl_simnet::{DeviceId, Endpoint, NetStats};
+use hadfl_telemetry::{EventKind, RingBufferSink, Telemetry};
 
 fn tcp_opts() -> TcpOptions {
     TcpOptions {
@@ -213,9 +215,10 @@ fn tcp_cluster_survives_peer_death() {
     assert!(accuracy.is_finite());
 }
 
-/// Satellite 6: for one scripted exchange, every TCP port's payload
-/// ledger matches the channel fabric's — same per-endpoint bytes, same
-/// message counts, transport chatter excluded.
+/// For one scripted exchange, every TCP port's payload ledger matches
+/// the channel fabric's — same per-endpoint bytes, same message counts,
+/// transport chatter excluded — and each port's telemetry frame events
+/// sum to exactly its `NetStats` ledger.
 #[test]
 fn tcp_ledger_matches_channel_fabric() {
     let k = 2;
@@ -269,14 +272,23 @@ fn tcp_ledger_matches_channel_fabric() {
     }
     let hub_stats = hub.net_stats();
 
-    // TCP: each port keeps its own ledger of the flows it took part in.
+    // TCP: each port keeps its own ledger of the flows it took part in,
+    // and an instrumented port mirrors every ledger entry as a frame
+    // event.
     let (cluster, nodes) = bind_cluster(k + 1);
     let mut opts = tcp_opts();
     opts.heartbeat_interval = None; // chatter-free, deterministic counts
+    let sinks: Vec<RingBufferSink> = (0..=k).map(|_| RingBufferSink::new(1024)).collect();
     let mut tcp_ports: Vec<TcpPort> = nodes
         .into_iter()
-        .map(|node| node.into_port(&cluster, opts.clone()).unwrap())
+        .enumerate()
+        .map(|(id, node)| {
+            let tel = Telemetry::new(id as u32, vec![Box::new(sinks[id].clone())]);
+            node.into_port_instrumented(&cluster, opts.clone(), WallClock::shared(), tel)
+                .unwrap()
+        })
         .collect();
+    let handles: Vec<_> = tcp_ports.iter().map(TcpPort::stats_handle).collect();
     for (from, to, msg) in &script {
         tcp_ports[*from].send(*to, msg).unwrap();
     }
@@ -330,10 +342,61 @@ fn tcp_ledger_matches_channel_fabric() {
     }
     let payload: u64 = script.iter().map(|(_, _, m)| m.encoded_len() as u64).sum();
     assert_eq!(hub_stats.total_bytes(), payload);
+
+    // Satellite check: per-port telemetry frame events sum to exactly
+    // the port's own NetStats ledger, and the Ledger event the stats
+    // handle stamps repeats the same totals.
+    for (id, (port, (sink, handle))) in tcp_ports.iter().zip(sinks.iter().zip(&handles)).enumerate()
+    {
+        handle.emit_ledger();
+        let stats = port.stats();
+        let mut sent = 0u64;
+        let mut recv = 0u64;
+        let mut frames = 0u64;
+        let mut ledger = None;
+        for event in sink.snapshot() {
+            match event.kind {
+                EventKind::FrameSent { src, bytes, .. } => {
+                    assert_eq!(src, id as u32, "sent frames carry the emitting port");
+                    sent += bytes;
+                    frames += 1;
+                }
+                EventKind::FrameReceived { dst, bytes, .. } => {
+                    assert_eq!(dst, id as u32, "received frames carry the emitting port");
+                    recv += bytes;
+                    frames += 1;
+                }
+                EventKind::Ledger {
+                    sent_bytes,
+                    recv_bytes,
+                    frames,
+                } => ledger = Some((sent_bytes, recv_bytes, frames)),
+                other => panic!("unexpected transport event: {other:?}"),
+            }
+        }
+        assert_eq!(
+            sent,
+            stats.sent_by(endpoint(id)),
+            "telemetry sent bytes of participant {id}"
+        );
+        assert_eq!(
+            recv,
+            stats.received_by(endpoint(id)),
+            "telemetry received bytes of participant {id}"
+        );
+        assert_eq!(frames, stats.messages(), "telemetry frames of {id}");
+        assert_eq!(
+            ledger,
+            Some((sent, recv, frames)),
+            "Ledger event must restate the frame-event sums for {id}"
+        );
+    }
 }
 
 /// The real deal: four `hadfl-node` OS processes plus a coordinator
-/// process, wired by a TOML cluster file, train to a consensus.
+/// process, wired by a TOML cluster file, train to a consensus — with
+/// telemetry on, each process writing a JSONL event log whose frame
+/// events reconcile exactly with its `NetStats` ledger.
 #[test]
 fn hadfl_node_processes_train_to_consensus() {
     let k = 4;
@@ -342,6 +405,7 @@ fn hadfl_node_processes_train_to_consensus() {
     drop(nodes);
     let dir = std::env::temp_dir().join(format!("hadfl-net-proc-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
+    let tel_dir = dir.join("telemetry");
     let path = dir.join("cluster.toml");
     let mut toml = String::new();
     for node in &cluster.nodes {
@@ -358,6 +422,7 @@ fn hadfl_node_processes_train_to_consensus() {
             .args(["--cluster", path.to_str().unwrap()])
             .args(["--id", &id.to_string()])
             .args(["--seed", "93", "--rounds", "2", "--window-ms", "120"])
+            .args(["--telemetry-dir", tel_dir.to_str().unwrap()])
             .stdout(std::process::Stdio::piped())
             .stderr(std::process::Stdio::piped())
             .spawn()
@@ -385,6 +450,37 @@ fn hadfl_node_processes_train_to_consensus() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+
+    // Satellite: every process's event log exists, parses cleanly, and
+    // its frame events sum to exactly the Ledger event the node stamped
+    // from its own NetStats at exit — the analyzer-level parity the
+    // `hadfl-trace --check` CI gate enforces, here across 5 real OS
+    // processes.
+    let logs: Vec<hadfl_telemetry::analyze::ParsedLog> = (0..=k)
+        .map(|id| {
+            let path = tel_dir.join(format!("node-{id}.jsonl"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing event log {}: {e}", path.display()));
+            hadfl_telemetry::analyze::parse_jsonl(&text)
+        })
+        .collect();
+    for (id, log) in logs.iter().enumerate() {
+        assert_eq!(log.garbage_lines, 0, "node {id} wrote malformed JSONL");
+        assert!(!log.events.is_empty(), "node {id} emitted nothing");
+        let parity = hadfl_telemetry::analyze::ledger_parity(&log.events);
+        assert_eq!(parity.len(), 1);
+        assert!(
+            parity[0].matches(),
+            "node {id}: frame events must reconcile with its NetStats ledger: {:?}",
+            parity[0]
+        );
+    }
+    let errors = hadfl_telemetry::analyze::check(&logs);
+    assert!(
+        errors.is_empty(),
+        "hadfl-trace --check would fail: {errors:?}"
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

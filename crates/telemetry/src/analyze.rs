@@ -1,0 +1,580 @@
+//! Offline analysis of merged event logs: the library behind the
+//! `hadfl-trace` binary.
+//!
+//! Input is one JSONL log per node (tolerant parsing: malformed lines
+//! are counted, not fatal). The analyzer merges the per-node streams
+//! into one timeline and derives the paper's headline diagnostics:
+//!
+//! - per-round prediction absolute error (Eq. 7 forecast vs. actual),
+//! - selection-frequency histogram vs. the Eq. 8 expectation logged by
+//!   the coordinator,
+//! - per-device ring-blocked ("straggler idle") time,
+//! - communication volume, checked against both each node's `NetStats`
+//!   ledger (exact) and the paper's 2·K·M per-round ring bound.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind, SCHEMA_VERSION};
+
+/// One node's parsed log.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedLog {
+    /// Events in file order.
+    pub events: Vec<Event>,
+    /// Lines that failed to parse (blank lines are ignored, not
+    /// counted).
+    pub garbage_lines: usize,
+}
+
+/// Parses one JSONL document, skipping malformed lines.
+pub fn parse_jsonl(text: &str) -> ParsedLog {
+    let mut log = ParsedLog::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Event::from_json(line) {
+            Ok(event) => log.events.push(event),
+            Err(_) => log.garbage_lines += 1,
+        }
+    }
+    log
+}
+
+/// Merges per-node logs into one timeline ordered by
+/// `(t_us, node, seq)`.
+pub fn merge(logs: &[ParsedLog]) -> Vec<Event> {
+    let mut all: Vec<Event> = logs.iter().flat_map(|l| l.events.clone()).collect();
+    all.sort_by_key(|e| (e.t_us, e.node, e.seq));
+    all
+}
+
+/// Per-node frame-event totals versus the node's own [`EventKind::Ledger`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerCheck {
+    /// The node.
+    pub node: u32,
+    /// Bytes summed over the node's `FrameSent` events.
+    pub sent_event_bytes: u64,
+    /// Bytes summed over the node's `FrameReceived` events.
+    pub recv_event_bytes: u64,
+    /// `FrameSent` + `FrameReceived` events.
+    pub event_frames: u64,
+    /// The node's `Ledger` event, if it emitted one.
+    pub ledger: Option<(u64, u64, u64)>,
+}
+
+impl LedgerCheck {
+    /// True when the per-frame events reproduce the ledger exactly.
+    pub fn matches(&self) -> bool {
+        match self.ledger {
+            Some((sent, recv, frames)) => {
+                self.sent_event_bytes == sent
+                    && self.recv_event_bytes == recv
+                    && self.event_frames == frames
+            }
+            None => false,
+        }
+    }
+}
+
+/// Sums each node's frame events and pairs them with its ledger.
+pub fn ledger_parity(events: &[Event]) -> Vec<LedgerCheck> {
+    let mut checks: BTreeMap<u32, LedgerCheck> = BTreeMap::new();
+    for event in events {
+        let entry = checks.entry(event.node).or_insert_with(|| LedgerCheck {
+            node: event.node,
+            sent_event_bytes: 0,
+            recv_event_bytes: 0,
+            event_frames: 0,
+            ledger: None,
+        });
+        match &event.kind {
+            EventKind::FrameSent { bytes, .. } => {
+                entry.sent_event_bytes += bytes;
+                entry.event_frames += 1;
+            }
+            EventKind::FrameReceived { bytes, .. } => {
+                entry.recv_event_bytes += bytes;
+                entry.event_frames += 1;
+            }
+            EventKind::Ledger {
+                sent_bytes,
+                recv_bytes,
+                frames,
+            } => {
+                entry.ledger = Some((*sent_bytes, *recv_bytes, *frames));
+            }
+            _ => {}
+        }
+    }
+    checks.into_values().collect()
+}
+
+/// Selection tally for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRow {
+    /// The device.
+    pub device: u32,
+    /// Rounds in which the device was drawn.
+    pub selected: u64,
+    /// Sum of the logged Eq. 8 first-draw probabilities — the
+    /// expectation the realized share is compared against.
+    pub expected_share: f64,
+    /// Realized share of all selection slots.
+    pub realized_share: f64,
+}
+
+/// The merged-timeline report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Rounds the coordinator planned.
+    pub rounds: u64,
+    /// Participants seen emitting events.
+    pub nodes: Vec<u32>,
+    /// `(round, mean |predicted - actual|)` per round with predictions.
+    pub prediction_error: Vec<(u32, f64)>,
+    /// Selection histogram rows, by device.
+    pub selection: Vec<SelectionRow>,
+    /// Per-device seconds spent inside ring phases (training-blocked).
+    pub ring_blocked_secs: Vec<(u32, f64)>,
+    /// Total payload bytes over all `FrameSent` events.
+    pub total_sent_bytes: u64,
+    /// Total payload frames sent.
+    pub total_sent_frames: u64,
+    /// Ring-phase parameter bytes (`param_accum` + `merged_params`).
+    pub ring_param_bytes: u64,
+    /// The 2·K·M bound those ring bytes must respect: `rounds × 2 ×
+    /// mean(K) × max param frame`.
+    pub ring_param_bound: u64,
+    /// Per-node ledger parity results.
+    pub ledgers: Vec<LedgerCheck>,
+    /// Devices dropped by the coordinator, with the round.
+    pub dropped: Vec<(u32, u32)>,
+    /// Bypasses declared (round, dead device).
+    pub bypasses: Vec<(u32, u32)>,
+}
+
+/// Builds the [`Report`] from a merged timeline.
+pub fn report(events: &[Event]) -> Report {
+    let mut rep = Report::default();
+    let mut nodes: Vec<u32> = events.iter().map(|e| e.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    rep.nodes = nodes;
+
+    // Prediction error per round.
+    let mut per_round: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    // Selection tallies.
+    let mut selected: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut expected: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut total_slots = 0u64;
+    let mut selected_sizes: Vec<f64> = Vec::new();
+    // Ring-blocked time: node -> (round -> enter t_us).
+    let mut ring_enter: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut blocked: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut max_param_frame = 0u64;
+
+    for event in events {
+        match &event.kind {
+            EventKind::RoundPlanned {
+                available,
+                probabilities,
+                selected: sel,
+                ..
+            } => {
+                rep.rounds += 1;
+                selected_sizes.push(sel.len() as f64);
+                total_slots += sel.len() as u64;
+                for d in sel {
+                    *selected.entry(*d).or_insert(0) += 1;
+                }
+                for (d, p) in available.iter().zip(probabilities) {
+                    *expected.entry(*d).or_insert(0.0) += p;
+                }
+            }
+            EventKind::Prediction {
+                round,
+                predicted,
+                actual,
+                ..
+            } => {
+                per_round
+                    .entry(*round)
+                    .or_default()
+                    .push((predicted - actual).abs());
+            }
+            EventKind::RingEnter { round, .. } => {
+                ring_enter.insert((event.node, *round), event.t_us);
+            }
+            EventKind::RingExit { round, .. } => {
+                if let Some(entered) = ring_enter.remove(&(event.node, *round)) {
+                    *blocked.entry(event.node).or_insert(0.0) +=
+                        event.t_us.saturating_sub(entered) as f64 / 1e6;
+                }
+            }
+            EventKind::FrameSent { bytes, kind, .. } => {
+                rep.total_sent_bytes += bytes;
+                rep.total_sent_frames += 1;
+                if kind == "param_accum" || kind == "merged_params" {
+                    rep.ring_param_bytes += bytes;
+                    max_param_frame = max_param_frame.max(*bytes);
+                }
+            }
+            EventKind::DeviceDropped { round, device } => {
+                rep.dropped.push((*device, *round));
+            }
+            EventKind::BypassDeclared { round, dead } => {
+                rep.bypasses.push((*round, *dead));
+            }
+            _ => {}
+        }
+    }
+
+    rep.prediction_error = per_round
+        .into_iter()
+        .map(|(round, errs)| {
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            (round, mean)
+        })
+        .collect();
+
+    let mut devices: Vec<u32> = selected.keys().chain(expected.keys()).copied().collect();
+    devices.sort_unstable();
+    devices.dedup();
+    rep.selection = devices
+        .into_iter()
+        .map(|device| SelectionRow {
+            device,
+            selected: selected.get(&device).copied().unwrap_or(0),
+            expected_share: expected.get(&device).copied().unwrap_or(0.0)
+                / rep.rounds.max(1) as f64,
+            realized_share: selected.get(&device).copied().unwrap_or(0) as f64
+                / total_slots.max(1) as f64,
+        })
+        .collect();
+
+    rep.ring_blocked_secs = blocked.into_iter().collect();
+
+    // Paper bound: a K-member ring moves 2(K−1) < 2K parameter frames
+    // per round, each at most the largest param frame M on the wire.
+    let mean_k = if selected_sizes.is_empty() {
+        0.0
+    } else {
+        selected_sizes.iter().sum::<f64>() / selected_sizes.len() as f64
+    };
+    rep.ring_param_bound = (rep.rounds as f64 * 2.0 * mean_k * max_param_frame as f64) as u64;
+    rep.ledgers = ledger_parity(events);
+    rep
+}
+
+impl Report {
+    /// Human-readable rendering (what `hadfl-trace` prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "nodes: {:?}   rounds planned: {}\n",
+            self.nodes, self.rounds
+        ));
+
+        out.push_str("\nprediction error (Eq. 7), mean |forecast - actual| per round:\n");
+        if self.prediction_error.is_empty() {
+            out.push_str("  (no prediction events)\n");
+        }
+        for (round, err) in &self.prediction_error {
+            out.push_str(&format!("  round {round:>3}: {err:.3}\n"));
+        }
+
+        out.push_str("\nselection frequency vs Eq. 8 expectation:\n");
+        for row in &self.selection {
+            out.push_str(&format!(
+                "  device {:>2}: selected {:>4}x  realized share {:.3}  expected share {:.3}\n",
+                row.device, row.selected, row.realized_share, row.expected_share
+            ));
+        }
+
+        out.push_str("\nring-blocked time per device (straggler idle):\n");
+        for (node, secs) in &self.ring_blocked_secs {
+            out.push_str(&format!("  device {node:>2}: {secs:.4} s\n"));
+        }
+
+        out.push_str(&format!(
+            "\ncommunication: {} payload bytes over {} frames\n",
+            self.total_sent_bytes, self.total_sent_frames
+        ));
+        out.push_str(&format!(
+            "  ring parameter traffic: {} bytes vs 2*K*M bound {} ({})\n",
+            self.ring_param_bytes,
+            self.ring_param_bound,
+            if self.ring_param_bytes <= self.ring_param_bound {
+                "within bound"
+            } else {
+                "EXCEEDS BOUND"
+            }
+        ));
+        for check in &self.ledgers {
+            match check.ledger {
+                Some((sent, recv, frames)) => out.push_str(&format!(
+                    "  node {:>2} ledger: events {}/{}B {}f vs NetStats {}/{}B {}f -> {}\n",
+                    check.node,
+                    check.sent_event_bytes,
+                    check.recv_event_bytes,
+                    check.event_frames,
+                    sent,
+                    recv,
+                    frames,
+                    if check.matches() { "match" } else { "MISMATCH" }
+                )),
+                None => out.push_str(&format!(
+                    "  node {:>2}: {} sent / {} received event bytes (no ledger event)\n",
+                    check.node, check.sent_event_bytes, check.recv_event_bytes
+                )),
+            }
+        }
+
+        if !self.dropped.is_empty() {
+            out.push_str(&format!("\ndropped devices: {:?}\n", self.dropped));
+        }
+        if !self.bypasses.is_empty() {
+            out.push_str(&format!("bypasses (round, dead): {:?}\n", self.bypasses));
+        }
+        out
+    }
+}
+
+/// Structural validation for `hadfl-trace --check`: schema versions,
+/// per-node sequence continuity, garbage lines, and exact ledger
+/// parity. Returns the list of problems (empty = clean).
+pub fn check(logs: &[ParsedLog]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (i, log) in logs.iter().enumerate() {
+        if log.garbage_lines > 0 {
+            errors.push(format!("log {i}: {} malformed lines", log.garbage_lines));
+        }
+        let mut last_seq: BTreeMap<u32, u64> = BTreeMap::new();
+        for event in &log.events {
+            if event.v != SCHEMA_VERSION {
+                errors.push(format!(
+                    "log {i}: schema version {} (reader speaks {})",
+                    event.v, SCHEMA_VERSION
+                ));
+                break;
+            }
+            if let Some(prev) = last_seq.get(&event.node) {
+                if event.seq <= *prev {
+                    errors.push(format!(
+                        "log {i}: node {} seq went {} -> {} (dropped or reordered lines)",
+                        event.node, prev, event.seq
+                    ));
+                    break;
+                }
+            }
+            last_seq.insert(event.node, event.seq);
+        }
+    }
+    let merged = merge(logs);
+    for check in ledger_parity(&merged) {
+        if check.ledger.is_some() && !check.matches() {
+            errors.push(format!(
+                "node {}: frame events ({} sent / {} recv bytes, {} frames) do not reproduce its NetStats ledger {:?}",
+                check.node,
+                check.sent_event_bytes,
+                check.recv_event_bytes,
+                check.event_frames,
+                check.ledger
+            ));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(node: u32, seq: u64, t_us: u64, kind: EventKind) -> Event {
+        Event {
+            v: SCHEMA_VERSION,
+            seq,
+            node,
+            t_us,
+            kind,
+        }
+    }
+
+    fn frame(src: u32, dst: u32, bytes: u64, kind: &str) -> EventKind {
+        EventKind::FrameSent {
+            src,
+            dst,
+            bytes,
+            kind: kind.into(),
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_garbage() {
+        let good = event(0, 0, 5, EventKind::DeviceStarted { device: 0 })
+            .to_json()
+            .unwrap();
+        let text = format!("{good}\nnot json at all\n\n{{\"v\":9}}\n{good}\n");
+        let log = parse_jsonl(&text);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.garbage_lines, 2);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_node_then_seq() {
+        let a = ParsedLog {
+            events: vec![
+                event(1, 0, 50, EventKind::DeviceStarted { device: 1 }),
+                event(1, 1, 10, EventKind::DeviceStarted { device: 1 }),
+            ],
+            garbage_lines: 0,
+        };
+        let b = ParsedLog {
+            events: vec![event(0, 0, 50, EventKind::DeviceStarted { device: 0 })],
+            garbage_lines: 0,
+        };
+        let merged = merge(&[a, b]);
+        let order: Vec<(u64, u32)> = merged.iter().map(|e| (e.t_us, e.node)).collect();
+        assert_eq!(order, vec![(10, 1), (50, 0), (50, 1)]);
+    }
+
+    #[test]
+    fn report_derives_the_headline_diagnostics() {
+        let coord = 2u32;
+        let events = vec![
+            event(
+                coord,
+                0,
+                100,
+                EventKind::RoundPlanned {
+                    round: 1,
+                    available: vec![0, 1],
+                    versions: vec![10.0, 20.0],
+                    probabilities: vec![0.5, 0.5],
+                    selected: vec![0, 1],
+                    unselected: vec![],
+                    broadcaster: 0,
+                },
+            ),
+            event(
+                coord,
+                1,
+                100,
+                EventKind::Prediction {
+                    round: 1,
+                    device: 0,
+                    predicted: 12.0,
+                    actual: 10.0,
+                },
+            ),
+            event(
+                coord,
+                2,
+                100,
+                EventKind::Prediction {
+                    round: 1,
+                    device: 1,
+                    predicted: 21.0,
+                    actual: 20.0,
+                },
+            ),
+            event(
+                0,
+                0,
+                110,
+                EventKind::RingEnter {
+                    round: 1,
+                    ring: vec![0, 1],
+                },
+            ),
+            event(0, 1, 200, frame(0, 1, 40, "param_accum")),
+            event(
+                0,
+                2,
+                310,
+                EventKind::RingExit {
+                    round: 1,
+                    dissolved: false,
+                },
+            ),
+            event(
+                0,
+                3,
+                400,
+                EventKind::Ledger {
+                    sent_bytes: 40,
+                    recv_bytes: 0,
+                    frames: 1,
+                },
+            ),
+        ];
+        let rep = report(&events);
+        assert_eq!(rep.rounds, 1);
+        assert_eq!(rep.prediction_error, vec![(1, 1.5)]);
+        assert_eq!(rep.selection.len(), 2);
+        assert_eq!(rep.selection[0].selected, 1);
+        assert!((rep.selection[0].expected_share - 0.5).abs() < 1e-12);
+        assert_eq!(rep.ring_blocked_secs, vec![(0, 0.0002)]);
+        assert_eq!(rep.total_sent_bytes, 40);
+        assert_eq!(rep.ring_param_bytes, 40);
+        // 1 round * 2 * K=2 * M=40 = 160.
+        assert_eq!(rep.ring_param_bound, 160);
+        assert!(rep.ledgers[0].matches());
+        let text = rep.render();
+        assert!(text.contains("within bound"), "{text}");
+        assert!(text.contains("match"), "{text}");
+    }
+
+    #[test]
+    fn check_catches_ledger_mismatch_and_bad_seq() {
+        let bad_ledger = ParsedLog {
+            events: vec![
+                event(0, 0, 10, frame(0, 1, 40, "param_sync")),
+                event(
+                    0,
+                    1,
+                    20,
+                    EventKind::Ledger {
+                        sent_bytes: 41,
+                        recv_bytes: 0,
+                        frames: 1,
+                    },
+                ),
+            ],
+            garbage_lines: 0,
+        };
+        let errors = check(&[bad_ledger]);
+        assert!(errors.iter().any(|e| e.contains("ledger")), "{errors:?}");
+
+        let bad_seq = ParsedLog {
+            events: vec![
+                event(0, 5, 10, EventKind::DeviceStarted { device: 0 }),
+                event(0, 5, 20, EventKind::DeviceStarted { device: 0 }),
+            ],
+            garbage_lines: 0,
+        };
+        let errors = check(&[bad_seq]);
+        assert!(errors.iter().any(|e| e.contains("seq")), "{errors:?}");
+
+        let clean = ParsedLog {
+            events: vec![
+                event(0, 0, 10, frame(0, 1, 40, "param_sync")),
+                event(
+                    0,
+                    1,
+                    20,
+                    EventKind::Ledger {
+                        sent_bytes: 40,
+                        recv_bytes: 0,
+                        frames: 1,
+                    },
+                ),
+            ],
+            garbage_lines: 0,
+        };
+        assert!(check(&[clean]).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline trace analyzer for HADFL clusters.
+//!
+//! Point it at the per-node JSONL logs a telemetry-enabled run wrote
+//! (one file per participant) and it merges the timelines and prints
+//! the paper's headline diagnostics; `--check` instead validates the
+//! logs structurally (schema version, sequence continuity, exact
+//! `NetStats` ledger parity) and exits non-zero on any problem.
+//!
+//! ```text
+//! hadfl-trace /tmp/tel/node-*.jsonl
+//! hadfl-trace --check /tmp/tel/node-*.jsonl
+//! ```
+
+use std::process::ExitCode;
+
+use hadfl_telemetry::analyze::{check, merge, parse_jsonl, report, ParsedLog};
+
+const USAGE: &str = "usage: hadfl-trace [--check] <events.jsonl>...";
+
+fn main() -> ExitCode {
+    let mut check_mode = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check_mode = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut logs: Vec<ParsedLog> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => logs.push(parse_jsonl(&text)),
+            Err(e) => {
+                eprintln!("hadfl-trace: read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if check_mode {
+        let errors = check(&logs);
+        if errors.is_empty() {
+            let events: usize = logs.iter().map(|l| l.events.len()).sum();
+            println!(
+                "ok: {} files, {events} events, ledger parity holds",
+                logs.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for error in &errors {
+            eprintln!("hadfl-trace: {error}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let garbage: usize = logs.iter().map(|l| l.garbage_lines).sum();
+    if garbage > 0 {
+        eprintln!("hadfl-trace: skipped {garbage} malformed lines");
+    }
+    let merged = merge(&logs);
+    print!("{}", report(&merged).render());
+    ExitCode::SUCCESS
+}

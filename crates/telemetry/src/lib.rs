@@ -1,0 +1,188 @@
+//! # hadfl-telemetry — observability for the HADFL runtime
+//!
+//! A cross-cutting event layer threaded through the protocol actors
+//! (`hadfl::exec`), the socket transport (`hadfl-net`), and the
+//! simulation driver: every participant holds a cheap [`Telemetry`]
+//! handle and emits typed [`Event`]s at protocol milestones. The
+//! handle is **zero-cost when disabled** — [`Telemetry::disabled`] is
+//! a `None` and `emit` returns immediately — so the hot training and
+//! ring loops pay nothing in production-default builds (proved by the
+//! `telemetry` criterion bench in `crates/bench`).
+//!
+//! Three sinks ship with the crate:
+//!
+//! - [`RingBufferSink`] — bounded in-memory buffer for tests,
+//! - [`JsonlSink`] — one schema-versioned JSON object per line,
+//! - [`MetricsSink`] + [`serve_metrics`] — a Prometheus-style registry
+//!   with a text-exposition HTTP endpoint.
+//!
+//! The [`analyze`] module (and the `hadfl-trace` binary built from it)
+//! merges per-node JSONL logs and reports the paper's headline
+//! diagnostics: Eq. 7 prediction error, Eq. 8 selection frequencies,
+//! straggler idle time, and the 2·K·M communication bound, with exact
+//! parity against each node's `NetStats` ledger.
+//!
+//! Timestamps come from the emitter's `hadfl::clock::Clock` reading,
+//! passed into [`Telemetry::emit`] as a `Duration`; this crate holds
+//! no clock of its own, so `ManualClock` schedules produce
+//! byte-identical JSONL.
+
+pub mod analyze;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Event, EventKind, SCHEMA_VERSION};
+pub use metrics::{serve_metrics, MetricsRegistry, MetricsServer, MetricsSink};
+pub use sink::{JsonlSink, RingBufferSink, SharedBuffer, Sink};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+struct Inner {
+    node: u32,
+    seq: AtomicU64,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+}
+
+/// Handle protocol code emits through. Clone freely: clones share the
+/// node id, the sequence counter, and the sinks.
+///
+/// ```
+/// use hadfl_telemetry::{EventKind, RingBufferSink, Telemetry};
+/// use std::time::Duration;
+///
+/// let buffer = RingBufferSink::new(16);
+/// let tel = Telemetry::new(0, vec![Box::new(buffer.clone())]);
+/// tel.emit(
+///     Duration::from_millis(3),
+///     EventKind::DeviceStarted { device: 0 },
+/// );
+/// assert_eq!(buffer.snapshot().len(), 1);
+///
+/// // Disabled handles cost one branch and emit nowhere.
+/// let off = Telemetry::disabled();
+/// assert!(!off.enabled());
+/// off.emit(Duration::ZERO, EventKind::DeviceStarted { device: 0 });
+/// ```
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(inner) => write!(f, "Telemetry(node {})", inner.node),
+            None => write!(f, "Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: `emit` is a single `Option` check.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// A live handle for participant `node` fanning out to `sinks`.
+    pub fn new(node: u32, sinks: Vec<Box<dyn Sink>>) -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            node,
+            seq: AtomicU64::new(0),
+            sinks: Mutex::new(sinks),
+        })))
+    }
+
+    /// Whether events go anywhere. Guard expensive event construction
+    /// (cloning rings, formatting) behind this.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The emitting participant id, if enabled.
+    pub fn node(&self) -> Option<u32> {
+        self.0.as_ref().map(|inner| inner.node)
+    }
+
+    /// Stamps and fans out one event. `now` is the emitter's `Clock`
+    /// reading — pass the same `now` your protocol step runs under and
+    /// `ManualClock` runs stay deterministic.
+    pub fn emit(&self, now: Duration, kind: EventKind) {
+        let Some(inner) = &self.0 else { return };
+        let event = Event {
+            v: SCHEMA_VERSION,
+            seq: inner.seq.fetch_add(1, Ordering::SeqCst),
+            node: inner.node,
+            t_us: now.as_micros() as u64,
+            kind,
+        };
+        let mut sinks = inner.sinks.lock();
+        for sink in sinks.iter_mut() {
+            sink.record(&event);
+        }
+    }
+
+    /// Flushes every sink (call before process exit so JSONL buffers
+    /// reach disk).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            let mut sinks = inner.sinks.lock();
+            for sink in sinks.iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_contiguous_and_stamped() {
+        let buffer = RingBufferSink::new(8);
+        let tel = Telemetry::new(3, vec![Box::new(buffer.clone())]);
+        for ms in [5u64, 9, 12] {
+            tel.emit(
+                Duration::from_millis(ms),
+                EventKind::DeviceStarted { device: 3 },
+            );
+        }
+        let events = buffer.snapshot();
+        assert_eq!(events.len(), 3);
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(event.seq, i as u64);
+            assert_eq!(event.node, 3);
+            assert_eq!(event.v, SCHEMA_VERSION);
+        }
+        assert_eq!(events[2].t_us, 12_000);
+    }
+
+    #[test]
+    fn clones_share_the_sequence() {
+        let buffer = RingBufferSink::new(8);
+        let tel = Telemetry::new(0, vec![Box::new(buffer.clone())]);
+        let clone = tel.clone();
+        tel.emit(Duration::ZERO, EventKind::DeviceStarted { device: 0 });
+        clone.emit(
+            Duration::ZERO,
+            EventKind::DeviceFinished {
+                device: 0,
+                version: 1,
+            },
+        );
+        let seqs: Vec<u64> = buffer.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.enabled());
+        assert_eq!(tel.node(), None);
+        tel.emit(Duration::ZERO, EventKind::ShutdownSent { round: 1 });
+        tel.flush();
+    }
+}

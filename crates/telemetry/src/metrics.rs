@@ -1,0 +1,437 @@
+//! Prometheus-style metrics: a registry, an event-driven sink that
+//! feeds it, and a tiny text-exposition HTTP server.
+//!
+//! The registry is deliberately minimal — counters, gauges, and
+//! fixed-bucket histograms keyed by `name{labels}` — because the
+//! vendored dependency set has no metrics or HTTP crate. The exposition
+//! format follows the Prometheus text format (`# TYPE` headers,
+//! `_bucket`/`_sum`/`_count` histogram series) closely enough for
+//! standard scrapers.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::event::{Event, EventKind};
+use crate::sink::Sink;
+
+/// Buckets (seconds) for latency histograms: wide enough for both
+/// millisecond loopback runs and multi-second real windows.
+const LATENCY_BUCKETS: &[f64] = &[
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Buckets for the prediction absolute-error histogram (versions).
+const ERROR_BUCKETS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len()],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        for (i, b) in self.bounds.iter().enumerate() {
+            if value <= *b {
+                self.counts[i] += 1;
+            }
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    // name -> labels -> value; BTreeMaps keep exposition output stable.
+    counters: BTreeMap<String, BTreeMap<String, f64>>,
+    gauges: BTreeMap<String, BTreeMap<String, f64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+}
+
+/// Thread-safe metrics store. Create once, share via `Arc`: the
+/// [`MetricsSink`] writes into it while the exposition server renders
+/// from it.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registry>,
+}
+
+fn label_key(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// Adds `by` to a counter series.
+    pub fn inc_counter(&self, name: &str, labels: &[(&str, String)], by: f64) {
+        let mut inner = self.inner.lock();
+        *inner
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_key(labels))
+            .or_insert(0.0) += by;
+    }
+
+    /// Sets a gauge series to `value`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, String)], value: f64) {
+        let mut inner = self.inner.lock();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .insert(label_key(labels), value);
+    }
+
+    /// Records one observation into a histogram series.
+    pub fn observe(
+        &self,
+        name: &str,
+        labels: &[(&str, String)],
+        value: f64,
+        bounds: &'static [f64],
+    ) {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_key(labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current value of a counter series (tests / reports).
+    pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> f64 {
+        let inner = self.inner.lock();
+        inner
+            .counters
+            .get(name)
+            .and_then(|series| series.get(&label_key(labels)))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the whole registry in the Prometheus text format.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, series) in &inner.counters {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (labels, value) in series {
+                out.push_str(&format!("{name}{labels} {value}\n"));
+            }
+        }
+        for (name, series) in &inner.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for (labels, value) in series {
+                out.push_str(&format!("{name}{labels} {value}\n"));
+            }
+        }
+        for (name, series) in &inner.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (labels, h) in series {
+                let base = labels.trim_start_matches('{').trim_end_matches('}');
+                let with = |extra: &str| -> String {
+                    if base.is_empty() {
+                        format!("{{{extra}}}")
+                    } else {
+                        format!("{{{base},{extra}}}")
+                    }
+                };
+                for (i, b) in h.bounds.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{name}_bucket{} {}\n",
+                        with(&format!("le=\"{b}\"")),
+                        h.counts[i]
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{} {}\n",
+                    with("le=\"+Inf\""),
+                    h.count
+                ));
+                out.push_str(&format!("{name}_sum{labels} {}\n", h.sum));
+                out.push_str(&format!("{name}_count{labels} {}\n", h.count));
+            }
+        }
+        out
+    }
+}
+
+/// Interprets protocol events into the metric families documented in
+/// DESIGN.md §9: round latency, ring phase durations, bytes per peer,
+/// prediction absolute error, and selection counts per device.
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+    // RingEnter timestamp per round, for the ring-phase histogram.
+    ring_enter_us: BTreeMap<u32, u64>,
+}
+
+impl MetricsSink {
+    /// Wraps a shared registry.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        MetricsSink {
+            registry,
+            ring_enter_us: BTreeMap::new(),
+        }
+    }
+}
+
+fn device_label(device: u32) -> [(&'static str, String); 1] {
+    [("device", device.to_string())]
+}
+
+impl Sink for MetricsSink {
+    fn record(&mut self, event: &Event) {
+        let reg = &self.registry;
+        match &event.kind {
+            EventKind::LocalSteps { device, steps, .. } => {
+                reg.inc_counter(
+                    "hadfl_local_steps_total",
+                    &device_label(*device),
+                    *steps as f64,
+                );
+            }
+            EventKind::RingEnter { round, .. } => {
+                self.ring_enter_us.insert(*round, event.t_us);
+            }
+            EventKind::RingExit { round, dissolved } => {
+                if let Some(entered) = self.ring_enter_us.remove(round) {
+                    let secs = event.t_us.saturating_sub(entered) as f64 / 1e6;
+                    reg.observe("hadfl_ring_phase_seconds", &[], secs, LATENCY_BUCKETS);
+                }
+                if *dissolved {
+                    reg.inc_counter("hadfl_ring_dissolved_total", &[], 1.0);
+                }
+            }
+            EventKind::Merge { .. } => {
+                reg.inc_counter("hadfl_merges_total", &[], 1.0);
+            }
+            EventKind::BypassDeclared { .. } => {
+                reg.inc_counter("hadfl_bypass_total", &[], 1.0);
+            }
+            EventKind::RingRepair { .. } => {
+                reg.inc_counter("hadfl_ring_repair_total", &[], 1.0);
+            }
+            EventKind::RoundPlanned { selected, .. } => {
+                reg.inc_counter("hadfl_rounds_total", &[], 1.0);
+                for d in selected {
+                    reg.inc_counter("hadfl_selected_total", &device_label(*d), 1.0);
+                }
+            }
+            EventKind::Prediction {
+                device,
+                predicted,
+                actual,
+                ..
+            } => {
+                let err = (predicted - actual).abs();
+                reg.set_gauge("hadfl_prediction_abs_error", &device_label(*device), err);
+                reg.observe("hadfl_prediction_abs_error_hist", &[], err, ERROR_BUCKETS);
+            }
+            EventKind::DeviceDropped { device, .. } => {
+                reg.inc_counter("hadfl_dropped_total", &device_label(*device), 1.0);
+            }
+            EventKind::RoundComplete { duration_us, .. } => {
+                reg.observe(
+                    "hadfl_round_latency_seconds",
+                    &[],
+                    *duration_us as f64 / 1e6,
+                    LATENCY_BUCKETS,
+                );
+            }
+            EventKind::FrameSent { dst, bytes, .. } => {
+                let peer = [("peer", dst.to_string())];
+                reg.inc_counter("hadfl_sent_bytes_total", &peer, *bytes as f64);
+                reg.inc_counter("hadfl_sent_frames_total", &peer, 1.0);
+            }
+            EventKind::FrameReceived { src, bytes, .. } => {
+                let peer = [("peer", src.to_string())];
+                reg.inc_counter("hadfl_recv_bytes_total", &peer, *bytes as f64);
+                reg.inc_counter("hadfl_recv_frames_total", &peer, 1.0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Handle to the background exposition server; shuts down on
+/// [`MetricsServer::shutdown`] or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with a `:0` request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serves `registry.render()` to every HTTP request on `addr`
+/// (conventionally scraped at `/metrics`; the path is not inspected).
+///
+/// # Errors
+///
+/// Propagates bind errors.
+pub fn serve_metrics(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        while !stop_flag.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    // Drain whatever request arrived (best effort), then
+                    // answer with the exposition body and close.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                    let mut scratch = [0u8; 1024];
+                    let _ = stream.read(&mut scratch);
+                    let body = registry.render();
+                    let response = format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    let _ = stream.write_all(response.as_bytes());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    });
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SCHEMA_VERSION;
+
+    fn event(t_us: u64, kind: EventKind) -> Event {
+        Event {
+            v: SCHEMA_VERSION,
+            seq: 0,
+            node: 0,
+            t_us,
+            kind,
+        }
+    }
+
+    #[test]
+    fn sink_aggregates_events() {
+        let registry = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(Arc::clone(&registry));
+        sink.record(&event(
+            0,
+            EventKind::LocalSteps {
+                device: 1,
+                steps: 64,
+                version: 64,
+            },
+        ));
+        sink.record(&event(
+            10,
+            EventKind::RingEnter {
+                round: 1,
+                ring: vec![0, 1],
+            },
+        ));
+        sink.record(&event(
+            30_010,
+            EventKind::RingExit {
+                round: 1,
+                dissolved: false,
+            },
+        ));
+        sink.record(&event(
+            40_000,
+            EventKind::FrameSent {
+                src: 0,
+                dst: 2,
+                bytes: 100,
+                kind: "param_accum".into(),
+            },
+        ));
+        let labels = [("device", "1".to_string())];
+        assert_eq!(registry.counter("hadfl_local_steps_total", &labels), 64.0);
+        let peer = [("peer", "2".to_string())];
+        assert_eq!(registry.counter("hadfl_sent_bytes_total", &peer), 100.0);
+        let text = registry.render();
+        assert!(text.contains("# TYPE hadfl_local_steps_total counter"));
+        assert!(text.contains("hadfl_ring_phase_seconds_bucket"));
+        assert!(text.contains("hadfl_ring_phase_seconds_count 1"));
+    }
+
+    #[test]
+    fn server_answers_http() {
+        let registry = MetricsRegistry::new();
+        registry.inc_counter("hadfl_rounds_total", &[], 3.0);
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("hadfl_rounds_total 3"), "{response}");
+        server.shutdown();
+    }
+}

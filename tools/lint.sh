@@ -13,6 +13,12 @@
 #      reader/heartbeat threads into a distributed deadlock. Guards
 #      must be dropped (or confined to a temporary) before sending.
 #
+#   3. No `println!`/`eprintln!` in the protocol hot paths. Runtime
+#      observability goes through the `hadfl-telemetry` event layer
+#      (structured, schema-versioned, zero-cost when disabled) — stray
+#      prints bypass the sinks, garble node output parsed by tests,
+#      and cost formatting on every call even when nobody listens.
+#
 # Exit status: 0 clean, 1 any gate tripped.
 set -u
 
@@ -64,6 +70,18 @@ for f in $CLOCKED_FILES; do
         }' "$f")
     if [ -n "$hits" ]; then
         echo "lint: lock guard held across Port::send in $f:"
+        echo "$hits" | sed "s|^|  $f:|"
+        status=1
+    fi
+done
+
+# ---- gate 3: stdout/stderr prints in protocol hot paths ---------------------
+# Doc examples (`/// println!...`) are fine — only real code trips the
+# gate.
+for f in $CLOCKED_FILES; do
+    hits=$(grep -n 'println!\|eprintln!' "$f" | grep -v '^[0-9]*:[[:space:]]*//' || true)
+    if [ -n "$hits" ]; then
+        echo "lint: print macro in $f (emit a hadfl-telemetry event instead):"
         echo "$hits" | sed "s|^|  $f:|"
         status=1
     fi
