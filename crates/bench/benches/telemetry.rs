@@ -110,5 +110,66 @@ fn bench_partial_sync(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partial_sync);
+/// The causal-tracing additions must hold PR 3's parity bar: a
+/// disabled handle makes span emission a branch-and-return (same as
+/// every other emission site), and a live handle's per-span cost is
+/// bounded by one event clone into the sink — for the metrics sink,
+/// plus one histogram observation on `SpanEnd`.
+fn bench_span_emission(c: &mut Criterion) {
+    use std::time::Duration;
+
+    use hadfl_telemetry::{EventKind, MetricsRegistry, MetricsSink};
+
+    let emit_pair = |tel: &Telemetry, i: u64| {
+        let t = Duration::from_micros(i * 10);
+        tel.emit(
+            t,
+            EventKind::SpanStart {
+                span: i,
+                parent: 0,
+                name: "ring_reduce".to_string(),
+                round: 1,
+                device: 0,
+            },
+        );
+        tel.emit(
+            t + Duration::from_micros(5),
+            EventKind::SpanEnd {
+                span: i,
+                round: 1,
+                device: 0,
+            },
+        );
+    };
+
+    let mut group = c.benchmark_group("span_emission");
+    group.bench_function("disabled_handle", |b| {
+        let tel = Telemetry::disabled();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            emit_pair(black_box(&tel), black_box(i));
+        });
+    });
+    group.bench_function("ring_buffer_sink", |b| {
+        let tel = Telemetry::new(0, vec![Box::new(RingBufferSink::new(4096))]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            emit_pair(black_box(&tel), black_box(i));
+        });
+    });
+    group.bench_function("metrics_sink", |b| {
+        let registry = MetricsRegistry::new();
+        let tel = Telemetry::new(0, vec![Box::new(MetricsSink::new(registry))]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            emit_pair(black_box(&tel), black_box(i));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_sync, bench_span_emission);
 criterion_main!(benches);

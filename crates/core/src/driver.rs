@@ -338,6 +338,7 @@ pub fn run_hadfl_with_telemetry(
                             dst: k as u32,
                             bytes: CONTROL_MSG_BYTES,
                             kind: "version_report".to_string(),
+                            lamport: 0, // analytical frame: nothing crossed a transport
                         },
                     );
                     tel.emit(
@@ -347,6 +348,7 @@ pub fn run_hadfl_with_telemetry(
                             dst: d.index() as u32,
                             bytes: CONTROL_MSG_BYTES,
                             kind: "training_config".to_string(),
+                            lamport: 0, // analytical frame: nothing crossed a transport
                         },
                     );
                 }
@@ -423,6 +425,7 @@ pub fn run_hadfl_with_telemetry(
                         dst: u.index() as u32,
                         bytes: wire_bytes,
                         kind: "param_sync".to_string(),
+                        lamport: 0, // analytical frame: nothing crossed a transport
                     },
                 );
                 let mut local = built.runtimes[u.index()].model.param_vector();

@@ -570,6 +570,90 @@ fn bypass_in_finished_ring<P: Port>(port: &mut P, run: &mut RingRun, me: usize, 
     }
 }
 
+/// Per-actor span bookkeeping for the causal timeline: a deterministic
+/// id counter (first span of every actor is 1) and the stack of open
+/// spans. Telemetry-only state — never part of
+/// [`DeviceActor::digest_into`], so span tracking cannot split
+/// model-checker states.
+#[derive(Debug, Clone, Default)]
+struct Spans {
+    next: u64,
+    /// Open spans, innermost last: `(name, id, round)`.
+    open: Vec<(&'static str, u64, u32)>,
+}
+
+impl Spans {
+    /// Opens `name` and emits [`EventKind::SpanStart`]. No-op (id 0)
+    /// when telemetry is disabled, so the checker never pays for it.
+    fn start(
+        &mut self,
+        tel: &Telemetry,
+        now: Duration,
+        name: &'static str,
+        parent: u64,
+        round: u32,
+        device: usize,
+    ) -> u64 {
+        if !tel.enabled() {
+            return 0;
+        }
+        self.next += 1;
+        let span = self.next;
+        self.open.push((name, span, round));
+        tel.emit(
+            now,
+            EventKind::SpanStart {
+                span,
+                parent,
+                name: name.to_string(),
+                round,
+                device: device as u32,
+            },
+        );
+        span
+    }
+
+    /// Closes the innermost open span called `name` (no-op when none
+    /// is open — callers end speculatively at phase transitions).
+    fn end(&mut self, tel: &Telemetry, now: Duration, name: &'static str, device: usize) {
+        if let Some(i) = self.open.iter().rposition(|(n, _, _)| *n == name) {
+            let (_, span, round) = self.open.remove(i);
+            tel.emit(
+                now,
+                EventKind::SpanEnd {
+                    span,
+                    round,
+                    device: device as u32,
+                },
+            );
+        }
+    }
+
+    /// Closes every open span, innermost first (shutdown path).
+    fn end_all(&mut self, tel: &Telemetry, now: Duration, device: usize) {
+        while let Some((_, span, round)) = self.open.pop() {
+            tel.emit(
+                now,
+                EventKind::SpanEnd {
+                    span,
+                    round,
+                    device: device as u32,
+                },
+            );
+        }
+    }
+
+    /// The innermost open ring-half span, for parenting `merge` and
+    /// `bypass_repair` under the ring they belong to (0 = no parent).
+    fn ring_parent(&self) -> u64 {
+        self.open
+            .iter()
+            .rev()
+            .find(|(n, _, _)| *n == "ring_reduce" || *n == "ring_gather")
+            .map_or(0, |&(_, span, _)| span)
+    }
+}
+
 /// A member's in-ring bookkeeping beyond [`RingRun`]: the probe in
 /// flight and when the ring began (for the hard stall limit).
 #[derive(Debug, Clone)]
@@ -645,6 +729,8 @@ pub struct DeviceActor<T: TrainState> {
     /// Local steps taken since the last [`EventKind::LocalSteps`]
     /// batch; only counted while telemetry is enabled.
     pending_steps: u64,
+    /// Open-span bookkeeping; telemetry-only, never digested.
+    spans: Spans,
 }
 
 impl<T: TrainState> DeviceActor<T> {
@@ -670,6 +756,7 @@ impl<T: TrainState> DeviceActor<T> {
             train,
             tel: Telemetry::disabled(),
             pending_steps: 0,
+            spans: Spans::default(),
         }
     }
 
@@ -678,6 +765,17 @@ impl<T: TrainState> DeviceActor<T> {
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
         self.tel = tel;
         self
+    }
+
+    /// Opens the `train` span for `round` (the local-training window
+    /// that ends at the round's [`Message::ReportRequest`]). Drivers
+    /// call this once at startup; the actor reopens it itself whenever
+    /// a ring or a broadcast blend returns it to the training phase.
+    pub fn begin_training(&mut self, now: Duration, round: u32) {
+        if self.spans.open.iter().any(|(n, _, _)| *n == "train") {
+            return; // duplicate broadcast: the window is already open
+        }
+        self.spans.start(&self.tel, now, "train", 0, round, self.me);
     }
 
     /// This device's id.
@@ -800,6 +898,8 @@ impl<T: TrainState> DeviceActor<T> {
             );
             self.pending_steps = 0;
         }
+        // The training window closes wherever the batch does.
+        self.spans.end(&self.tel, now, "train", self.me);
     }
 
     /// An elapsed wait inside a ring: §III-D silence handling — probe
@@ -826,6 +926,9 @@ impl<T: TrainState> DeviceActor<T> {
             Some((suspect, deadline)) if now >= deadline => {
                 // §III-D: no ack — declare the upstream dead, warn
                 // everyone, bypass.
+                let parent = self.spans.ring_parent();
+                self.spans
+                    .start(&self.tel, now, "bypass_repair", parent, ring.run.round, me);
                 ring.probe = None;
                 for &member in &ring.run.live {
                     if member != me && member != suspect {
@@ -864,6 +967,7 @@ impl<T: TrainState> DeviceActor<T> {
                     );
                     repair_after_bypass(port, &mut self.train, &mut ring.run, me, suspect);
                 }
+                self.spans.end(&self.tel, now, "bypass_repair", me);
             }
             Some(_) => {} // ack still pending
             None => {
@@ -925,6 +1029,7 @@ impl<T: TrainState> DeviceActor<T> {
         );
         self.phase = DevicePhase::Finished;
         self.flush_steps(now);
+        self.spans.end_all(&self.tel, now, self.me);
         self.tel.emit(
             now,
             EventKind::DeviceFinished {
@@ -940,6 +1045,11 @@ impl<T: TrainState> DeviceActor<T> {
     fn complete_ring(&mut self, now: Duration) {
         if let DevicePhase::Ring(ring) = mem::replace(&mut self.phase, DevicePhase::Training) {
             self.done_round = self.done_round.max(ring.run.round);
+            // Close whatever ring-half (or mid-repair) span is still
+            // open; each end is a no-op when the name isn't open.
+            for name in ["merge", "bypass_repair", "ring_gather", "ring_reduce"] {
+                self.spans.end(&self.tel, now, name, self.me);
+            }
             self.tel.emit(
                 now,
                 EventKind::RingExit {
@@ -947,6 +1057,7 @@ impl<T: TrainState> DeviceActor<T> {
                     dissolved: ring.run.live.len() < 2,
                 },
             );
+            self.begin_training(now, ring.run.round + 1);
             self.last_ring = Some(ring.run);
         }
     }
@@ -972,6 +1083,8 @@ impl<T: TrainState> DeviceActor<T> {
                         version: self.train.version(),
                     },
                 );
+                self.spans
+                    .start(&self.tel, now, "wait_for_plan", 0, round, self.me);
             }
             Message::RoundPlan {
                 round,
@@ -981,12 +1094,17 @@ impl<T: TrainState> DeviceActor<T> {
             } => {
                 self.enter_ring(port, round, &ring, broadcaster, &unselected, now)?;
             }
-            Message::ParamSync { params, .. } => {
+            Message::ParamSync { round, params } => {
                 // Unselected device receiving the broadcast: blend
                 // non-blockingly and keep training.
+                self.spans.end(&self.tel, now, "wait_for_plan", self.me);
+                self.spans
+                    .start(&self.tel, now, "broadcast_blend", 0, round, self.me);
                 let mut local = self.train.params();
                 blend_params(&mut local, &params, self.blend_beta)?;
                 self.train.set_params(&local)?;
+                self.spans.end(&self.tel, now, "broadcast_blend", self.me);
+                self.begin_training(now, round + 1);
             }
             Message::Handshake { from } => {
                 let _ = port.send(
@@ -1049,6 +1167,7 @@ impl<T: TrainState> DeviceActor<T> {
             return Ok(()); // not addressed to us; stale broadcast
         }
         self.flush_steps(now);
+        self.spans.end(&self.tel, now, "wait_for_plan", self.me);
         // A BypassWarning may have overtaken this plan: membership the
         // coordinator believed alive at planning time can already be
         // known dead here. Joining with the stale membership would
@@ -1070,6 +1189,7 @@ impl<T: TrainState> DeviceActor<T> {
                     dissolved: true,
                 },
             );
+            self.begin_training(now, round + 1);
             return Ok(());
         }
         self.tel.emit(
@@ -1079,6 +1199,8 @@ impl<T: TrainState> DeviceActor<T> {
                 ring: run.live.iter().map(|&d| d as u32).collect(),
             },
         );
+        self.spans
+            .start(&self.tel, now, "ring_reduce", 0, round, self.me);
         // Frames for rings before this one are dead history.
         self.backlog
             .retain(|m| ring_frame_round(m).is_some_and(|r| r >= round));
@@ -1096,6 +1218,11 @@ impl<T: TrainState> DeviceActor<T> {
                     params: self.train.params(),
                 },
             );
+            // Contribution forwarded: the reduce half is done for the
+            // initiator; it now waits for the merged model to wrap.
+            self.spans.end(&self.tel, now, "ring_reduce", self.me);
+            self.spans
+                .start(&self.tel, now, "ring_gather", 0, round, self.me);
         }
         self.phase = DevicePhase::Ring(RingPhase {
             run,
@@ -1174,6 +1301,9 @@ impl<T: TrainState> DeviceActor<T> {
                     // by `hadfl-check`, see DESIGN.md §Protocol
                     // invariants). Merge it without adding ourselves.
                     if hops as usize >= ring.run.live.len() && !ring.run.merged_done {
+                        let parent = self.spans.ring_parent();
+                        let round = ring.run.round;
+                        self.spans.start(&self.tel, now, "merge", parent, round, me);
                         finish_reduce(
                             port,
                             &mut self.train,
@@ -1184,6 +1314,7 @@ impl<T: TrainState> DeviceActor<T> {
                             &self.tel,
                             now,
                         )?;
+                        self.spans.end(&self.tel, now, "merge", me);
                     }
                 } else {
                     ring.run.contributed = true;
@@ -1200,6 +1331,11 @@ impl<T: TrainState> DeviceActor<T> {
                         },
                     );
                     if hops as usize >= ring.run.live.len() {
+                        // This member closes the reduce: merge nests
+                        // under its reduce half, which ends here.
+                        let parent = self.spans.ring_parent();
+                        let round = ring.run.round;
+                        self.spans.start(&self.tel, now, "merge", parent, round, me);
                         finish_reduce(
                             port,
                             &mut self.train,
@@ -1210,6 +1346,10 @@ impl<T: TrainState> DeviceActor<T> {
                             &self.tel,
                             now,
                         )?;
+                        self.spans.end(&self.tel, now, "merge", me);
+                        self.spans.end(&self.tel, now, "ring_reduce", me);
+                        self.spans
+                            .start(&self.tel, now, "ring_gather", 0, round, me);
                     } else {
                         let downstream = ring.run.downstream(me);
                         let round = ring.run.round;
@@ -1223,6 +1363,9 @@ impl<T: TrainState> DeviceActor<T> {
                                 params,
                             },
                         );
+                        self.spans.end(&self.tel, now, "ring_reduce", me);
+                        self.spans
+                            .start(&self.tel, now, "ring_gather", 0, round, me);
                     }
                 }
             }
@@ -1252,7 +1395,22 @@ impl<T: TrainState> DeviceActor<T> {
                         },
                     );
                 }
-                broadcast_if_mine(port, &ring.run, me, &params);
+                // The effective broadcaster's fan-out to the unselected
+                // is the round's `broadcast_blend` segment.
+                let effective = if ring.run.live.contains(&ring.run.broadcaster) {
+                    ring.run.broadcaster
+                } else {
+                    ring.run.live[0]
+                };
+                if effective == me && !ring.run.unselected.is_empty() {
+                    let parent = self.spans.ring_parent();
+                    self.spans
+                        .start(&self.tel, now, "broadcast_blend", parent, round, me);
+                    broadcast_if_mine(port, &ring.run, me, &params);
+                    self.spans.end(&self.tel, now, "broadcast_blend", me);
+                } else {
+                    broadcast_if_mine(port, &ring.run, me, &params);
+                }
             }
             Message::Handshake { from } => {
                 let _ = port.send(from as usize, &Message::HandshakeAck { from: me as u32 });
@@ -1274,6 +1432,9 @@ impl<T: TrainState> DeviceActor<T> {
                     self.known_dead.insert(dead);
                 }
                 if dead != me && ring.run.pos(dead).is_some() {
+                    let parent = self.spans.ring_parent();
+                    self.spans
+                        .start(&self.tel, now, "bypass_repair", parent, ring.run.round, me);
                     ring.run.live.retain(|&d| d != dead);
                     if let Some((suspect, _)) = ring.probe {
                         if suspect == dead {
@@ -1292,6 +1453,7 @@ impl<T: TrainState> DeviceActor<T> {
                         );
                         repair_after_bypass(port, &mut self.train, &mut ring.run, me, dead);
                     }
+                    self.spans.end(&self.tel, now, "bypass_repair", me);
                 }
             }
             Message::ReportRequest { round } => {
@@ -1429,6 +1591,7 @@ pub fn run_device_instrumented<P: Port>(
     tel.emit(clock.now(), EventKind::DeviceStarted { device: me as u32 });
     let mut actor = DeviceActor::new(me, participants, rt, config.blend_beta, timing.clone())
         .with_telemetry(tel);
+    actor.begin_training(clock.now(), 1);
     loop {
         match actor.hint(clock.now()) {
             DeviceHint::Finished => return Ok(()),
@@ -1910,6 +2073,27 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
             .map(|d| d.index() as u32)
             .collect();
         let unselected: Vec<u32> = plan.unselected.iter().map(|d| d.index() as u32).collect();
+        // The decision is logged before its frames go out: RoundPlanned
+        // is the causal source of the round's critical path, so it must
+        // happen-before every RoundPlan send in the merged timeline.
+        if self.tel.enabled() {
+            self.tel.emit(
+                now,
+                EventKind::RoundPlanned {
+                    round: round as u32,
+                    available: available.iter().map(|d| d.index() as u32).collect(),
+                    versions: avail_versions.clone(),
+                    probabilities: self
+                        .planner
+                        .last_probabilities()
+                        .map(<[f64]>::to_vec)
+                        .unwrap_or_default(),
+                    selected: plan.selected.iter().map(|d| d.index() as u32).collect(),
+                    unselected: unselected.clone(),
+                    broadcaster: plan.broadcaster.index() as u32,
+                },
+            );
+        }
         for &member in plan.ring.members() {
             let _ = port.send(
                 member.index(),
@@ -1931,22 +2115,6 @@ impl<Pl: Planner> CoordinatorActor<Pl> {
             selected: plan.selected.iter().map(|d| d.index()).collect(),
         });
         if self.tel.enabled() {
-            self.tel.emit(
-                now,
-                EventKind::RoundPlanned {
-                    round: round as u32,
-                    available: available.iter().map(|d| d.index() as u32).collect(),
-                    versions: avail_versions.clone(),
-                    probabilities: self
-                        .planner
-                        .last_probabilities()
-                        .map(<[f64]>::to_vec)
-                        .unwrap_or_default(),
-                    selected: plan.selected.iter().map(|d| d.index() as u32).collect(),
-                    unselected: unselected.clone(),
-                    broadcaster: plan.broadcaster.index() as u32,
-                },
-            );
             self.tel.emit(
                 now,
                 EventKind::RoundComplete {

@@ -205,6 +205,7 @@ pub fn run_partial_sync_instrumented(
                     dst: to.index() as u32,
                     bytes: wire_cost.bytes_per_member,
                     kind: "ring_gossip".to_string(),
+                    lamport: 0, // analytical frame: nothing crossed a transport
                 },
             );
         }

@@ -18,11 +18,12 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use hadfl_simnet::{DeviceId, Endpoint, NetStats};
+use hadfl_telemetry::{EventKind, LamportClock, Telemetry};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::error::HadflError;
-use crate::wire::Message;
+use crate::wire::{self, CausalStamp, Message};
 
 /// The coordinator's participant id in a `k`-device cluster.
 pub fn coordinator_id(k: usize) -> usize {
@@ -136,6 +137,26 @@ impl ChannelTransport {
     /// Returns [`HadflError::InvalidConfig`] for an out-of-range or
     /// already-claimed id.
     pub fn claim(&mut self, id: usize) -> Result<ChannelPort, HadflError> {
+        self.claim_instrumented(id, Telemetry::disabled(), None)
+    }
+
+    /// [`Self::claim`] with a [`Telemetry`] handle and a clock for
+    /// timestamping: the port emits one `FrameSent` per outbound
+    /// payload frame and one `FrameReceived` per inbound frame —
+    /// stamped with the frame's Lamport value — mirroring the TCP
+    /// fabric's instrumented ports, so a fully in-process scripted
+    /// cluster produces the same causal trace shape a real deployment
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::claim`].
+    pub fn claim_instrumented(
+        &mut self,
+        id: usize,
+        tel: Telemetry,
+        clock: Option<Arc<dyn crate::clock::Clock>>,
+    ) -> Result<ChannelPort, HadflError> {
         let slot = self
             .rxs
             .get_mut(id)
@@ -148,6 +169,9 @@ impl ChannelTransport {
             txs: self.txs.clone(),
             rx,
             stats: Arc::clone(&self.stats),
+            lamport: tel.lamport_clock(),
+            tel,
+            clock,
         })
     }
 
@@ -163,6 +187,40 @@ pub struct ChannelPort {
     txs: Vec<Sender<bytes::Bytes>>,
     rx: Receiver<bytes::Bytes>,
     stats: Arc<Mutex<NetStats>>,
+    /// This participant's Lamport clock: ticked per send, max-merged
+    /// on every receive. Shared with the node's [`Telemetry`] handle
+    /// when instrumented, so frame stamps and event `lam` fields share
+    /// one scale.
+    lamport: LamportClock,
+    tel: Telemetry,
+    clock: Option<Arc<dyn crate::clock::Clock>>,
+}
+
+impl ChannelPort {
+    fn now(&self) -> Duration {
+        self.clock.as_ref().map_or(Duration::ZERO, |c| c.now())
+    }
+
+    /// Opens an inbound frame: merges its stamp into the local Lamport
+    /// clock and mirrors it as a `FrameReceived` event when
+    /// instrumented.
+    fn open_frame(&self, frame: &[u8]) -> Result<Message, HadflError> {
+        let (stamp, msg) = wire::open(frame)?;
+        self.lamport.observe(stamp.lamport);
+        if self.tel.enabled() {
+            self.tel.emit(
+                self.now(),
+                EventKind::FrameReceived {
+                    src: stamp.origin,
+                    dst: self.id as u32,
+                    bytes: (frame.len() - wire::STAMP_LEN) as u64,
+                    kind: msg.kind().to_string(),
+                    lamport: stamp.lamport,
+                },
+            );
+        }
+        Ok(msg)
+    }
 }
 
 impl Port for ChannelPort {
@@ -179,20 +237,37 @@ impl Port for ChannelPort {
             .txs
             .get(to)
             .ok_or_else(|| HadflError::InvalidConfig(format!("no participant {to}")))?;
-        let frame = msg.encode();
+        let stamp = CausalStamp {
+            origin: self.id as u32,
+            lamport: self.lamport.tick(),
+        };
+        let frame = wire::seal(stamp, msg);
+        // The ledger charges the payload only — the stamp is transport
+        // overhead, exactly like a socket fabric's length prefix.
+        let payload = (frame.len() - wire::STAMP_LEN) as u64;
         let k = self.txs.len() - 1;
-        self.stats.lock().record(
-            endpoint_of(self.id, k),
-            endpoint_of(to, k),
-            frame.len() as u64,
-        );
+        self.stats
+            .lock()
+            .record(endpoint_of(self.id, k), endpoint_of(to, k), payload);
+        if self.tel.enabled() {
+            self.tel.emit(
+                self.now(),
+                EventKind::FrameSent {
+                    src: self.id as u32,
+                    dst: to as u32,
+                    bytes: payload,
+                    kind: msg.kind().to_string(),
+                    lamport: stamp.lamport,
+                },
+            );
+        }
         tx.send(frame)
             .map_err(|_| HadflError::InvalidConfig(format!("participant {to} is gone")))
     }
 
     fn try_recv(&mut self) -> Result<Option<Message>, HadflError> {
         match self.rx.try_recv() {
-            Ok(frame) => Message::decode(&frame).map(Some),
+            Ok(frame) => self.open_frame(&frame).map(Some),
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => {
                 Err(HadflError::InvalidConfig("fabric torn down".into()))
@@ -202,7 +277,7 @@ impl Port for ChannelPort {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, HadflError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(frame) => Message::decode(&frame).map(Some),
+            Ok(frame) => self.open_frame(&frame).map(Some),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => {
                 Err(HadflError::InvalidConfig("fabric torn down".into()))
@@ -271,6 +346,56 @@ mod tests {
             (msg.encoded_len() + Message::ReportRequest { round: 1 }.encoded_len()) as u64
         );
         assert_eq!(stats.messages(), 2);
+    }
+
+    #[test]
+    fn stamps_tick_per_send_and_merge_on_receive() {
+        use hadfl_telemetry::RingBufferSink;
+
+        let mut hub = ChannelTransport::hub(3);
+        let a_buf = RingBufferSink::new(16);
+        let b_buf = RingBufferSink::new(16);
+        let a_tel = Telemetry::new(0, vec![Box::new(a_buf.clone())]);
+        let b_tel = Telemetry::new(1, vec![Box::new(b_buf.clone())]);
+        let mut a = hub.claim_instrumented(0, a_tel, None).unwrap();
+        let mut b = hub.claim_instrumented(1, b_tel.clone(), None).unwrap();
+
+        a.send(1, &Message::Handshake { from: 0 }).unwrap();
+        a.send(1, &Message::HandshakeAck { from: 0 }).unwrap();
+        assert!(b.try_recv().unwrap().is_some());
+        assert!(b.try_recv().unwrap().is_some());
+
+        let sent: Vec<u64> = a_buf
+            .snapshot()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::FrameSent { lamport, .. } => Some(*lamport),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent, vec![1, 2], "stamps tick per send");
+        let received: Vec<u64> = b_buf
+            .snapshot()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::FrameReceived { lamport, .. } => Some(*lamport),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            received,
+            vec![1, 2],
+            "receive events carry the sender's stamp"
+        );
+        // The receiver's clock merged past the highest inbound stamp,
+        // so anything it emits from here on sorts after the sends.
+        assert!(b_tel.lamport_clock().current() > 2);
+        // And receive events themselves were stamped above the frame.
+        for event in b_buf.snapshot() {
+            if let EventKind::FrameReceived { lamport, .. } = &event.kind {
+                assert!(event.lam > *lamport);
+            }
+        }
     }
 
     #[test]

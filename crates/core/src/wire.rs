@@ -5,10 +5,72 @@
 //! frames between device threads, and a networked deployment would put
 //! them on sockets unchanged. Encoding is a fixed little-endian layout:
 //! one tag byte, then the variant's fields.
+//!
+//! Every frame that actually crosses a transport is wrapped in the
+//! causal envelope: a [`CausalStamp`] header (origin node + Lamport
+//! clock) sealed in front of the message encoding by [`seal`] and
+//! parsed back by [`open`]. Transports are the *only* code that builds
+//! or parses frames, and they must go through `seal`/`open` — a lint
+//! gate (`tools/lint.sh`, gate 4) rejects raw `encode`/`decode` calls
+//! in the transport and actor sources. The stamp is transport
+//! overhead, like the length prefix: the payload ledger
+//! (`NetStats`) keeps charging exactly [`Message::encoded_len`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::HadflError;
+
+/// Byte length of the causal envelope header [`seal`] prepends.
+pub const STAMP_LEN: usize = 12;
+
+/// The causal stamp sealed in front of every transported frame:
+/// which node sent it, and the sender's Lamport clock at send time
+/// (already bumped for the send). Receivers max-merge `lamport` into
+/// their own clock, making the cross-node event order reconstructible
+/// without trusting wall clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalStamp {
+    /// The sending participant (device id, or `k` for the coordinator).
+    pub origin: u32,
+    /// The sender's Lamport clock, ticked for this send. Strictly
+    /// increasing per sender, so `(origin, lamport)` names the frame
+    /// uniquely across a run.
+    pub lamport: u64,
+}
+
+/// Seals `msg` into a transport frame: a [`STAMP_LEN`]-byte stamp
+/// header (origin u32 LE, lamport u64 LE) followed by the message
+/// encoding. The inverse is [`open`].
+pub fn seal(stamp: CausalStamp, msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(STAMP_LEN + msg.encoded_len());
+    buf.put_u32_le(stamp.origin);
+    buf.put_u64_le(stamp.lamport);
+    msg.encode_into(&mut buf);
+    buf.freeze()
+}
+
+/// Opens a frame produced by [`seal`], returning the stamp and the
+/// message.
+///
+/// # Errors
+///
+/// Returns [`HadflError::InvalidConfig`] when the frame is shorter
+/// than the stamp header or the payload does not decode.
+pub fn open(frame: &[u8]) -> Result<(CausalStamp, Message), HadflError> {
+    if frame.len() < STAMP_LEN {
+        return Err(HadflError::InvalidConfig(format!(
+            "frame too short for causal stamp: {} bytes",
+            frame.len()
+        )));
+    }
+    let mut head = &frame[..STAMP_LEN];
+    let stamp = CausalStamp {
+        origin: head.get_u32_le(),
+        lamport: head.get_u64_le(),
+    };
+    let msg = Message::decode(&frame[STAMP_LEN..])?;
+    Ok((stamp, msg))
+}
 
 /// A message between HADFL participants (devices and the coordinator).
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +224,13 @@ impl Message {
     /// ```
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the message encoding to `buf` (the body [`seal`] writes
+    /// after the stamp header).
+    fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Message::ParamSync { round, params } => {
                 buf.put_u8(TAG_PARAM_SYNC);
@@ -211,13 +280,13 @@ impl Message {
                 buf.put_u8(TAG_PARAM_ACCUM);
                 buf.put_u32_le(*round);
                 buf.put_u32_le(*hops);
-                put_params(&mut buf, params);
+                put_params(buf, params);
             }
             Message::MergedParams { round, ttl, params } => {
                 buf.put_u8(TAG_MERGED_PARAMS);
                 buf.put_u32_le(*round);
                 buf.put_u32_le(*ttl);
-                put_params(&mut buf, params);
+                put_params(buf, params);
             }
             Message::RoundPlan {
                 round,
@@ -227,9 +296,9 @@ impl Message {
             } => {
                 buf.put_u8(TAG_ROUND_PLAN);
                 buf.put_u32_le(*round);
-                put_ids(&mut buf, ring);
+                put_ids(buf, ring);
                 buf.put_u32_le(*broadcaster);
-                put_ids(&mut buf, unselected);
+                put_ids(buf, unselected);
             }
             Message::ReportRequest { round } => {
                 buf.put_u8(TAG_REPORT_REQUEST);
@@ -249,10 +318,9 @@ impl Message {
             Message::FinalParams { device, params } => {
                 buf.put_u8(TAG_FINAL_PARAMS);
                 buf.put_u32_le(*device);
-                put_params(&mut buf, params);
+                put_params(buf, params);
             }
         }
-        buf.freeze()
     }
 
     /// Short stable label for the message kind, used as the telemetry
@@ -520,6 +588,45 @@ mod tests {
             device: 2,
             params: vec![0.5, -0.5],
         });
+    }
+
+    #[test]
+    fn seal_open_roundtrips_with_exact_overhead() {
+        let msg = Message::ParamAccum {
+            round: 3,
+            hops: 2,
+            params: vec![1.0, -0.5],
+        };
+        let stamp = CausalStamp {
+            origin: 4,
+            lamport: 77,
+        };
+        let frame = seal(stamp, &msg);
+        assert_eq!(
+            frame.len(),
+            STAMP_LEN + msg.encoded_len(),
+            "the stamp is exactly {STAMP_LEN} bytes of transport overhead"
+        );
+        let (back_stamp, back_msg) = open(&frame).unwrap();
+        assert_eq!(back_stamp, stamp);
+        assert_eq!(back_msg, msg);
+    }
+
+    #[test]
+    fn open_rejects_short_and_corrupt_frames() {
+        assert!(open(&[]).is_err());
+        assert!(open(&[0u8; STAMP_LEN - 1]).is_err());
+        // A stamp header followed by garbage payload.
+        let mut frame = seal(
+            CausalStamp {
+                origin: 0,
+                lamport: 1,
+            },
+            &Message::Shutdown,
+        )
+        .to_vec();
+        frame.push(0xFF);
+        assert!(open(&frame).is_err());
     }
 
     #[test]

@@ -36,10 +36,10 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use hadfl::clock::{Clock, WallClock};
 use hadfl::transport::{endpoint_of, Port};
-use hadfl::wire::Message;
+use hadfl::wire::{self, CausalStamp, Message};
 use hadfl::HadflError;
 use hadfl_simnet::NetStats;
-use hadfl_telemetry::{EventKind, Telemetry};
+use hadfl_telemetry::{EventKind, LamportClock, Telemetry};
 use parking_lot::Mutex;
 
 use crate::cluster::ClusterConfig;
@@ -105,6 +105,23 @@ struct Shared {
     /// disabled by default, enabled via the `*_instrumented`
     /// constructors.
     tel: Telemetry,
+    /// The node's Lamport clock: ticked on every outbound frame
+    /// (payloads, hellos, heartbeats) and max-merged on every inbound
+    /// stamp. Shared with `tel` when instrumented so frame stamps and
+    /// event `lam` fields share one scale.
+    lamport: LamportClock,
+}
+
+impl Shared {
+    /// Seals `msg` for the wire under a fresh tick of this node's
+    /// Lamport clock, returning the frame and its stamp.
+    fn seal(&self, msg: &Message) -> (bytes::Bytes, CausalStamp) {
+        let stamp = CausalStamp {
+            origin: self.me as u32,
+            lamport: self.lamport.tick(),
+        };
+        (wire::seal(stamp, msg), stamp)
+    }
 }
 
 impl Shared {
@@ -195,6 +212,7 @@ impl BoundNode {
         cluster.validate()?;
         cluster.node(self.id)?;
         let (inbound_tx, inbound_rx) = unbounded();
+        let lamport = tel.lamport_clock();
         let shared = Arc::new(Shared {
             me: self.id,
             devices: cluster.devices(),
@@ -206,6 +224,7 @@ impl BoundNode {
             clock,
             opts: opts.clone(),
             tel,
+            lamport,
         });
         self.listener
             .set_nonblocking(true)
@@ -327,10 +346,9 @@ impl TcpPort {
                     stream
                         .set_write_timeout(Some(opts.write_timeout))
                         .map_err(|e| HadflError::InvalidConfig(format!("write timeout: {e}")))?;
-                    let hello = Message::Hello {
+                    let (hello, _) = self.shared.seal(&Message::Hello {
                         from: self.shared.me as u32,
-                    }
-                    .encode();
+                    });
                     if let Err(e) = write_frame(&mut stream, &hello) {
                         last_err = format!("hello to {to}: {e}");
                         continue;
@@ -396,7 +414,10 @@ impl Port for TcpPort {
     }
 
     fn send(&mut self, to: usize, msg: &Message) -> Result<(), HadflError> {
-        let frame = msg.encode();
+        let (frame, stamp) = self.shared.seal(msg);
+        // The ledger charges the payload only; the stamp header is
+        // transport overhead like the length prefix.
+        let payload = (frame.len() - wire::STAMP_LEN) as u64;
         // One reconnect round: a cached connection may have died since
         // the last send; re-dial (with its own backoff budget) once.
         // The stream is taken *out* of the map for the duration of the
@@ -418,7 +439,7 @@ impl Port for TcpPort {
                     self.shared.stats.lock().record(
                         endpoint_of(self.shared.me, self.shared.devices),
                         endpoint_of(to, self.shared.devices),
-                        frame.len() as u64,
+                        payload,
                     );
                     if self.shared.tel.enabled() {
                         self.shared.tel.emit(
@@ -426,8 +447,9 @@ impl Port for TcpPort {
                             EventKind::FrameSent {
                                 src: self.shared.me as u32,
                                 dst: to as u32,
-                                bytes: frame.len() as u64,
+                                bytes: payload,
                                 kind: msg.kind().to_string(),
+                                lamport: stamp.lamport,
                             },
                         );
                     }
@@ -559,10 +581,13 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         shared
             .raw_bytes
             .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
-        let msg = match Message::decode(&frame) {
-            Ok(msg) => msg,
+        let (stamp, msg) = match wire::open(&frame) {
+            Ok(opened) => opened,
             Err(_) => return, // undecodable peer: drop the connection
         };
+        // Max-merge every inbound stamp — heartbeats and hellos too —
+        // so the node's clock dominates everything it has heard.
+        shared.lamport.observe(stamp.lamport);
         match msg {
             Message::Hello { from: peer } => {
                 from = Some(peer as usize);
@@ -575,11 +600,12 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 let Some(peer) = from else {
                     return; // protocol violation: frames before Hello
                 };
+                let payload = (frame.len() - wire::STAMP_LEN) as u64;
                 shared.note_seen(peer);
                 shared.stats.lock().record(
                     endpoint_of(peer, shared.devices),
                     endpoint_of(shared.me, shared.devices),
-                    frame.len() as u64,
+                    payload,
                 );
                 if shared.tel.enabled() {
                     shared.tel.emit(
@@ -587,8 +613,9 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                         EventKind::FrameReceived {
                             src: peer as u32,
                             dst: shared.me as u32,
-                            bytes: frame.len() as u64,
+                            bytes: payload,
                             kind: other.kind().to_string(),
+                            lamport: stamp.lamport,
                         },
                     );
                 }
@@ -605,12 +632,14 @@ fn heartbeat_loop(
     conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
     interval: Duration,
 ) {
-    let beat = Message::Heartbeat {
+    let msg = Message::Heartbeat {
         from: shared.me as u32,
-    }
-    .encode();
+    };
     while !shared.shutdown.load(Ordering::SeqCst) {
         shared.clock.sleep(interval);
+        // Sealed per tick: each beat carries a fresh stamp, keeping
+        // the per-sender lamport sequence strictly increasing.
+        let (beat, _) = shared.seal(&msg);
         let mut conns = conns.lock();
         let mut dead = Vec::new();
         for (&peer, stream) in conns.iter_mut() {

@@ -1,39 +1,95 @@
 //! Offline trace analyzer for HADFL clusters.
 //!
 //! Point it at the per-node JSONL logs a telemetry-enabled run wrote
-//! (one file per participant) and it merges the timelines and prints
-//! the paper's headline diagnostics; `--check` instead validates the
-//! logs structurally (schema version, sequence continuity, exact
-//! `NetStats` ledger parity) and exits non-zero on any problem.
+//! (one file per participant). Modes:
+//!
+//! - default: merges the timelines (causally when Lamport stamps are
+//!   present, by wall clock otherwise) and prints the paper's headline
+//!   diagnostics;
+//! - `--check`: validates the logs structurally (schema version,
+//!   sequence continuity, exact `NetStats` ledger parity) and exits
+//!   non-zero on any problem; cross-node wall-clock skew is reported
+//!   as a warning, never a failure;
+//! - `critical-path [--round N] [--check]`: reconstructs each round's
+//!   happens-before graph and attributes the end-to-end round latency
+//!   to the longest chain of spans and network edges, naming the
+//!   straggler device and the dominant segment; with `--check`, exits
+//!   non-zero on causal-graph problems (unmatched receives, Lamport
+//!   violations);
+//! - `spans [--round N] [--json]`: per-node Gantt of the paired
+//!   `SpanStart`/`SpanEnd` timeline, ASCII or JSON.
 //!
 //! ```text
 //! hadfl-trace /tmp/tel/node-*.jsonl
 //! hadfl-trace --check /tmp/tel/node-*.jsonl
+//! hadfl-trace critical-path /tmp/tel/node-*.jsonl
+//! hadfl-trace spans --round 2 /tmp/tel/node-*.jsonl
 //! ```
 
 use std::process::ExitCode;
 
-use hadfl_telemetry::analyze::{check, merge, parse_jsonl, report, ParsedLog};
+use hadfl_telemetry::analyze::{
+    check_full, critical_path, merge, parse_jsonl, render_gantt, report, rounds_planned, spans,
+    spans_to_json, ParsedLog,
+};
 
-const USAGE: &str = "usage: hadfl-trace [--check] <events.jsonl>...";
+const USAGE: &str = "usage: hadfl-trace [--check] <events.jsonl>...
+       hadfl-trace critical-path [--round N] [--check] <events.jsonl>...
+       hadfl-trace spans [--round N] [--json] <events.jsonl>...";
 
-fn main() -> ExitCode {
-    let mut check_mode = false;
-    let mut paths: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+enum Mode {
+    Report,
+    Check,
+    CriticalPath { check: bool, round: Option<u32> },
+    Spans { json: bool, round: Option<u32> },
+}
+
+fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
+    let mut paths = Vec::new();
+    let mut mode = Mode::Report;
+    let mut check = false;
+    let mut json = false;
+    let mut round: Option<u32> = None;
+    let mut sub: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--check" => check_mode = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return ExitCode::SUCCESS;
+            "critical-path" | "spans" if sub.is_none() && paths.is_empty() => {
+                sub = Some(arg.as_str());
             }
-            other if other.starts_with("--") => {
-                eprintln!("unknown flag {other}\n{USAGE}");
-                return ExitCode::FAILURE;
+            "--check" => check = true,
+            "--json" => json = true,
+            "--round" => {
+                let v = it.next().ok_or("--round needs a value")?;
+                round = Some(v.parse().map_err(|_| format!("bad --round {v}"))?);
             }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             path => paths.push(path.to_string()),
         }
     }
+    match sub {
+        Some("critical-path") => mode = Mode::CriticalPath { check, round },
+        Some("spans") => mode = Mode::Spans { json, round },
+        _ if check => mode = Mode::Check,
+        _ => {}
+    }
+    Ok((mode, paths))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, paths) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     if paths.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -50,27 +106,68 @@ fn main() -> ExitCode {
         }
     }
 
-    if check_mode {
-        let errors = check(&logs);
-        if errors.is_empty() {
-            let events: usize = logs.iter().map(|l| l.events.len()).sum();
-            println!(
-                "ok: {} files, {events} events, ledger parity holds",
-                logs.len()
-            );
-            return ExitCode::SUCCESS;
+    match mode {
+        Mode::Check => {
+            let outcome = check_full(&logs);
+            for warning in &outcome.warnings {
+                eprintln!("hadfl-trace: warning: {warning}");
+            }
+            if outcome.errors.is_empty() {
+                let events: usize = logs.iter().map(|l| l.events.len()).sum();
+                println!(
+                    "ok: {} files, {events} events, ledger parity holds",
+                    logs.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            for error in &outcome.errors {
+                eprintln!("hadfl-trace: {error}");
+            }
+            ExitCode::FAILURE
         }
-        for error in &errors {
-            eprintln!("hadfl-trace: {error}");
+        Mode::CriticalPath { check, round } => {
+            let merged = merge(&logs);
+            let rounds = match round {
+                Some(r) => vec![r],
+                None => rounds_planned(&merged),
+            };
+            if rounds.is_empty() {
+                eprintln!("hadfl-trace: no planned rounds in the logs");
+                return ExitCode::FAILURE;
+            }
+            let mut failed = false;
+            for r in rounds {
+                let cp = critical_path(&merged, r);
+                print!("{}", cp.render());
+                failed |= !cp.errors.is_empty();
+            }
+            if check && failed {
+                eprintln!("hadfl-trace: causal-graph check failed");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
         }
-        return ExitCode::FAILURE;
+        Mode::Spans { json, round } => {
+            let merged = merge(&logs);
+            let (closed, unclosed) = spans(&merged);
+            if json {
+                println!("{}", spans_to_json(&closed, round));
+            } else {
+                print!("{}", render_gantt(&closed, round, 60));
+                if unclosed > 0 {
+                    eprintln!("hadfl-trace: {unclosed} span(s) never closed");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Mode::Report => {
+            let garbage: usize = logs.iter().map(|l| l.garbage_lines).sum();
+            if garbage > 0 {
+                eprintln!("hadfl-trace: skipped {garbage} malformed lines");
+            }
+            let merged = merge(&logs);
+            print!("{}", report(&merged).render());
+            ExitCode::SUCCESS
+        }
     }
-
-    let garbage: usize = logs.iter().map(|l| l.garbage_lines).sum();
-    if garbage > 0 {
-        eprintln!("hadfl-trace: skipped {garbage} malformed lines");
-    }
-    let merged = merge(&logs);
-    print!("{}", report(&merged).render());
-    ExitCode::SUCCESS
 }

@@ -33,6 +33,14 @@ pub struct Event {
     pub node: u32,
     /// Clock reading at emission, microseconds.
     pub t_us: u64,
+    /// The node's Lamport clock at emission (see
+    /// [`crate::LamportClock`]): bumped on every frame send, max-merged
+    /// on every receive. 0 means "no causal exchange yet" — including
+    /// every event from pre-stamp logs, whose missing field
+    /// deserializes to 0 and keeps them valid under `SCHEMA_VERSION` 1
+    /// (the addition is backward compatible, so no bump).
+    #[serde(default)]
+    pub lam: u64,
     /// What happened.
     pub kind: EventKind,
 }
@@ -161,6 +169,33 @@ pub enum EventKind {
         /// The last completed round.
         round: u32,
     },
+    /// A protocol segment opened on a device (see DESIGN.md §9's span
+    /// taxonomy: `train`, `wait_for_plan`, `ring_reduce`,
+    /// `ring_gather`, `bypass_repair`, `merge`, `broadcast_blend`).
+    /// Span ids are per-node counters starting at 1; the analyzer
+    /// keys spans by `(node, span)`.
+    SpanStart {
+        /// Per-node span id (unique within the emitting node's log).
+        span: u64,
+        /// Enclosing span's id, or 0 for a top-level span.
+        parent: u64,
+        /// Segment name from the fixed taxonomy.
+        name: String,
+        /// Synchronization round the segment belongs to.
+        round: u32,
+        /// The device the segment ran on.
+        device: u32,
+    },
+    /// The matching close of a [`EventKind::SpanStart`]; duration is
+    /// the `t_us` difference (same node, so no cross-host skew).
+    SpanEnd {
+        /// The span being closed.
+        span: u64,
+        /// Synchronization round (restated for self-contained lines).
+        round: u32,
+        /// The device (restated).
+        device: u32,
+    },
     /// A payload frame left this node. Mirrors exactly one
     /// `NetStats::record` call on the sending port — framing bytes,
     /// hellos, and heartbeats are *not* events, so summed `bytes`
@@ -174,6 +209,11 @@ pub enum EventKind {
         bytes: u64,
         /// Wire message kind (`Message::kind()`).
         kind: String,
+        /// The causal stamp sealed into the frame — strictly
+        /// increasing per sender, so `(src, lamport)` uniquely matches
+        /// this send to its receive. 0 in pre-stamp logs.
+        #[serde(default)]
+        lamport: u64,
     },
     /// A payload frame arrived at this node (same contract as
     /// [`EventKind::FrameSent`], receive side).
@@ -186,6 +226,10 @@ pub enum EventKind {
         bytes: u64,
         /// Wire message kind (`Message::kind()`).
         kind: String,
+        /// The stamp carried by the frame (the *sender's* tick, not
+        /// the receiver's merged clock). 0 in pre-stamp logs.
+        #[serde(default)]
+        lamport: u64,
     },
     /// The node's own `NetStats` ledger at shutdown — the ground truth
     /// the per-frame events must sum to (parity-checked by
@@ -237,6 +281,8 @@ impl Event {
             EventKind::DeviceDropped { .. } => "device_dropped",
             EventKind::RoundComplete { .. } => "round_complete",
             EventKind::ShutdownSent { .. } => "shutdown_sent",
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
             EventKind::FrameSent { .. } => "frame_sent",
             EventKind::FrameReceived { .. } => "frame_received",
             EventKind::Ledger { .. } => "ledger",
@@ -300,17 +346,31 @@ mod tests {
                 duration_us: 120_000,
             },
             EventKind::ShutdownSent { round: 6 },
+            EventKind::SpanStart {
+                span: 3,
+                parent: 0,
+                name: "ring_reduce".into(),
+                round: 5,
+                device: 1,
+            },
+            EventKind::SpanEnd {
+                span: 3,
+                round: 5,
+                device: 1,
+            },
             EventKind::FrameSent {
                 src: 0,
                 dst: 4,
                 bytes: 17,
                 kind: "version_report".into(),
+                lamport: 9,
             },
             EventKind::FrameReceived {
                 src: 4,
                 dst: 0,
                 bytes: 21,
                 kind: "round_plan".into(),
+                lamport: 12,
             },
             EventKind::Ledger {
                 sent_bytes: 100,
@@ -324,6 +384,7 @@ mod tests {
                 seq: i as u64,
                 node: 0,
                 t_us: 1_000 * i as u64,
+                lam: i as u64 * 2,
                 kind,
             };
             let line = event.to_json().unwrap();
@@ -331,6 +392,22 @@ mod tests {
             let back = Event::from_json(&line).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    #[test]
+    fn pre_stamp_lines_still_parse() {
+        // A line written before the causal-stamp fields existed: no
+        // `lam` on the envelope, no `lamport` on the frame event. Both
+        // default to 0 — the schema addition is backward compatible.
+        let line = "{\"v\":1,\"seq\":7,\"node\":2,\"t_us\":500,\"kind\":{\"FrameSent\":\
+                    {\"src\":2,\"dst\":4,\"bytes\":17,\"kind\":\"version_report\"}}}";
+        let event = Event::from_json(line).unwrap();
+        assert_eq!(event.lam, 0);
+        let EventKind::FrameSent { lamport, bytes, .. } = event.kind else {
+            panic!("wrong kind");
+        };
+        assert_eq!(lamport, 0);
+        assert_eq!(bytes, 17);
     }
 
     #[test]

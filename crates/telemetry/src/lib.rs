@@ -28,10 +28,12 @@
 //! byte-identical JSONL.
 
 pub mod analyze;
+pub mod causal;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 
+pub use causal::LamportClock;
 pub use event::{Event, EventKind, SCHEMA_VERSION};
 pub use metrics::{serve_metrics, MetricsRegistry, MetricsServer, MetricsSink};
 pub use sink::{JsonlSink, RingBufferSink, SharedBuffer, Sink};
@@ -45,6 +47,10 @@ use parking_lot::Mutex;
 struct Inner {
     node: u32,
     seq: AtomicU64,
+    /// The node's Lamport clock. The transport port ticks it on send
+    /// and observes inbound stamps; `emit` reads it into every event's
+    /// `lam` field, so event order and frame stamps share one scale.
+    lamport: LamportClock,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
 }
 
@@ -91,8 +97,22 @@ impl Telemetry {
         Telemetry(Some(Arc::new(Inner {
             node,
             seq: AtomicU64::new(0),
+            lamport: LamportClock::new(),
             sinks: Mutex::new(sinks),
         })))
+    }
+
+    /// The node's Lamport clock — the transport port must tick this
+    /// exact clock on send and observe inbound frame stamps on it, so
+    /// its `FrameSent`/`FrameReceived` events and every actor event
+    /// land on one causal scale. A disabled handle returns a fresh
+    /// clock: the port still stamps frames correctly (receivers
+    /// max-merge whatever arrives) and nobody records the readings.
+    pub fn lamport_clock(&self) -> LamportClock {
+        match &self.0 {
+            Some(inner) => inner.lamport.clone(),
+            None => LamportClock::new(),
+        }
     }
 
     /// Whether events go anywhere. Guard expensive event construction
@@ -109,13 +129,26 @@ impl Telemetry {
     /// Stamps and fans out one event. `now` is the emitter's `Clock`
     /// reading — pass the same `now` your protocol step runs under and
     /// `ManualClock` runs stay deterministic.
+    ///
+    /// A `FrameSent` event takes its Lamport reading from the frame's
+    /// own stamp rather than the clock's current value: between the
+    /// send's `tick` and this emit, another thread (the heartbeat
+    /// loop, the reader observing an inbound stamp) may have advanced
+    /// the shared clock past what the receiver will merge to, which
+    /// would place the send *after* its own receive in the causal
+    /// merge. The stamp is the send's true logical time.
     pub fn emit(&self, now: Duration, kind: EventKind) {
         let Some(inner) = &self.0 else { return };
+        let lam = match &kind {
+            EventKind::FrameSent { lamport, .. } if *lamport > 0 => *lamport,
+            _ => inner.lamport.current(),
+        };
         let event = Event {
             v: SCHEMA_VERSION,
             seq: inner.seq.fetch_add(1, Ordering::SeqCst),
             node: inner.node,
             t_us: now.as_micros() as u64,
+            lam,
             kind,
         };
         let mut sinks = inner.sinks.lock();

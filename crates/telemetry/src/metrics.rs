@@ -193,6 +193,9 @@ pub struct MetricsSink {
     registry: Arc<MetricsRegistry>,
     // RingEnter timestamp per round, for the ring-phase histogram.
     ring_enter_us: BTreeMap<u32, u64>,
+    // Open spans by (node, span id) -> (segment name, start t_us), for
+    // the per-segment latency histograms.
+    open_spans: BTreeMap<(u32, u64), (String, u64)>,
 }
 
 impl MetricsSink {
@@ -201,6 +204,7 @@ impl MetricsSink {
         MetricsSink {
             registry,
             ring_enter_us: BTreeMap::new(),
+            open_spans: BTreeMap::new(),
         }
     }
 }
@@ -277,6 +281,21 @@ impl Sink for MetricsSink {
                 let peer = [("peer", src.to_string())];
                 reg.inc_counter("hadfl_recv_bytes_total", &peer, *bytes as f64);
                 reg.inc_counter("hadfl_recv_frames_total", &peer, 1.0);
+            }
+            EventKind::SpanStart { span, name, .. } => {
+                self.open_spans
+                    .insert((event.node, *span), (name.clone(), event.t_us));
+            }
+            EventKind::SpanEnd { span, .. } => {
+                if let Some((segment, started)) = self.open_spans.remove(&(event.node, *span)) {
+                    let secs = event.t_us.saturating_sub(started) as f64 / 1e6;
+                    reg.observe(
+                        "hadfl_segment_latency_seconds",
+                        &[("segment", segment)],
+                        secs,
+                        LATENCY_BUCKETS,
+                    );
+                }
             }
             _ => {}
         }
@@ -370,6 +389,7 @@ mod tests {
             seq: 0,
             node: 0,
             t_us,
+            lam: 0,
             kind,
         }
     }
@@ -407,6 +427,7 @@ mod tests {
                 dst: 2,
                 bytes: 100,
                 kind: "param_accum".into(),
+                lamport: 0,
             },
         ));
         let labels = [("device", "1".to_string())];
@@ -417,6 +438,96 @@ mod tests {
         assert!(text.contains("# TYPE hadfl_local_steps_total counter"));
         assert!(text.contains("hadfl_ring_phase_seconds_bucket"));
         assert!(text.contains("hadfl_ring_phase_seconds_count 1"));
+    }
+
+    #[test]
+    fn span_pairs_feed_segment_latency_histogram() {
+        let registry = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(Arc::clone(&registry));
+        sink.record(&event(
+            1_000,
+            EventKind::SpanStart {
+                span: 1,
+                parent: 0,
+                name: "ring_reduce".into(),
+                round: 1,
+                device: 0,
+            },
+        ));
+        // An end without a matching start is ignored.
+        sink.record(&event(
+            2_000,
+            EventKind::SpanEnd {
+                span: 99,
+                round: 1,
+                device: 0,
+            },
+        ));
+        sink.record(&event(
+            21_000,
+            EventKind::SpanEnd {
+                span: 1,
+                round: 1,
+                device: 0,
+            },
+        ));
+        let text = registry.render();
+        // 20 ms lands in the 0.02 bucket, inclusively.
+        assert!(
+            text.contains(
+                "hadfl_segment_latency_seconds_bucket{segment=\"ring_reduce\",le=\"0.02\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("hadfl_segment_latency_seconds_count{segment=\"ring_reduce\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let registry = MetricsRegistry::new();
+        // Exactly on a boundary counts in that bucket (le is <=).
+        registry.observe("h", &[], 0.001, LATENCY_BUCKETS);
+        // Past the largest finite bound: only +Inf counts it.
+        registry.observe("h", &[], 11.0, LATENCY_BUCKETS);
+        let text = registry.render();
+        assert!(text.contains("h_bucket{le=\"0.001\"} 1"), "{text}");
+        assert!(text.contains("h_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn histogram_sum_and_count_stay_consistent() {
+        let registry = MetricsRegistry::new();
+        let values = [0.004, 0.05, 0.3, 2.0];
+        for v in values {
+            registry.observe("h", &[], v, LATENCY_BUCKETS);
+        }
+        let text = registry.render();
+        let sum: f64 = values.iter().sum();
+        assert!(text.contains(&format!("h_sum {sum}")), "{text}");
+        assert!(text.contains("h_count 4"), "{text}");
+        // Cumulative buckets never decrease and end at count.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "{text}");
+            last = n;
+        }
+        assert_eq!(last, 4, "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_no_series() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(registry.render(), "");
+        // A counter series alone must not invent histogram output.
+        registry.inc_counter("hadfl_rounds_total", &[], 1.0);
+        let text = registry.render();
+        assert!(!text.contains("_bucket"), "{text}");
+        assert!(!text.contains("histogram"), "{text}");
     }
 
     #[test]

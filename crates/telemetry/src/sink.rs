@@ -186,6 +186,7 @@ mod tests {
             seq,
             node: 0,
             t_us: seq * 10,
+            lam: 0,
             kind: EventKind::DeviceStarted { device: 0 },
         }
     }

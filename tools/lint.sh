@@ -19,6 +19,14 @@
 #      prints bypass the sinks, garble node output parsed by tests,
 #      and cost formatting on every call even when nobody listens.
 #
+#   4. No raw frame construction outside `wire::seal`/`wire::open`.
+#      Every on-wire frame carries a causal stamp (origin + Lamport
+#      clock); a transport that calls `Message::encode`/`decode`
+#      directly ships an unstamped frame the causal merge cannot
+#      order. `encoded_len` (payload-ledger accounting) is exempt, as
+#      is `exec.rs`'s `digest_msg` (a model-checker digest, not a
+#      wire frame).
+#
 # Exit status: 0 clean, 1 any gate tripped.
 set -u
 
@@ -82,6 +90,31 @@ for f in $CLOCKED_FILES; do
     hits=$(grep -n 'println!\|eprintln!' "$f" | grep -v '^[0-9]*:[[:space:]]*//' || true)
     if [ -n "$hits" ]; then
         echo "lint: print macro in $f (emit a hadfl-telemetry event instead):"
+        echo "$hits" | sed "s|^|  $f:|"
+        status=1
+    fi
+done
+
+# ---- gate 4: raw frame construction outside seal/open -----------------------
+# The stamped frame helpers live in crates/core/src/wire.rs; the
+# transport layers must go through them. `encoded_len` only sizes the
+# payload for the NetStats ledger and does not build a frame.
+FRAME_FILES="crates/core/src/exec.rs crates/core/src/transport.rs crates/net/src/tcp.rs"
+for f in $FRAME_FILES; do
+    hits=$(awk '
+        {
+            line = $0
+            sub(/\/\/.*/, "", line)
+            if (match(line, /fn[ \t]+[A-Za-z_][A-Za-z0-9_]*/)) {
+                fname = substr(line, RSTART + 3, RLENGTH - 3)
+                gsub(/^[ \t]+/, "", fname)
+            }
+            if (line ~ /encoded_len/) next
+            if (line ~ /\.encode\(\)|::decode\(|\.decode\(/ && fname != "digest_msg")
+                printf "%d: raw frame construction in fn %s (use wire::seal / wire::open)\n", FNR, fname
+        }' "$f")
+    if [ -n "$hits" ]; then
+        echo "lint: unstamped frame in $f:"
         echo "$hits" | sed "s|^|  $f:|"
         status=1
     fi

@@ -185,6 +185,21 @@ pub fn __field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> 
     }
 }
 
+/// Looks up a `#[serde(default)]` struct field: an absent key yields
+/// `Default::default()` instead of an error (the schema-evolution
+/// behaviour real serde gives that attribute). Used by derived impls.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("{ty}.{key}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! serialize_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -12,15 +12,20 @@
 //! - enums with unit, tuple, and struct variants (externally tagged,
 //!   serde's default).
 //!
-//! Generics and `#[serde(...)]` attributes are not supported and panic
-//! at expansion time with a clear message.
+//! Generics are not supported and panic at expansion time with a
+//! clear message. Of serde's attribute vocabulary exactly one is
+//! honored — `#[serde(default)]` on a named field, which substitutes
+//! `Default::default()` for a missing key (the schema-evolution
+//! escape hatch real serde provides). Any other `#[serde(...)]`
+//! content is ignored by the parser, matching the stub's
+//! skip-attributes behaviour everywhere else.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving item.
 enum Item {
     /// `struct S { a: T, b: U }`
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// `struct S(T, U);` with the arity recorded.
     TupleStruct { name: String, arity: usize },
     /// `struct S;`
@@ -32,21 +37,28 @@ enum Item {
     },
 }
 
+/// One named field, with its `#[serde(default)]` marker.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// One enum variant.
 enum Variant {
     Unit(String),
     Tuple(String, usize),
-    Struct(String, Vec<String>),
+    Struct(String, Vec<Field>),
 }
 
 /// Derives `serde::Serialize` (value-tree flavour).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
         Item::Struct { name, fields } => {
             let mut pushes = String::new();
             for f in fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
                 ));
@@ -110,9 +122,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     Variant::Struct(vn, fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut pushes = String::new();
                         for f in fields {
+                            let f = &f.name;
                             pushes.push_str(&format!(
                                 "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
                             ));
@@ -140,15 +157,27 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated Serialize impl parses")
 }
 
+/// The accessor a named field deserializes through: strict lookup, or
+/// the default-substituting one for `#[serde(default)]` fields.
+fn field_accessor(f: &Field) -> &'static str {
+    if f.default {
+        "::serde::__field_or_default"
+    } else {
+        "::serde::__field"
+    }
+}
+
 /// Derives `serde::Deserialize` (value-tree flavour).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
         Item::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!("{f}: ::serde::__field(__obj, \"{f}\", \"{name}\")?,\n"));
+                let acc = field_accessor(f);
+                let f = &f.name;
+                inits.push_str(&format!("{f}: {acc}(__obj, \"{f}\", \"{name}\")?,\n"));
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -220,8 +249,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Variant::Struct(vn, fields) => {
                         let mut inits = String::new();
                         for f in fields {
+                            let acc = field_accessor(f);
+                            let f = &f.name;
                             inits.push_str(&format!(
-                                "{f}: ::serde::__field(__vobj, \"{f}\", \"{name}::{vn}\")?,\n"
+                                "{f}: {acc}(__vobj, \"{f}\", \"{name}::{vn}\")?,\n"
                             ));
                         }
                         keyed_arms.push_str(&format!(
@@ -321,14 +352,50 @@ fn skip_attrs_and_vis(trees: &[TokenTree], i: &mut usize) {
     }
 }
 
+/// Whether an attribute's bracket group is `serde(... default ...)`.
+fn attr_is_serde_default(trees: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(g)) = trees.get(i) else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let [TokenTree::Ident(path), TokenTree::Group(args)] = &inner[..] else {
+        return false;
+    };
+    path.to_string() == "serde"
+        && args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+}
+
 /// Extracts the field names of a named-field body, skipping types
-/// (tracking `<...>` nesting so generic arguments' commas don't split).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// (tracking `<...>` nesting so generic arguments' commas don't split)
+/// and noting `#[serde(default)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let trees: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < trees.len() {
-        skip_attrs_and_vis(&trees, &mut i);
+        // Inline attribute walk (instead of `skip_attrs_and_vis`) so
+        // a field's `#[serde(default)]` is seen before it is skipped.
+        let mut default = false;
+        loop {
+            match trees.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    default |= attr_is_serde_default(&trees, i + 1);
+                    i += 2; // `#` + bracket group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = trees.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // `pub(crate)` etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= trees.len() {
             break;
         }
@@ -354,7 +421,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(fname);
+        fields.push(Field {
+            name: fname,
+            default,
+        });
     }
     fields
 }
