@@ -104,5 +104,69 @@ fn bench_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tensor, bench_train_step, bench_algorithms);
+/// Thread-scaling sweep of the hot kernels: the same workload at 1, 2,
+/// and 4 worker threads via the `hadfl-par` override (`_tN` suffix).
+/// `tools/bench.sh` parses these names into `BENCH_5.json`, so the
+/// speedup at each thread count is a recorded artifact rather than a
+/// claim. On a single-core host the t2/t4 rows measure dispatch
+/// overhead, not speedup — the JSON keeps whatever the hardware gives.
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(20);
+    const THREADS: [usize; 3] = [1, 2, 4];
+
+    let mut rng = SeedStream::new(1);
+    let mut a = Tensor::zeros(&[64, 128]);
+    let mut b = Tensor::zeros(&[128, 64]);
+    for v in a.as_mut_slice() {
+        *v = rng.normal();
+    }
+    for v in b.as_mut_slice() {
+        *v = rng.normal();
+    }
+    for t in THREADS {
+        group.bench_function(&format!("matmul_64x128x64_t{t}"), |bch| {
+            bch.iter(|| {
+                hadfl_par::with_threads(t, || black_box(matmul(&a, &b).expect("shapes agree")))
+            });
+        });
+    }
+
+    let spec = SyntheticSpec::cifar_like();
+    let ds = Dataset::synthetic_cifar(64, &spec, 1).expect("valid spec");
+    let (x, y) = ds.batch(&(0..64).collect::<Vec<_>>()).expect("in range");
+    for t in THREADS {
+        let mut model =
+            models::by_name("resnet18_lite", &spec.sample_dims(), spec.classes, 1).expect("zoo");
+        let mut opt = Sgd::new(LrSchedule::constant(0.01), 0.9);
+        group.bench_function(&format!("train_step_cnn_t{t}"), |bch| {
+            bch.iter(|| {
+                hadfl_par::with_threads(t, || {
+                    black_box(model.train_step(&x, &y, &mut opt).expect("trains"))
+                })
+            });
+        });
+    }
+
+    let params: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32; 100_000]).collect();
+    let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
+    for t in THREADS {
+        group.bench_function(&format!("average_params_4x100k_t{t}"), |bch| {
+            bch.iter(|| {
+                hadfl_par::with_threads(t, || {
+                    black_box(average_params(&refs).expect("equal lengths"))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_train_step,
+    bench_algorithms,
+    bench_scaling
+);
 criterion_main!(benches);

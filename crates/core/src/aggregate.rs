@@ -43,15 +43,50 @@ pub fn average_params(params: &[&[f32]]) -> Result<Vec<f32>, HadflError> {
     }
     let scale = 1.0 / params.len() as f32;
     let mut out = vec![0.0f32; len];
-    for p in params {
-        for (o, &v) in out.iter_mut().zip(p.iter()) {
-            *o += v;
+    // Parallel over fixed element chunks; each element still sums the
+    // models in ascending order and scales last, exactly like the
+    // serial loop, so the merge is bit-identical at any thread count.
+    let work = (len as u64) * (params.len() as u64);
+    hadfl_par::plan(work).chunks_mut(&mut out, hadfl_par::F32_CHUNK, |chunk, ochunk| {
+        let base = chunk * hadfl_par::F32_CHUNK;
+        for p in params {
+            let pchunk = &p[base..base + ochunk.len()];
+            for (o, &v) in ochunk.iter_mut().zip(pchunk) {
+                *o += v;
+            }
         }
-    }
-    for o in &mut out {
-        *o *= scale;
-    }
+        for o in ochunk {
+            *o *= scale;
+        }
+    });
     Ok(out)
+}
+
+/// Elementwise `acc[i] += src[i]` — the running-sum step of the
+/// token-pass ring reduce, parallel over fixed element chunks.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accumulate_params(acc: &mut [f32], src: &[f32]) {
+    assert_eq!(acc.len(), src.len(), "accumulate length mismatch");
+    hadfl_par::par_chunks_mut(acc, hadfl_par::F32_CHUNK, |chunk, achunk| {
+        let base = chunk * hadfl_par::F32_CHUNK;
+        let schunk = &src[base..base + achunk.len()];
+        for (a, &s) in achunk.iter_mut().zip(schunk) {
+            *a += s;
+        }
+    });
+}
+
+/// Elementwise `params[i] *= k` — the final `1/n` normalization of the
+/// ring reduce, parallel over fixed element chunks.
+pub fn scale_params(params: &mut [f32], k: f32) {
+    hadfl_par::par_chunks_mut(params, hadfl_par::F32_CHUNK, |_, chunk| {
+        for p in chunk {
+            *p *= k;
+        }
+    });
 }
 
 /// Weighted elementwise average of parameter vectors — the Eq. (2)
@@ -100,13 +135,20 @@ pub fn weighted_average_params(params: &[&[f32]], weights: &[f64]) -> Result<Vec
         )));
     }
     let total: f64 = weights.iter().sum();
+    let scales: Vec<f32> = weights.iter().map(|&w| (w / total) as f32).collect();
     let mut out = vec![0.0f32; len];
-    for (p, &w) in params.iter().zip(weights) {
-        let scale = (w / total) as f32;
-        for (o, &v) in out.iter_mut().zip(p.iter()) {
-            *o += scale * v;
+    // Same chunking discipline as [`average_params`]: ascending model
+    // order per element, fixed chunk boundaries.
+    let work = (len as u64) * (params.len() as u64);
+    hadfl_par::plan(work).chunks_mut(&mut out, hadfl_par::F32_CHUNK, |chunk, ochunk| {
+        let base = chunk * hadfl_par::F32_CHUNK;
+        for (p, &scale) in params.iter().zip(&scales) {
+            let pchunk = &p[base..base + ochunk.len()];
+            for (o, &v) in ochunk.iter_mut().zip(pchunk) {
+                *o += scale * v;
+            }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -132,9 +174,13 @@ pub fn blend_params(local: &mut [f32], incoming: &[f32], beta: f32) -> Result<()
             "blend beta {beta} outside [0, 1]"
         )));
     }
-    for (l, &inc) in local.iter_mut().zip(incoming) {
-        *l = beta * inc + (1.0 - beta) * *l;
-    }
+    hadfl_par::par_chunks_mut(local, hadfl_par::F32_CHUNK, |chunk, lchunk| {
+        let base = chunk * hadfl_par::F32_CHUNK;
+        let ichunk = &incoming[base..base + lchunk.len()];
+        for (l, &inc) in lchunk.iter_mut().zip(ichunk) {
+            *l = beta * inc + (1.0 - beta) * *l;
+        }
+    });
     Ok(())
 }
 

@@ -460,10 +460,7 @@ fn finish_reduce<P: Port, T: TrainState>(
     tel: &Telemetry,
     now: Duration,
 ) -> Result<(), HadflError> {
-    let scale = 1.0 / hops as f32;
-    for a in &mut params {
-        *a *= scale;
-    }
+    crate::aggregate::scale_params(&mut params, 1.0 / hops as f32);
     train.set_params(&params)?;
     run.merged_done = true;
     tel.emit(
@@ -1319,9 +1316,7 @@ impl<T: TrainState> DeviceActor<T> {
                 } else {
                     ring.run.contributed = true;
                     let mine = self.train.params();
-                    for (a, m) in params.iter_mut().zip(&mine) {
-                        *a += m;
-                    }
+                    crate::aggregate::accumulate_params(&mut params, &mine);
                     let hops = hops + 1;
                     self.tel.emit(
                         now,

@@ -195,9 +195,54 @@ const TAG_FINAL_PARAMS: u8 = 14;
 
 fn put_params(buf: &mut BytesMut, params: &[f32]) {
     buf.put_u32_le(params.len() as u32);
+    put_f32s(buf, params);
+}
+
+/// Appends the raw little-endian `f32` payload in one bulk copy. On
+/// little-endian targets the in-memory float slice already *is* the
+/// wire representation, so encode is a `reserve` plus a single memcpy;
+/// elsewhere it falls back to per-float conversion. The byte layout is
+/// identical either way — and identical to the per-float loop this
+/// replaced, which the wire proptests pin down.
+fn put_f32s(buf: &mut BytesMut, params: &[f32]) {
+    buf.reserve(4 * params.len());
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `params` is an initialized `&[f32]`; every f32 bit
+        // pattern is a valid group of 4 bytes, so viewing the slice as
+        // `4 * len` bytes is sound. On a little-endian target those
+        // bytes are exactly the wire encoding.
+        let raw =
+            unsafe { std::slice::from_raw_parts(params.as_ptr().cast::<u8>(), 4 * params.len()) };
+        buf.extend_from_slice(raw);
+    }
+    #[cfg(not(target_endian = "little"))]
     for &p in params {
         buf.put_f32_le(p);
     }
+}
+
+/// Consumes `4 * len` bytes from `frame` and decodes them as
+/// little-endian `f32`s in one bulk copy (the caller has already
+/// bounds-checked). Inverse of [`put_f32s`].
+fn get_f32s(frame: &mut &[u8], len: usize) -> Vec<f32> {
+    let raw = frame.take_bytes(4 * len);
+    let mut params: Vec<f32> = Vec::with_capacity(len);
+    #[cfg(target_endian = "little")]
+    // SAFETY: `params` owns capacity for `len` f32s; `raw` holds
+    // `4 * len` initialized bytes whose little-endian layout matches
+    // the native f32 representation, and any bit pattern is a valid
+    // f32. The byte-wise copy has no alignment requirement on either
+    // side.
+    unsafe {
+        std::ptr::copy_nonoverlapping(raw.as_ptr(), params.as_mut_ptr().cast::<u8>(), 4 * len);
+        params.set_len(len);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for c in raw.chunks_exact(4) {
+        params.push(f32::from_le_bytes(c.try_into().expect("4 bytes")));
+    }
+    params
 }
 
 fn put_ids(buf: &mut BytesMut, ids: &[u32]) {
@@ -235,10 +280,7 @@ impl Message {
             Message::ParamSync { round, params } => {
                 buf.put_u8(TAG_PARAM_SYNC);
                 buf.put_u32_le(*round);
-                buf.put_u32_le(params.len() as u32);
-                for &p in params {
-                    buf.put_f32_le(p);
-                }
+                put_params(buf, params);
             }
             Message::VersionReport {
                 device,
@@ -391,10 +433,7 @@ impl Message {
                 let round = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
-                let mut params = Vec::with_capacity(len);
-                for _ in 0..len {
-                    params.push(frame.get_f32_le());
-                }
+                let params = get_f32s(&mut frame, len);
                 Message::ParamSync { round, params }
             }
             TAG_VERSION_REPORT => {
@@ -437,10 +476,7 @@ impl Message {
                 let head = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
-                let mut params = Vec::with_capacity(len);
-                for _ in 0..len {
-                    params.push(frame.get_f32_le());
-                }
+                let params = get_f32s(&mut frame, len);
                 if tag == TAG_PARAM_ACCUM {
                     Message::ParamAccum {
                         round,
@@ -499,10 +535,7 @@ impl Message {
                 let device = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
-                let mut params = Vec::with_capacity(len);
-                for _ in 0..len {
-                    params.push(frame.get_f32_le());
-                }
+                let params = get_f32s(&mut frame, len);
                 Message::FinalParams { device, params }
             }
             other => {

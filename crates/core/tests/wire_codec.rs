@@ -1,0 +1,215 @@
+//! Pins the bulk param codec to the historical per-float wire layout,
+//! and the parallel aggregation helpers to their serial references.
+//!
+//! The zero-copy encode/decode in `wire.rs` must be **byte-for-byte**
+//! identical to the per-float `put_f32_le` loop it replaced — the
+//! payload ledger, telemetry byte counts, and cross-version
+//! interoperability all assume the layout never moved.
+
+use bytes::{BufMut, BytesMut};
+use hadfl::aggregate::{
+    accumulate_params, average_params, blend_params, scale_params, weighted_average_params,
+};
+use hadfl::wire::{open, seal, CausalStamp, Message, STAMP_LEN};
+use hadfl_par::with_threads;
+use proptest::prelude::*;
+
+/// The pre-bulk-codec reference encoding: one tag byte, the fixed
+/// header fields, then `len` + each f32 written individually.
+fn reference_encode(msg: &Message) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    fn put_params_ref(buf: &mut BytesMut, params: &[f32]) {
+        buf.put_u32_le(params.len() as u32);
+        for &p in params {
+            buf.put_f32_le(p);
+        }
+    }
+    match msg {
+        Message::ParamSync { round, params } => {
+            buf.put_u8(1);
+            buf.put_u32_le(*round);
+            put_params_ref(&mut buf, params);
+        }
+        Message::ParamAccum {
+            round,
+            hops,
+            params,
+        } => {
+            buf.put_u8(7);
+            buf.put_u32_le(*round);
+            buf.put_u32_le(*hops);
+            put_params_ref(&mut buf, params);
+        }
+        Message::MergedParams { round, ttl, params } => {
+            buf.put_u8(8);
+            buf.put_u32_le(*round);
+            buf.put_u32_le(*ttl);
+            put_params_ref(&mut buf, params);
+        }
+        Message::FinalParams { device, params } => {
+            buf.put_u8(14);
+            buf.put_u32_le(*device);
+            put_params_ref(&mut buf, params);
+        }
+        other => panic!("reference encoder only covers param-carrying variants, got {other:?}"),
+    }
+    buf.freeze().to_vec()
+}
+
+fn param_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1e6f32..1e6, 0..300)
+}
+
+/// Overwrites a sample of entries with adversarial bit patterns —
+/// zeros of both signs, subnormals, infinities, NaN — so the codec is
+/// pinned on exactly the values a naive float round-trip would mangle.
+fn with_specials(mut v: Vec<f32>) -> Vec<f32> {
+    const SPECIALS: [f32; 6] = [
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+    ];
+    for (i, x) in v.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *x = SPECIALS[(i / 3) % SPECIALS.len()];
+        }
+    }
+    v
+}
+
+fn assert_param_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_codec_matches_per_float_reference(
+        round in 0u32..1000, head in 0u32..64, params in param_strategy(),
+    ) {
+        let params = with_specials(params);
+        let msgs = [
+            Message::ParamSync { round, params: params.clone() },
+            Message::ParamAccum { round, hops: head, params: params.clone() },
+            Message::MergedParams { round, ttl: head, params: params.clone() },
+            Message::FinalParams { device: head, params: params.clone() },
+        ];
+        for msg in msgs {
+            let frame = msg.encode();
+            prop_assert_eq!(
+                &frame[..],
+                &reference_encode(&msg)[..],
+                "bulk encode diverged from the per-float layout"
+            );
+            prop_assert_eq!(frame.len(), msg.encoded_len());
+            let back = Message::decode(&frame).unwrap();
+            let (a, b) = match (&msg, &back) {
+                (Message::ParamSync { params: a, .. }, Message::ParamSync { params: b, .. })
+                | (Message::ParamAccum { params: a, .. }, Message::ParamAccum { params: b, .. })
+                | (Message::MergedParams { params: a, .. }, Message::MergedParams { params: b, .. })
+                | (Message::FinalParams { params: a, .. }, Message::FinalParams { params: b, .. }) => (a, b),
+                other => panic!("variant changed in round-trip: {other:?}"),
+            };
+            assert_param_bits_eq(a, b);
+        }
+    }
+
+    #[test]
+    fn sealed_frames_keep_the_causal_envelope(
+        origin in 0u32..64, lamport in 0u64..1 << 40, params in param_strategy(),
+    ) {
+        let msg = Message::ParamSync { round: 3, params };
+        let stamp = CausalStamp { origin, lamport };
+        let frame = seal(stamp, &msg);
+        prop_assert_eq!(frame.len(), STAMP_LEN + msg.encoded_len());
+        prop_assert_eq!(&frame[STAMP_LEN..], &reference_encode(&msg)[..]);
+        let (back_stamp, back_msg) = open(&frame).unwrap();
+        prop_assert_eq!(back_stamp, stamp);
+        prop_assert_eq!(back_msg, msg);
+    }
+
+    #[test]
+    fn aggregation_bit_identical_across_threads(
+        seed in 0u64..1 << 16, models in 1usize..5, len in 0usize..400, beta in 0.0f32..1.0,
+    ) {
+        let mut rng = hadfl_tensor::SeedStream::new(seed);
+        let params: Vec<Vec<f32>> = (0..models)
+            .map(|_| (0..len).map(|_| rng.normal()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = params.iter().map(Vec::as_slice).collect();
+        let weights: Vec<f64> = (1..=models).map(|w| w as f64).collect();
+
+        let want_avg = with_threads(1, || average_params(&refs).unwrap());
+        let want_weighted = with_threads(1, || weighted_average_params(&refs, &weights).unwrap());
+        let want_blend = with_threads(1, || {
+            let mut local = params[0].clone();
+            blend_params(&mut local, &want_avg, beta).unwrap();
+            local
+        });
+        let want_ring = with_threads(1, || {
+            let mut acc = params[0].clone();
+            for p in &params[1..] {
+                accumulate_params(&mut acc, p);
+            }
+            scale_params(&mut acc, 1.0 / models as f32);
+            acc
+        });
+        for t in [2usize, 4] {
+            let avg = with_threads(t, || average_params(&refs).unwrap());
+            assert_param_bits_eq(&avg, &want_avg);
+            let weighted = with_threads(t, || weighted_average_params(&refs, &weights).unwrap());
+            assert_param_bits_eq(&weighted, &want_weighted);
+            let blend = with_threads(t, || {
+                let mut local = params[0].clone();
+                blend_params(&mut local, &want_avg, beta).unwrap();
+                local
+            });
+            assert_param_bits_eq(&blend, &want_blend);
+            let ring = with_threads(t, || {
+                let mut acc = params[0].clone();
+                for p in &params[1..] {
+                    accumulate_params(&mut acc, p);
+                }
+                scale_params(&mut acc, 1.0 / models as f32);
+                acc
+            });
+            assert_param_bits_eq(&ring, &want_ring);
+        }
+    }
+}
+
+/// The ring-reduce helpers must also equal the pre-parallel inline
+/// loops (`*a += m` then `*a *= scale`) bit-for-bit — the executor's
+/// merge results may not move.
+#[test]
+fn ring_helpers_match_inline_loops() {
+    let n = 100_001; // ragged: crosses an F32_CHUNK boundary
+    let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+    let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.29).cos()).collect();
+
+    let mut want = a.clone();
+    for (x, y) in want.iter_mut().zip(&b) {
+        *x += y;
+    }
+    let scale = 1.0 / 3.0f32;
+    for x in &mut want {
+        *x *= scale;
+    }
+
+    for t in [1usize, 2, 4] {
+        let got = with_threads(t, || {
+            let mut acc = a.clone();
+            accumulate_params(&mut acc, &b);
+            scale_params(&mut acc, scale);
+            acc
+        });
+        assert_param_bits_eq(&got, &want);
+    }
+}

@@ -91,38 +91,46 @@ impl Conv2d {
     }
 
     /// Transposes the `(rows, oc)` patch-major product into NCHW layout.
+    ///
+    /// Each image owns a disjoint `oc·ppi` window of the output, so
+    /// images parallelize with chunk boundaries fixed by the batch
+    /// layout alone — bit-identical at any thread count.
     fn patches_to_nchw(&self, prod: &Tensor, batch: usize) -> Tensor {
         let ppi = self.geom.patches_per_image();
         let oc = self.out_channels;
         let mut out = Tensor::zeros(&[batch, oc, self.geom.out_h, self.geom.out_w]);
         let src = prod.as_slice();
-        let dst = out.as_mut_slice();
         let bias = self.bias.as_slice();
-        for img in 0..batch {
+        let img_stride = oc * ppi;
+        let work = (batch as u64) * (img_stride as u64);
+        hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), img_stride.max(1), |img, dimg| {
             for p in 0..ppi {
                 let row = (img * ppi + p) * oc;
                 for c in 0..oc {
-                    dst[img * oc * ppi + c * ppi + p] = src[row + c] + bias[c];
+                    dimg[c * ppi + p] = src[row + c] + bias[c];
                 }
             }
-        }
+        });
         out
     }
 
-    /// Transposes an NCHW gradient into the `(rows, oc)` patch-major layout.
+    /// Transposes an NCHW gradient into the `(rows, oc)` patch-major
+    /// layout. Image-parallel like [`Conv2d::patches_to_nchw`].
     fn nchw_to_patches(&self, grad: &Tensor, batch: usize) -> Tensor {
         let ppi = self.geom.patches_per_image();
         let oc = self.out_channels;
         let mut out = Tensor::zeros(&[batch * ppi, oc]);
         let src = grad.as_slice();
-        let dst = out.as_mut_slice();
-        for img in 0..batch {
+        let img_stride = oc * ppi;
+        let work = (batch as u64) * (img_stride as u64);
+        hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), img_stride.max(1), |img, dimg| {
+            let sbase = img * img_stride;
             for c in 0..oc {
                 for p in 0..ppi {
-                    dst[(img * ppi + p) * oc + c] = src[img * oc * ppi + c * ppi + p];
+                    dimg[p * oc + c] = src[sbase + c * ppi + p];
                 }
             }
-        }
+        });
         out
     }
 }

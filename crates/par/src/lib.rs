@@ -1,0 +1,426 @@
+//! Deterministic scoped chunk-parallel compute substrate.
+//!
+//! HADFL's premise is that per-device computing power sets the local
+//! epoch budget `E_i`, yet a substrate whose kernels leave every core
+//! but one idle misrepresents exactly the quantity the algorithm
+//! schedules around. This crate makes the hot loops scale with cores
+//! *without* giving up the bit-exact determinism the protocol model
+//! checker and the byte-identical telemetry tests depend on.
+//!
+//! The contract (DESIGN.md §10):
+//!
+//! 1. **Fixed chunk boundaries.** Work is split into chunks whose
+//!    boundaries depend only on the problem size — never on the thread
+//!    count. A worker pool claims chunk *indices* from an atomic
+//!    counter, so which thread computes a chunk varies run to run, but
+//!    what each chunk computes never does.
+//! 2. **Disjoint writes or ordered combines.** Elementwise kernels
+//!    write disjoint output chunks (any schedule gives the same bytes);
+//!    reductions fold per-chunk partials in ascending chunk order on
+//!    the calling thread.
+//!
+//! Together these make every kernel's output a pure function of its
+//! inputs and the fixed chunk policy: running under `HADFL_THREADS=1`
+//! and `HADFL_THREADS=64` produces bit-identical floats.
+//!
+//! Thread count resolution: the [`with_threads`] thread-local override
+//! (tests), else the `HADFL_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`]. Parallel dispatch uses
+//! `std::thread::scope`, so borrowed inputs need no `'static` bounds
+//! and a panicking chunk propagates to the caller.
+//!
+//! # Example
+//!
+//! ```
+//! use hadfl_par::{plan, with_threads};
+//!
+//! let mut data = vec![1.0f32; 10_000];
+//! // Same bytes at any thread count: chunk boundaries are fixed.
+//! with_threads(4, || {
+//!     plan(data.len() as u64).chunks_mut(&mut data, 4096, |_idx, chunk| {
+//!         for v in chunk {
+//!             *v *= 2.0;
+//!         }
+//!     });
+//! });
+//! assert!(data.iter().all(|&v| v == 2.0));
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Below this many scalar operations a parallel region is not worth
+/// the `thread::scope` spawn cost and runs serially (unless a
+/// [`with_threads`] override forces the parallel path for testing).
+pub const PAR_WORK_THRESHOLD: u64 = 64 * 1024;
+
+static MAX_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Test override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set while running as a pool worker: nested kernels stay serial
+    /// instead of multiplying thread counts.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The process-wide worker budget: `HADFL_THREADS` if set to a
+/// positive integer, else the machine's available parallelism.
+/// Resolved once and cached.
+pub fn max_threads() -> usize {
+    *MAX_THREADS.get_or_init(|| {
+        std::env::var("HADFL_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The thread count parallel regions started from this thread will
+/// use: the [`with_threads`] override if one is active, else
+/// [`max_threads`]. Inside a pool worker this is always 1 (no nested
+/// fan-out).
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    OVERRIDE.with(Cell::get).unwrap_or_else(max_threads)
+}
+
+/// Runs `f` with the calling thread's parallelism pinned to `n`,
+/// restoring the previous setting afterwards (panic-safe).
+///
+/// Intended for determinism tests: the override also bypasses the
+/// [`PAR_WORK_THRESHOLD`] serial cutoff, so small inputs genuinely
+/// exercise the parallel path. The override is thread-local —
+/// concurrent tests cannot race each other.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            OVERRIDE.with(|o| o.set(prev));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Number of fixed-size chunks covering `len` elements.
+pub fn chunk_count(len: usize, chunk_len: usize) -> usize {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    len.div_ceil(chunk_len)
+}
+
+/// A dispatch decision for one parallel region: how many workers the
+/// region will use, given its estimated scalar-operation count.
+#[derive(Debug, Clone, Copy)]
+pub struct Plan {
+    workers: usize,
+}
+
+/// Sizes a parallel region: serial when only one thread is configured
+/// or the region is too small to amortize thread spawns, the full
+/// [`current_threads`] otherwise. A [`with_threads`] override skips
+/// the size cutoff so tests can force the parallel path.
+pub fn plan(work: u64) -> Plan {
+    let t = current_threads();
+    let forced = OVERRIDE.with(Cell::get).is_some() && !IN_WORKER.with(Cell::get);
+    if t <= 1 || (!forced && work < PAR_WORK_THRESHOLD) {
+        Plan { workers: 1 }
+    } else {
+        Plan { workers: t }
+    }
+}
+
+impl Plan {
+    /// `true` when this region will run entirely on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.workers <= 1
+    }
+
+    /// Runs `task(i)` for every `i in 0..n_tasks`, distributing task
+    /// indices over the workers via an atomic claim counter. Tasks must
+    /// be independent; any two schedules produce the same outputs
+    /// because outputs are a function of the index alone.
+    pub fn run(&self, n_tasks: usize, task: impl Fn(usize) + Sync) {
+        let w = self.workers.min(n_tasks);
+        if w <= 1 {
+            for i in 0..n_tasks {
+                task(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let task_ref: &(dyn Fn(usize) + Sync) = &task;
+        std::thread::scope(|scope| {
+            for _ in 1..w {
+                let next = &next;
+                scope.spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    drain(next, n_tasks, task_ref);
+                    IN_WORKER.with(|f| f.set(false));
+                });
+            }
+            drain(&next, n_tasks, task_ref);
+        });
+    }
+
+    /// Splits `data` into fixed `chunk_len`-sized chunks (the last may
+    /// be ragged) and runs `f(chunk_index, chunk)` on each. Chunks are
+    /// disjoint `&mut` windows, so the result is byte-identical to the
+    /// serial loop regardless of worker count or schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let len = data.len();
+        let n_chunks = chunk_count(len, chunk_len);
+        if self.is_serial() || n_chunks <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let base = SendPtr(data.as_mut_ptr());
+        self.run(n_chunks, |i| {
+            // Capture the `SendPtr` wrapper itself (not the raw-pointer
+            // field, which edition-2021 closures would otherwise pick).
+            let base = &base;
+            let start = i * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: chunk `i` covers exactly [start, end) with
+            // `start = i * chunk_len`, so chunks for distinct indices
+            // never overlap, each index is claimed exactly once by the
+            // atomic counter in `run`, and `data` outlives the scoped
+            // workers. Disjoint `&mut` reborrows of one live `&mut [T]`
+            // are therefore sound.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            f(i, chunk);
+        });
+    }
+
+    /// Computes `f(i)` for `i in 0..n` and returns the results in index
+    /// order.
+    pub fn map_collect<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        self.chunks_mut(&mut out, 1, |i, slot| slot[0] = Some(f(i)));
+        out.into_iter()
+            .map(|r| r.expect("every task index runs exactly once"))
+            .collect()
+    }
+
+    /// Maps every chunk index to a partial result, then folds the
+    /// partials **in ascending chunk order** on the calling thread —
+    /// the deterministic-combine half of the substrate contract.
+    /// Returns `None` when `n == 0`.
+    pub fn reduce<R: Send>(
+        &self,
+        n: usize,
+        map: impl Fn(usize) -> R + Sync,
+        mut fold: impl FnMut(R, R) -> R,
+    ) -> Option<R> {
+        let mut partials = self.map_collect(n, map).into_iter();
+        let first = partials.next()?;
+        Some(partials.fold(first, &mut fold))
+    }
+}
+
+fn drain(next: &AtomicUsize, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n_tasks {
+            return;
+        }
+        task(i);
+    }
+}
+
+/// Raw-pointer wrapper so disjoint chunk addresses can cross the
+/// scoped-thread boundary.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+// SAFETY: the pointer is only dereferenced through the disjoint-chunk
+// protocol in `chunks_mut`, which hands each worker a non-overlapping
+// window of a `&mut [T]` that outlives the scope.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Elementwise convenience: fixed `chunk_len` windows of `data`, work
+/// estimated as one operation per element.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    plan(data.len() as u64).chunks_mut(data, chunk_len, f);
+}
+
+/// Task-level convenience: `n` independent tasks assumed individually
+/// heavy enough to parallelize whenever more than one thread is
+/// configured.
+pub fn par_map_collect<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    plan(u64::MAX).map_collect(n, f)
+}
+
+/// Reduction convenience over `n` chunks: partials fold in ascending
+/// chunk order. Returns `None` when `n == 0`.
+pub fn par_reduce<R: Send>(
+    n: usize,
+    work: u64,
+    map: impl Fn(usize) -> R + Sync,
+    fold: impl FnMut(R, R) -> R,
+) -> Option<R> {
+    plan(work).reduce(n, map, fold)
+}
+
+/// The fixed chunk length every elementwise f32 kernel in the
+/// workspace uses. Reductions built on this chunking (`dot`, `sum`,
+/// `norm_l2`) are deterministic at any thread count because the chunk
+/// boundaries — and therefore the float-addition association — depend
+/// only on the input length.
+pub const F32_CHUNK: usize = 32 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_count_covers_ragged_tails() {
+        assert_eq!(chunk_count(0, 4), 0);
+        assert_eq!(chunk_count(1, 4), 1);
+        assert_eq!(chunk_count(4, 4), 1);
+        assert_eq!(chunk_count(5, 4), 2);
+        assert_eq!(chunk_count(8, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        chunk_count(3, 0);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(7, || {
+            assert_eq!(current_threads(), 7);
+            with_threads(2, || assert_eq!(current_threads(), 2));
+            assert_eq!(current_threads(), 7);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn override_restored_after_panic() {
+        let outer = current_threads();
+        let caught = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn small_work_stays_serial_without_override() {
+        assert!(plan(PAR_WORK_THRESHOLD - 1).is_serial() || max_threads() == 1);
+        // An override forces the parallel path even for tiny work.
+        with_threads(4, || assert_eq!(plan(1).workers, 4));
+    }
+
+    #[test]
+    fn chunks_mut_is_identical_across_thread_counts() {
+        let make = || (0..10_001).map(|i| i as f32).collect::<Vec<f32>>();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut data = make();
+                plan(u64::MAX).chunks_mut(&mut data, 97, |idx, chunk| {
+                    for (off, v) in chunk.iter_mut().enumerate() {
+                        *v = v.mul_add(1.5, (idx * 97 + off) as f32);
+                    }
+                });
+                data
+            })
+        };
+        let serial = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(serial, run(t), "thread count {t}");
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_index_order() {
+        let got = with_threads(4, || plan(u64::MAX).map_collect(100, |i| i * i));
+        assert_eq!(got, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_folds_in_chunk_order() {
+        // String concatenation is order-sensitive: any out-of-order
+        // combine would scramble it.
+        let got = with_threads(4, || {
+            plan(u64::MAX).reduce(
+                26,
+                |i| ((b'a' + i as u8) as char).to_string(),
+                |a, b| a + &b,
+            )
+        });
+        assert_eq!(got.as_deref(), Some("abcdefghijklmnopqrstuvwxyz"));
+        assert_eq!(plan(0).reduce(0, |_| 0u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        with_threads(8, || {
+            plan(u64::MAX).run(1000, |i| {
+                hits.fetch_add(1 + i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000 + 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                plan(u64::MAX).run(16, |i| {
+                    if i == 7 {
+                        panic!("chunk 7 failed");
+                    }
+                });
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_regions_stay_serial_inside_workers() {
+        with_threads(4, || {
+            plan(u64::MAX).run(8, |_| {
+                // Inside a worker the nested plan must not fan out again.
+                assert_eq!(current_threads(), 1);
+                assert!(plan(u64::MAX).is_serial());
+            });
+        });
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let mut empty: Vec<f32> = Vec::new();
+        par_chunks_mut(&mut empty, 8, |_, _| panic!("no chunks expected"));
+        assert!(par_map_collect(0, |i| i).is_empty());
+    }
+}

@@ -120,20 +120,29 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
         });
     }
     let n = dims[0];
-    let rows = n * geom.patches_per_image();
+    let ppi = geom.patches_per_image();
+    let rows = n * ppi;
     let cols = geom.patch_len();
     let mut out = Tensor::zeros(&[rows, cols]);
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
     let (ih, iw, k, s, p) = (geom.in_h, geom.in_w, geom.kernel, geom.stride, geom.padding);
     let chan_stride = ih * iw;
     let img_stride = geom.in_channels * chan_stride;
+    let ow = geom.out_w;
 
-    let mut row = 0;
-    for img in 0..n {
-        for oy in 0..geom.out_h {
-            for ox in 0..geom.out_w {
-                let base = row * cols;
+    // Patch rows are disjoint output windows, so they split into fixed
+    // row chunks (boundaries independent of the thread count) whose
+    // fills commute — bit-identical at any parallelism.
+    let work = (rows as u64) * (cols as u64);
+    hadfl_par::plan(work).chunks_mut(
+        out.as_mut_slice(),
+        ROW_CHUNK * cols.max(1),
+        |chunk, dchunk| {
+            let row0 = chunk * ROW_CHUNK;
+            for (r, drow) in dchunk.chunks_mut(cols).enumerate() {
+                let row = row0 + r;
+                let (img, patch) = (row / ppi, row % ppi);
+                let (oy, ox) = (patch / ow, patch % ow);
                 let mut col = 0;
                 for c in 0..geom.in_channels {
                     let cbase = img * img_stride + c * chan_stride;
@@ -142,18 +151,21 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
                         for kx in 0..k {
                             let x = (ox * s + kx) as isize - p as isize;
                             if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
-                                dst[base + col] = src[cbase + y as usize * iw + x as usize];
+                                drow[col] = src[cbase + y as usize * iw + x as usize];
                             }
                             col += 1;
                         }
                     }
                 }
-                row += 1;
             }
-        }
-    }
+        },
+    );
     Ok(out)
 }
+
+/// Fixed patch rows per parallel chunk in [`im2col`] — a constant of
+/// the kernel, never derived from the thread count.
+const ROW_CHUNK: usize = 32;
 
 /// Folds a patch-matrix gradient back onto the NCHW input gradient —
 /// the adjoint of [`im2col`]. Overlapping patches accumulate.
@@ -174,34 +186,37 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Result<Tens
     }
     let mut out = Tensor::zeros(&[batch, geom.in_channels, geom.in_h, geom.in_w]);
     let src = cols.as_slice();
-    let dst = out.as_mut_slice();
     let (ih, iw, k, s, p) = (geom.in_h, geom.in_w, geom.kernel, geom.stride, geom.padding);
     let chan_stride = ih * iw;
     let img_stride = geom.in_channels * chan_stride;
+    let ppi = geom.patches_per_image();
+    let ow = geom.out_w;
 
-    let mut row = 0;
-    for img in 0..batch {
-        for oy in 0..geom.out_h {
-            for ox in 0..geom.out_w {
-                let base = row * want_cols;
-                let mut col = 0;
-                for c in 0..geom.in_channels {
-                    let cbase = img * img_stride + c * chan_stride;
-                    for ky in 0..k {
-                        let y = (oy * s + ky) as isize - p as isize;
-                        for kx in 0..k {
-                            let x = (ox * s + kx) as isize - p as isize;
-                            if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
-                                dst[cbase + y as usize * iw + x as usize] += src[base + col];
-                            }
-                            col += 1;
+    // Overlapping patches accumulate *within* an image but never
+    // across images, so the image is the natural disjoint chunk; the
+    // per-image accumulation order (patch-major, ascending) is the
+    // scalar reference order regardless of thread count.
+    let work = (batch as u64) * (ppi as u64) * (want_cols as u64);
+    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), img_stride, |img, dimg| {
+        for patch in 0..ppi {
+            let (oy, ox) = (patch / ow, patch % ow);
+            let base = (img * ppi + patch) * want_cols;
+            let mut col = 0;
+            for c in 0..geom.in_channels {
+                let cbase = c * chan_stride;
+                for ky in 0..k {
+                    let y = (oy * s + ky) as isize - p as isize;
+                    for kx in 0..k {
+                        let x = (ox * s + kx) as isize - p as isize;
+                        if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
+                            dimg[cbase + y as usize * iw + x as usize] += src[base + col];
                         }
+                        col += 1;
                     }
                 }
-                row += 1;
             }
         }
-    }
+    });
     Ok(out)
 }
 

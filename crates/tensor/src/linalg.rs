@@ -1,12 +1,50 @@
 //! Dense matrix kernels: plain, transposed-operand, and outer products.
 //!
-//! The matmul kernels use an ikj loop order so the innermost loop streams
-//! both the output row and the `b` row contiguously; that is enough to keep
-//! the lite CNN workloads in this repo CPU-bound rather than cache-bound
-//! without bringing in a BLAS.
+//! The kernels are register-blocked and row-parallel: output rows are
+//! split into fixed [`ROW_BAND`]-row bands dispatched through
+//! `hadfl-par`, and within a row the inner product accumulates into a
+//! register tile instead of round-tripping the output row through
+//! memory on every `k`. Per output element the floating-point
+//! additions happen in strictly increasing `k` order — the same
+//! association as the naive ikj scalar loop — so results are
+//! bit-identical to the scalar reference at any thread count (the
+//! determinism contract of DESIGN.md §10).
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
+
+/// Fixed number of output rows per parallel band. A function of the
+/// problem shape only — never of the thread count — so the work
+/// decomposition (and thus the result) is independent of parallelism.
+const ROW_BAND: usize = 8;
+
+/// Register-tile width: output columns accumulated in registers at a
+/// time within one row.
+const COL_TILE: usize = 16;
+
+/// `out_row[j_tile] = Σ_k a[i,k]·b[k,j]` for one output row, with the
+/// accumulators held in a [`COL_TILE`]-wide register tile. Additions
+/// per element occur in ascending `k`, skipping `a[i,k] == 0.0` — the
+/// exact operation sequence of the scalar ikj reference.
+#[inline]
+fn row_times_matrix(arow: &[f32], bv: &[f32], orow: &mut [f32], n: usize) {
+    let mut jt = 0;
+    while jt < n {
+        let tile = (n - jt).min(COL_TILE);
+        let mut acc = [0.0f32; COL_TILE];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[k * n + jt..k * n + jt + tile];
+            for (a, &bkj) in acc[..tile].iter_mut().zip(brow) {
+                *a += aik * bkj;
+            }
+        }
+        orow[jt..jt + tile].copy_from_slice(&acc[..tile]);
+        jt += tile;
+    }
+}
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize), TensorError> {
     if t.dims().len() != 2 {
@@ -51,20 +89,14 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        for k in 0..ka {
-            let aik = av[i * ka + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[k * n..(k + 1) * n];
-            let orow = &mut ov[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aik * bkj;
-            }
+    let work = (m as u64) * (ka as u64) * (n as u64);
+    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
+        let i0 = band * ROW_BAND;
+        for (r, orow) in oband.chunks_mut(n).enumerate() {
+            let i = i0 + r;
+            row_times_matrix(&av[i * ka..(i + 1) * ka], bv, orow, n);
         }
-    }
+    });
     Ok(out)
 }
 
@@ -89,20 +121,24 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
-    let ov = out.as_mut_slice();
-    for k in 0..ka {
-        let arow = &av[k * m..(k + 1) * m];
-        let brow = &bv[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut ov[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aki * bkj;
+    let work = (m as u64) * (ka as u64) * (n as u64);
+    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
+        let i0 = band * ROW_BAND;
+        let rows = oband.len() / n.max(1);
+        for k in 0..ka {
+            let arow = &av[k * m + i0..k * m + i0 + rows];
+            let brow = &bv[k * n..(k + 1) * n];
+            for (r, &aki) in arow.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let orow = &mut oband[r * n..(r + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o += aki * bkj;
+                }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -126,18 +162,21 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bv[j * ka..(j + 1) * ka];
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
+    let work = (m as u64) * (ka as u64) * (n as u64);
+    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
+        let i0 = band * ROW_BAND;
+        for (r, orow) in oband.chunks_mut(n).enumerate() {
+            let arow = &av[(i0 + r) * ka..(i0 + r + 1) * ka];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bv[j * ka..(j + 1) * ka];
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
             }
-            ov[i * n + j] = acc;
         }
-    }
+    });
     Ok(out)
 }
 

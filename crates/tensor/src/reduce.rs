@@ -14,7 +14,8 @@ use crate::tensor::Tensor;
 /// assert_eq!(sum(&t), 6.0);
 /// ```
 pub fn sum(t: &Tensor) -> f32 {
-    t.as_slice().iter().sum()
+    let v = t.as_slice();
+    crate::tensor::chunked_sum(v.len(), |lo, hi| v[lo..hi].iter().sum())
 }
 
 /// Arithmetic mean of all elements.
@@ -77,20 +78,28 @@ pub fn log_softmax_rows(t: &Tensor) -> Result<Tensor, TensorError> {
     let (rows, cols) = (t.dims()[0], t.dims()[1]);
     let mut out = t.clone();
     let data = out.as_mut_slice();
-    for r in 0..rows {
-        let row = &mut data[r * cols..(r + 1) * cols];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f32;
-        for v in row.iter() {
-            denom += (v - max).exp();
+    // Rows are independent, so fixed row chunks parallelize without
+    // changing any per-row operation order.
+    let work = (rows as u64) * (cols as u64);
+    hadfl_par::plan(work).chunks_mut(data, SOFTMAX_ROW_CHUNK * cols.max(1), |_, dchunk| {
+        for row in dchunk.chunks_mut(cols.max(1)) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for v in row.iter() {
+                denom += (v - max).exp();
+            }
+            let log_denom = denom.ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_denom;
+            }
         }
-        let log_denom = denom.ln() + max;
-        for v in row.iter_mut() {
-            *v -= log_denom;
-        }
-    }
+    });
     Ok(out)
 }
+
+/// Fixed matrix rows per parallel chunk in [`log_softmax_rows`] — a
+/// constant of the kernel, never derived from the thread count.
+const SOFTMAX_ROW_CHUNK: usize = 16;
 
 #[cfg(test)]
 mod tests {

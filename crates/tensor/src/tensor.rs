@@ -244,9 +244,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn add_assign_t(&mut self, rhs: &Tensor) -> Result<(), TensorError> {
         self.check_same_shape(rhs, "add_assign")?;
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        zip_chunks(&mut self.data, &rhs.data, |a, &b| *a += b);
         Ok(())
     }
 
@@ -257,9 +255,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn sub_assign_t(&mut self, rhs: &Tensor) -> Result<(), TensorError> {
         self.check_same_shape(rhs, "sub_assign")?;
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a -= b;
-        }
+        zip_chunks(&mut self.data, &rhs.data, |a, &b| *a -= b);
         Ok(())
     }
 
@@ -270,22 +266,24 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn axpy(&mut self, k: f32, rhs: &Tensor) -> Result<(), TensorError> {
         self.check_same_shape(rhs, "axpy")?;
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += k * b;
-        }
+        zip_chunks(&mut self.data, &rhs.data, |a, &b| *a += k * b);
         Ok(())
     }
 
     /// In-place `self *= k`.
     pub fn scale_inplace(&mut self, k: f32) {
-        for a in &mut self.data {
-            *a *= k;
-        }
+        hadfl_par::par_chunks_mut(&mut self.data, hadfl_par::F32_CHUNK, |_, chunk| {
+            for a in chunk {
+                *a *= k;
+            }
+        });
     }
 
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|a| *a = 0.0);
+        hadfl_par::par_chunks_mut(&mut self.data, hadfl_par::F32_CHUNK, |_, chunk| {
+            chunk.fill(0.0);
+        });
     }
 
     /// Applies `f` to every element, allocating a new tensor.
@@ -311,18 +309,55 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
         self.check_same_shape(rhs, "dot")?;
-        Ok(self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum())
+        let (a, b) = (&self.data, &rhs.data);
+        Ok(chunked_sum(a.len(), |lo, hi| {
+            a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum()
+        }))
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm_l2(&self) -> f32 {
-        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+        let a = &self.data;
+        chunked_sum(a.len(), |lo, hi| a[lo..hi].iter().map(|x| x * x).sum()).sqrt()
     }
 
     /// Returns `true` if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|a| !a.is_finite())
     }
+}
+
+/// Applies `f` to aligned element pairs of `dst` and `src` through the
+/// parallel plan. Chunk boundaries sit at fixed [`hadfl_par::F32_CHUNK`]
+/// multiples regardless of thread count and every element is written
+/// exactly once, so the result is bit-identical at any parallelism.
+fn zip_chunks(dst: &mut [f32], src: &[f32], f: impl Fn(&mut f32, &f32) + Sync) {
+    hadfl_par::par_chunks_mut(dst, hadfl_par::F32_CHUNK, |chunk, dchunk| {
+        let base = chunk * hadfl_par::F32_CHUNK;
+        let schunk = &src[base..base + dchunk.len()];
+        for (a, b) in dchunk.iter_mut().zip(schunk) {
+            f(a, b);
+        }
+    });
+}
+
+/// Chunked sum reduction: `partial(lo, hi)` produces the serial sum of
+/// one fixed [`hadfl_par::F32_CHUNK`]-sized window and the window
+/// partials fold in ascending chunk order. The association is the same
+/// at every thread count — including one — so the reduction is
+/// thread-count-invariant by construction.
+pub(crate) fn chunked_sum(len: usize, partial: impl Fn(usize, usize) -> f32 + Sync) -> f32 {
+    let n = hadfl_par::chunk_count(len, hadfl_par::F32_CHUNK);
+    hadfl_par::par_reduce(
+        n,
+        len as u64,
+        |c| {
+            let lo = c * hadfl_par::F32_CHUNK;
+            partial(lo, (lo + hadfl_par::F32_CHUNK).min(len))
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 impl Default for Tensor {

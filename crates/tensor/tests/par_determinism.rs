@@ -1,0 +1,277 @@
+//! Determinism contract tests for the parallel tensor kernels
+//! (DESIGN.md §10): every kernel must be **bit-identical** to its
+//! naive serial reference at any thread count, including ragged chunk
+//! tails, empty tensors, and degenerate 1×N / N×1 shapes.
+//!
+//! The [`hadfl_par::with_threads`] override forces the parallel path
+//! even for tiny inputs (it bypasses the work-size cutoff), so these
+//! shapes genuinely exercise multi-chunk dispatch.
+
+use hadfl_par::with_threads;
+use hadfl_tensor::{
+    col2im, im2col, log_softmax_rows, matmul, matmul_a_bt, matmul_at_b, sum, Conv2dGeometry, Tensor,
+};
+use proptest::prelude::*;
+
+/// Thread counts every kernel is checked under; 1 is the serial
+/// reference path, the rest exercise real worker dispatch.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Naive scalar matmul: per output element, additions in ascending `k`
+/// with the `a[i,k] == 0` skip — the reference operation order the
+/// parallel kernel must reproduce exactly.
+fn matmul_ref(av: &[f32], bv: &[f32], m: usize, ka: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..ka {
+                let aik = av[i * ka + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                acc += aik * bv[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn matmul_at_b_ref(av: &[f32], bv: &[f32], ka: usize, m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..ka {
+                let aki = av[k * m + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                acc += aki * bv[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn matmul_a_bt_ref(av: &[f32], bv: &[f32], m: usize, ka: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..ka {
+                acc += av[i * ka + k] * bv[j * ka + k];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn vals(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, len)
+}
+
+/// Sprinkles exact zeros of both signs over generated values so the
+/// zero-skip fast path (and its ±0.0 edge cases) is exercised.
+fn with_zeros(mut v: Vec<f32>) -> Vec<f32> {
+    for (i, x) in v.iter_mut().enumerate() {
+        if i % 5 == 0 {
+            *x = 0.0;
+        } else if i % 7 == 0 {
+            *x = -0.0;
+        }
+    }
+    v
+}
+
+fn tensor2(data: Vec<f32>, r: usize, c: usize) -> Tensor {
+    Tensor::from_vec(data, &[r, c]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_bit_identical_across_threads(
+        m in 0usize..12, ka in 0usize..12, n in 0usize..20, seed in 0u64..1 << 16,
+    ) {
+        let mut rng = hadfl_tensor::SeedStream::new(seed);
+        let av: Vec<f32> = (0..m * ka).map(|_| rng.normal()).collect();
+        let bv: Vec<f32> = (0..ka * n).map(|_| rng.normal()).collect();
+        let want = matmul_ref(&av, &bv, m, ka, n);
+        let (a, b) = (tensor2(av, m, ka), tensor2(bv, ka, n));
+        for t in THREADS {
+            let got = with_threads(t, || matmul(&a, &b).unwrap());
+            prop_assert_eq!(
+                bits(&got),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul {}x{}x{} at {} threads",
+                m, ka, n, t
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_matmuls_bit_identical_across_threads(
+        m in 0usize..10, ka in 0usize..10, n in 0usize..10, av in vals(100), bv in vals(100),
+    ) {
+        let (av, bv) = (with_zeros(av), with_zeros(bv));
+        let at = tensor2(av[..ka * m].to_vec(), ka, m);
+        let b = tensor2(bv[..ka * n].to_vec(), ka, n);
+        let want_at = matmul_at_b_ref(at.as_slice(), b.as_slice(), ka, m, n);
+        let a = tensor2(av[..m * ka].to_vec(), m, ka);
+        let bt = tensor2(bv[..n * ka].to_vec(), n, ka);
+        let want_bt = matmul_a_bt_ref(a.as_slice(), bt.as_slice(), m, ka, n);
+        for t in THREADS {
+            let got_at = with_threads(t, || matmul_at_b(&at, &b).unwrap());
+            prop_assert_eq!(bits(&got_at), want_at.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+            let got_bt = with_threads(t, || matmul_a_bt(&a, &bt).unwrap());
+            prop_assert_eq!(bits(&got_bt), want_bt.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_bit_identical_across_threads(
+        batch in 1usize..4, k in 1usize..4, s in 1usize..3, p in 0usize..2, seed in 0u64..1 << 16,
+    ) {
+        let geom = match Conv2dGeometry::new(2, 6, 5, k, s, p) {
+            Ok(g) => g,
+            Err(_) => return Ok(()),
+        };
+        let mut rng = hadfl_tensor::SeedStream::new(seed);
+        let mut x = Tensor::zeros(&[batch, 2, 6, 5]);
+        for v in x.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let mut g = Tensor::zeros(&[batch * geom.patches_per_image(), geom.patch_len()]);
+        for v in g.as_mut_slice() {
+            *v = rng.normal();
+        }
+        let want_cols = with_threads(1, || im2col(&x, &geom).unwrap());
+        let want_img = with_threads(1, || col2im(&g, &geom, batch).unwrap());
+        for t in THREADS {
+            let cols = with_threads(t, || im2col(&x, &geom).unwrap());
+            prop_assert_eq!(bits(&cols), bits(&want_cols), "im2col at {} threads", t);
+            let img = with_threads(t, || col2im(&g, &geom, batch).unwrap());
+            prop_assert_eq!(bits(&img), bits(&want_img), "col2im at {} threads", t);
+        }
+    }
+
+    #[test]
+    fn elementwise_and_reductions_bit_identical_across_threads(
+        len in 0usize..200, k in -4.0f32..4.0, seed in 0u64..1 << 16,
+    ) {
+        let mut rng = hadfl_tensor::SeedStream::new(seed);
+        let xs: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+        let ys: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+        let x = Tensor::from_vec(xs, &[len]).unwrap();
+        let y = Tensor::from_vec(ys, &[len]).unwrap();
+
+        let want_add = with_threads(1, || {
+            let mut a = x.clone();
+            a.add_assign_t(&y).unwrap();
+            a
+        });
+        let want_axpy = with_threads(1, || {
+            let mut a = x.clone();
+            a.axpy(k, &y).unwrap();
+            a
+        });
+        let want_scale = with_threads(1, || {
+            let mut a = x.clone();
+            a.scale_inplace(k);
+            a
+        });
+        let want_dot = with_threads(1, || x.dot(&y).unwrap());
+        let want_sum = with_threads(1, || sum(&x));
+        let want_norm = with_threads(1, || x.norm_l2());
+        for t in THREADS {
+            let got_add = with_threads(t, || {
+                let mut a = x.clone();
+                a.add_assign_t(&y).unwrap();
+                a
+            });
+            prop_assert_eq!(bits(&got_add), bits(&want_add));
+            let got_axpy = with_threads(t, || {
+                let mut a = x.clone();
+                a.axpy(k, &y).unwrap();
+                a
+            });
+            prop_assert_eq!(bits(&got_axpy), bits(&want_axpy));
+            let got_scale = with_threads(t, || {
+                let mut a = x.clone();
+                a.scale_inplace(k);
+                a
+            });
+            prop_assert_eq!(bits(&got_scale), bits(&want_scale));
+            prop_assert_eq!(with_threads(t, || x.dot(&y).unwrap()).to_bits(), want_dot.to_bits());
+            prop_assert_eq!(with_threads(t, || sum(&x)).to_bits(), want_sum.to_bits());
+            prop_assert_eq!(with_threads(t, || x.norm_l2()).to_bits(), want_norm.to_bits());
+        }
+    }
+
+    #[test]
+    fn log_softmax_bit_identical_across_threads(
+        rows in 0usize..40, cols in 1usize..8, seed in 0u64..1 << 16,
+    ) {
+        let mut rng = hadfl_tensor::SeedStream::new(seed);
+        let xs: Vec<f32> = (0..rows * cols).map(|_| rng.normal()).collect();
+        let x = Tensor::from_vec(xs, &[rows, cols]).unwrap();
+        let want = with_threads(1, || log_softmax_rows(&x).unwrap());
+        for t in THREADS {
+            let got = with_threads(t, || log_softmax_rows(&x).unwrap());
+            prop_assert_eq!(bits(&got), bits(&want), "log_softmax at {} threads", t);
+        }
+    }
+}
+
+/// Ragged tails and degenerate shapes, pinned explicitly (proptest may
+/// not hit exactly these): a matmul whose row count is not a multiple
+/// of the band size, 1×N, N×1, and empty operands.
+#[test]
+fn degenerate_shapes_bit_identical() {
+    for (m, ka, n) in [
+        (9, 3, 17), // ragged row band (9 = 8 + 1) and ragged col tile
+        (1, 64, 7), // 1×N
+        (33, 1, 1), // N×1
+        (0, 4, 4),  // empty left
+        (4, 0, 4),  // empty inner: all-zero output
+        (4, 4, 0),  // empty right
+    ] {
+        let av: Vec<f32> = (0..m * ka).map(|i| (i as f32 * 0.37).sin()).collect();
+        let bv: Vec<f32> = (0..ka * n).map(|i| (i as f32 * 0.71).cos()).collect();
+        let want = matmul_ref(&av, &bv, m, ka, n);
+        let a = Tensor::from_vec(av, &[m, ka]).unwrap();
+        let b = Tensor::from_vec(bv, &[ka, n]).unwrap();
+        for t in THREADS {
+            let got = with_threads(t, || matmul(&a, &b).unwrap());
+            assert_eq!(
+                got.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "matmul {m}x{ka}x{n} at {t} threads"
+            );
+        }
+    }
+    // Empty tensors through the elementwise and reduction paths.
+    let empty = Tensor::zeros(&[0]);
+    for t in THREADS {
+        with_threads(t, || {
+            let mut e = empty.clone();
+            e.add_assign_t(&empty).unwrap();
+            e.scale_inplace(2.0);
+            assert_eq!(e.len(), 0);
+            assert_eq!(sum(&e), 0.0);
+            assert_eq!(e.norm_l2(), 0.0);
+        });
+    }
+}

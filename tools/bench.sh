@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the kernel and wire criterion benches and distills every
+# measurement into BENCH_5.json at the repo root: one record per
+# benchmark with the op name, the worker-thread count it ran at, and
+# the measured ns/iter. The `scaling/` group runs the same workload at
+# 1, 2, and 4 threads (encoded as an `_tN` name suffix), so the file
+# is the recorded evidence for the parallel substrate's scaling — and
+# the `wire_*` vs `wire_reference/*_per_float_*` rows are the bulk
+# codec's before/after.
+#
+# HADFL_BENCH_FAST=1 shrinks the vendored criterion's measurement
+# budget for CI; unset it for more stable local numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_5.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# The vendored criterion stand-in has no CLI filter: run each bench
+# binary whole and scrape its `bench: <name> <ns> ns/iter` lines.
+for bench in kernels wire; do
+    echo "== cargo bench -p hadfl-bench --bench $bench" >&2
+    cargo bench -p hadfl-bench --bench "$bench" 2>&1 | tee /dev/stderr | grep '^bench:' >>"$raw"
+done
+
+awk '
+    BEGIN { print "[" }
+    {
+        # bench: <name>  <ns> ns/iter (<iters> iters/sample)
+        name = $2; ns = $3
+        threads = 1
+        if (match(name, /_t[0-9]+$/))
+            threads = substr(name, RSTART + 2, RLENGTH - 2)
+        if (n++) printf ",\n"
+        printf "  {\"op\": \"%s\", \"threads\": %d, \"ns_per_iter\": %s}", name, threads, ns
+    }
+    END { print "\n]" }
+' "$raw" >"$out"
+
+echo "wrote $out ($(grep -c '"op"' "$out") benchmarks)" >&2

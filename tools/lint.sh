@@ -27,6 +27,14 @@
 #      is `exec.rs`'s `digest_msg` (a model-checker digest, not a
 #      wire frame).
 #
+#   5. No raw `thread::spawn` in the compute kernels. Parallelism in
+#      `crates/tensor`, `crates/nn`, and `core/src/aggregate.rs` must
+#      go through the `hadfl-par` substrate, whose fixed chunk
+#      boundaries and ordered combines are what keep results
+#      bit-identical at any thread count (DESIGN.md §10). The
+#      executor's long-lived driver threads (`exec.rs`) are exempt —
+#      they are actors, not data-parallel kernels.
+#
 # Exit status: 0 clean, 1 any gate tripped.
 set -u
 
@@ -115,6 +123,21 @@ for f in $FRAME_FILES; do
         }' "$f")
     if [ -n "$hits" ]; then
         echo "lint: unstamped frame in $f:"
+        echo "$hits" | sed "s|^|  $f:|"
+        status=1
+    fi
+done
+
+# ---- gate 5: raw thread spawns in compute kernels ---------------------------
+# Data-parallel work in the kernel crates must flow through hadfl-par;
+# a stray `thread::spawn` (or `std::thread::spawn`) there escapes the
+# determinism contract. hadfl-par itself is the one place allowed to
+# spawn.
+KERNEL_SOURCES=$(find crates/tensor/src crates/nn/src -name '*.rs'; echo crates/core/src/aggregate.rs)
+for f in $KERNEL_SOURCES; do
+    hits=$(grep -n 'thread::spawn' "$f" | grep -v '^[0-9]*:[[:space:]]*//' || true)
+    if [ -n "$hits" ]; then
+        echo "lint: raw thread spawn in $f (use the hadfl-par substrate):"
         echo "$hits" | sed "s|^|  $f:|"
         status=1
     fi

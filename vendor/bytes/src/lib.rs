@@ -97,6 +97,18 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Reserves capacity for at least `additional` more bytes, like
+    /// the real crate — lets bulk writers size the buffer once instead
+    /// of growing it amortized.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Appends a byte slice in one `memcpy`, like the real crate.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -242,6 +254,17 @@ mod tests {
         assert_eq!(cur.get_f64_le(), 3.25);
         assert_eq!(cur.get_u64_le(), u64::MAX - 1);
         assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn reserve_and_extend_from_slice_append_bytes() {
+        let mut b = BytesMut::with_capacity(4);
+        b.reserve(16);
+        assert!(b.is_empty());
+        b.extend_from_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[]);
+        b.extend_from_slice(&[4]);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
     }
 
     #[test]
