@@ -134,6 +134,8 @@ pub fn weighted_average_params(params: &[&[f32]], weights: &[f64]) -> Result<Vec
             "invalid weights {weights:?}"
         )));
     }
+    // lint:allow(float-reduce-order): f64 total of one weight per member (a handful of
+    // values, always serial) — the chunked discipline applies to the param vectors below
     let total: f64 = weights.iter().sum();
     let scales: Vec<f32> = weights.iter().map(|&w| (w / total) as f32).collect();
     let mut out = vec![0.0f32; len];

@@ -427,12 +427,14 @@ impl RingRun {
     // caller passes either `me` or a value just checked with `pos`.
     #[allow(clippy::expect_used)]
     fn downstream(&self, id: usize) -> usize {
+        // lint:allow(unwrap-in-protocol): callers only pass members of `live` (invariant above)
         let pos = self.pos(id).expect("member of own ring");
         self.live[(pos + 1) % self.live.len()]
     }
 
     #[allow(clippy::expect_used)]
     fn upstream(&self, id: usize) -> usize {
+        // lint:allow(unwrap-in-protocol): callers only pass members of `live` (invariant above)
         let pos = self.pos(id).expect("member of own ring");
         self.live[(pos + self.live.len() - 1) % self.live.len()]
     }

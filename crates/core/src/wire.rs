@@ -240,7 +240,7 @@ fn get_f32s(frame: &mut &[u8], len: usize) -> Vec<f32> {
     }
     #[cfg(not(target_endian = "little"))]
     for c in raw.chunks_exact(4) {
-        params.push(f32::from_le_bytes(c.try_into().expect("4 bytes")));
+        params.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
     }
     params
 }

@@ -1,0 +1,17 @@
+//! Seeded violations for `ambient-clock`: raw wall-clock reads that
+//! the hadfl-check scheduler cannot see.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn naive_elapsed() -> Duration {
+    let start = Instant::now(); //~ ambient-clock
+    start.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() //~ ambient-clock
+}
+
+pub fn fully_qualified() -> Instant {
+    std::time::Instant::now() //~ ambient-clock
+}

@@ -1,0 +1,24 @@
+//! Known-clean for `ambient-clock`: every mention of the banned calls
+//! lives in a string, comment, or doc example — the grep gate's
+//! false-positive territory.
+
+use std::time::Duration;
+
+/// Never call `Instant::now()` here; take time through the seam:
+///
+/// ```
+/// let t = clock.now(); // not Instant::now()
+/// ```
+pub fn clocked(now: Duration) -> Duration {
+    // A comment saying Instant::now() is not a call to it.
+    let banner = "Instant::now() and SystemTime::now() are banned";
+    let _ = banner;
+    now
+}
+
+/* Block comments mentioning SystemTime::now() are fine too. */
+pub fn instant_like(instant_count: u32) -> u32 {
+    // `instant_count` containing the substring "instant" must not trip
+    // a token-level match.
+    instant_count
+}

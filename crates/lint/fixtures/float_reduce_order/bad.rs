@@ -1,0 +1,19 @@
+//! Seeded violations for `float-reduce-order`: free-association float
+//! accumulation outside the chunked helpers.
+
+pub fn naive_sum(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() //~ float-reduce-order
+}
+
+pub fn ascribed(xs: &[f32]) -> f32 {
+    let total: f32 = xs.iter().copied().sum(); //~ float-reduce-order
+    total
+}
+
+pub fn folded(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0, |acc, &x| acc + x) //~ float-reduce-order
+}
+
+pub fn doubled(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() //~ float-reduce-order
+}

@@ -1,0 +1,42 @@
+//! Known-clean for `float-reduce-order`: the fixed-association
+//! helpers, order-insensitive folds, and integer sums.
+
+const CHUNK: usize = 4096;
+
+/// Inside a `chunked_sum` call the association *is* the fixed one.
+pub fn chunked(xs: &[f32]) -> f32 {
+    chunked_sum(xs.len(), |start, end| {
+        let mut acc = 0.0f32;
+        for &x in &xs[start..end] {
+            acc += x;
+        }
+        acc
+    })
+}
+
+/// `f32::max` is commutative and associative on non-NaN inputs — a
+/// fold with it cannot observe order.
+pub fn maximum(xs: &[f32]) -> f32 {
+    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+pub fn minimum(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Integer addition is exact; association cannot change the result.
+pub fn counted(xs: &[u32]) -> u32 {
+    xs.iter().sum::<u32>()
+}
+
+/// The helper's own body is the one place the association is pinned.
+fn chunked_sum(len: usize, partial: impl Fn(usize, usize) -> f32) -> f32 {
+    let mut acc = 0.0f32;
+    let mut start = 0;
+    while start < len {
+        let end = (start + CHUNK).min(len);
+        acc += partial(start, end);
+        start = end;
+    }
+    acc
+}

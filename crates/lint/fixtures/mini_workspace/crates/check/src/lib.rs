@@ -1,0 +1,6 @@
+//! Outside every rule's scope: the model checker may read real time
+//! (it measures its own exploration, not protocol behavior).
+
+pub fn exploration_started() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+//! In scope for the protocol rules: the ambient clock read is a
+//! finding.
+
+pub fn round_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+//! A CLI binary: excluded from `print-in-protocol` (stdout is its
+//! user interface), still covered by the other net rules.
+
+fn main() {
+    println!("cluster is healthy");
+}

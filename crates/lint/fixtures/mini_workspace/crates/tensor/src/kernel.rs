@@ -1,0 +1,6 @@
+//! In scope for the kernel rules: the raw spawn is a finding.
+
+pub fn fan_out(xs: Vec<f32>) -> usize {
+    let handle = std::thread::spawn(move || xs.len());
+    handle.join().unwrap_or(0)
+}

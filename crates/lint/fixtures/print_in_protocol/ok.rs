@@ -1,0 +1,18 @@
+//! Known-clean for `print-in-protocol`: formatted strings, doc
+//! examples, and print-like names that are not the macros.
+
+/// Examples may print:
+///
+/// ```
+/// println!("doc examples are comments, not code");
+/// ```
+pub fn formats(round: u32) -> String {
+    // format! writes to a String, not to stdout.
+    format!("round {round}: println! would be wrong here")
+}
+
+pub fn print_like() -> &'static str {
+    // An identifier *containing* "print" is not the macro.
+    let blueprint = "blueprint";
+    blueprint
+}

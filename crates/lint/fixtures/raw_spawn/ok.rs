@@ -1,0 +1,18 @@
+//! Known-clean for `raw-spawn`: parallelism through the hadfl-par
+//! substrate, and spawn-talk in comments only.
+
+/// Route work through the substrate, never `thread::spawn`:
+///
+/// ```
+/// let total = hadfl_par::par_reduce(xs.len(), partial);
+/// ```
+pub fn reduced(xs: &[f32]) -> f32 {
+    hadfl_par::par_reduce(xs.len(), |start, end| partial_sum(&xs[start..end]))
+}
+
+pub fn spawn_like(spawn_count: u32) -> u32 {
+    // "spawn" inside a string or identifier is not a spawn.
+    let note = "thread::spawn is banned in kernels";
+    let _ = note;
+    spawn_count
+}

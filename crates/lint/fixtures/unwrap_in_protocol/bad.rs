@@ -1,0 +1,32 @@
+//! Seeded violations for `unwrap-in-protocol`: panicking shortcuts in
+//! non-test protocol code.
+
+pub fn deliver(res: Result<Frame, Error>) -> Frame {
+    res.unwrap() //~ unwrap-in-protocol
+}
+
+pub fn described(res: Result<Frame, Error>) -> Frame {
+    res.expect("always a frame") //~ unwrap-in-protocol
+}
+
+pub fn inverted(res: Result<Frame, Error>) -> Error {
+    res.unwrap_err() //~ unwrap-in-protocol
+}
+
+pub fn routed(kind: u8) -> &'static str {
+    match kind {
+        0 => "hello",
+        1 => "params",
+        _ => unreachable!("checked by caller"), //~ unwrap-in-protocol
+    }
+}
+
+pub fn unfinished() {
+    todo!() //~ unwrap-in-protocol
+}
+
+pub fn asserted(flag: bool) {
+    if !flag {
+        panic!("flag must be set"); //~ unwrap-in-protocol
+    }
+}

@@ -1,0 +1,32 @@
+//! Known-clean for `unwrap-in-protocol`: propagation, defaulted
+//! variants, doc examples, and test modules.
+
+/// Doc examples may unwrap:
+///
+/// ```
+/// let frame = port.recv().unwrap();
+/// ```
+pub fn propagated(res: Result<Frame, Error>) -> Result<Frame, Error> {
+    let frame = res?;
+    Ok(frame)
+}
+
+pub fn defaulted(a: Option<u32>, b: Option<u32>) -> u32 {
+    // `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` are total —
+    // token equality must not substring-match them as `unwrap`.
+    a.unwrap_or(7) + a.unwrap_or_else(|| 1) + b.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u32, ()> = Err(());
+        w.expect_err("is err");
+        if false {
+            panic!("unreached");
+        }
+    }
+}

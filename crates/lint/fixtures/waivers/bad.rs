@@ -1,0 +1,28 @@
+//! Waiver grammar violations. Each malformed waiver is an
+//! `invalid-waiver` finding; a valid waiver that suppresses nothing is
+//! `unused-waiver`.
+
+pub fn unknown_rule() -> u32 {
+    // lint:allow(made-up-rule): no such rule is registered //~ invalid-waiver
+    1
+}
+
+pub fn missing_reason() -> u32 {
+    // lint:allow(ambient-clock) //~ invalid-waiver
+    2
+}
+
+pub fn empty_reason() -> u32 {
+    /* lint:allow(ambient-clock): */ //~ invalid-waiver
+    3
+}
+
+pub fn malformed() -> u32 {
+    // lint:allow ambient-clock: the parentheses are required //~ invalid-waiver
+    4
+}
+
+pub fn unused() -> u32 {
+    // lint:allow(ambient-clock): nothing below reads a clock //~ unused-waiver
+    5
+}

@@ -1,0 +1,477 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The analyzer's rules are syntactic, so the lexer's one job is to
+//! split source text into tokens *reliably* — in particular it must
+//! never mistake the contents of a string literal, raw string, char
+//! literal, or comment for code (the failure mode of the grep gates
+//! this crate replaces). It handles:
+//!
+//! - line comments (`//`), doc comments (`///`, `//!`),
+//! - block comments (`/* */`) with nesting, doc blocks (`/** */`),
+//! - string literals with escapes, byte strings, raw strings
+//!   (`r"…"`, `r#"…"#`, any `#` count, `br…` forms),
+//! - char literals vs lifetimes (`'a'` vs `'a`),
+//! - raw identifiers (`r#match`),
+//! - numeric literals including floats, exponents, and suffixes
+//!   (needed by the float-reduce-order rule),
+//! - everything else as single-character punctuation tokens; rules
+//!   that care about `::` or `->` look at adjacent tokens.
+//!
+//! Tokens carry byte spans plus 1-based line/column so findings can be
+//! reported as `file:line:col`.
+
+/// Lexical class of a [`Tok`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `1.0f32`, …).
+    Float,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Non-doc line comment (`// …`).
+    LineComment,
+    /// Doc comment: `/// …`, `//! …`, `/** … */`, `/*! … */`.
+    DocComment,
+    /// Non-doc block comment (`/* … */`, nesting handled).
+    BlockComment,
+    /// A single punctuation character (text is one char).
+    Punct,
+}
+
+/// One token: kind plus byte span and 1-based position.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::DocComment | TokKind::BlockComment
+        )
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unexpected bytes become
+/// punctuation tokens, an unterminated literal runs to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, maintaining line/col.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            // `None` means a whitespace run — no token.
+            if let Some(kind) = self.next_kind() {
+                self.toks.push(Tok {
+                    kind,
+                    start,
+                    end: self.pos,
+                    line,
+                    col,
+                });
+            }
+        }
+        self.toks
+    }
+
+    /// Consumes one token (or one whitespace run, returning `None`).
+    fn next_kind(&mut self) -> Option<TokKind> {
+        let c = self.peek(0);
+        if c.is_ascii_whitespace() {
+            while self.peek(0).is_ascii_whitespace() && self.pos < self.src.len() {
+                self.bump();
+            }
+            return None;
+        }
+        if c == b'/' && self.peek(1) == b'/' {
+            let doc = matches!(self.peek(2), b'/' | b'!') && self.peek(3) != b'/';
+            while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            // `////…` banners are ordinary comments, `///`/`//!` are doc.
+            return Some(if doc {
+                TokKind::DocComment
+            } else {
+                TokKind::LineComment
+            });
+        }
+        if c == b'/' && self.peek(1) == b'*' {
+            let doc = matches!(self.peek(2), b'*' | b'!') && self.peek(3) != b'*';
+            self.bump_n(2);
+            let mut depth = 1usize;
+            while self.pos < self.src.len() && depth > 0 {
+                if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                    depth += 1;
+                    self.bump_n(2);
+                } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                    depth -= 1;
+                    self.bump_n(2);
+                } else {
+                    self.bump();
+                }
+            }
+            return Some(if doc {
+                TokKind::DocComment
+            } else {
+                TokKind::BlockComment
+            });
+        }
+        // Raw strings / raw idents / byte strings: r" r# b" br" b' …
+        if c == b'r' || c == b'b' {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return Some(kind);
+            }
+        }
+        if c == b'"' {
+            self.eat_quoted_string();
+            return Some(TokKind::Str);
+        }
+        if c == b'\'' {
+            return Some(self.eat_char_or_lifetime());
+        }
+        if c.is_ascii_digit() {
+            return Some(self.eat_number());
+        }
+        if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 {
+            while matches!(self.peek(0), b'_' | b'0'..=b'9')
+                || self.peek(0).is_ascii_alphabetic()
+                || self.peek(0) >= 0x80
+            {
+                self.bump();
+            }
+            return Some(TokKind::Ident);
+        }
+        self.bump();
+        Some(TokKind::Punct)
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'…'`, and raw
+    /// idents `r#name`. Returns `None` when the `r`/`b` is just the
+    /// start of an ordinary identifier.
+    fn try_prefixed_literal(&mut self) -> Option<TokKind> {
+        let mut at = 1usize; // bytes after the leading r/b
+        let first = self.peek(0);
+        if first == b'b' && self.peek(1) == b'r' {
+            at = 2;
+        }
+        if first == b'b' && self.peek(1) == b'\'' {
+            // Byte char literal b'x'.
+            self.bump(); // b
+            self.eat_char_body();
+            return Some(TokKind::Char);
+        }
+        // Count # marks (raw strings and raw idents).
+        let mut hashes = 0usize;
+        while self.peek(at + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(at + hashes) == b'"' {
+            self.bump_n(at + hashes + 1);
+            // Scan to `"` followed by `hashes` #s.
+            'outer: while self.pos < self.src.len() {
+                if self.peek(0) == b'"' {
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != b'#' {
+                            self.bump();
+                            continue 'outer;
+                        }
+                    }
+                    self.bump_n(1 + hashes);
+                    break;
+                }
+                self.bump();
+            }
+            return Some(TokKind::Str);
+        }
+        if first == b'r' && hashes == 1 && is_ident_byte(self.peek(at + 1)) {
+            // Raw identifier r#name.
+            self.bump_n(2);
+            while is_ident_byte(self.peek(0)) {
+                self.bump();
+            }
+            return Some(TokKind::Ident);
+        }
+        if first == b'b' && self.peek(1) == b'"' {
+            self.bump(); // b
+            self.eat_quoted_string();
+            return Some(TokKind::Str);
+        }
+        None
+    }
+
+    /// Consumes a `"…"` with escapes; `self.pos` is at the opening quote.
+    fn eat_quoted_string(&mut self) {
+        self.bump(); // "
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// At `'`: char literal or lifetime.
+    fn eat_char_or_lifetime(&mut self) -> TokKind {
+        // Lifetime: 'ident not followed by a closing quote.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '
+            while is_ident_byte(self.peek(0)) {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        self.eat_char_body();
+        TokKind::Char
+    }
+
+    /// Consumes `'x'`, `'\n'`, `'\u{1F600}'`; `self.pos` at opening `'`.
+    fn eat_char_body(&mut self) {
+        self.bump(); // '
+        match self.peek(0) {
+            b'\\' => {
+                self.bump(); // backslash
+                if self.peek(0) == b'u' && self.peek(1) == b'{' {
+                    while self.pos < self.src.len() && self.peek(0) != b'}' {
+                        self.bump();
+                    }
+                }
+                self.bump(); // escaped char / closing }
+            }
+            _ => {
+                // A multibyte char ('…') is one literal: consume the
+                // whole UTF-8 sequence, not just its first byte.
+                self.bump();
+                while (0x80..0xC0).contains(&self.peek(0)) {
+                    self.bump();
+                }
+            }
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    fn eat_number(&mut self) -> TokKind {
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'X' | b'o' | b'O' | b'b' | b'B') {
+            // Radix literal: consume prefix + radix digits, done.
+            self.bump_n(2);
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_') {
+                self.bump();
+            }
+            // Width suffix (u32 etc.).
+            while is_ident_byte(self.peek(0)) {
+                self.bump();
+            }
+            return TokKind::Int;
+        }
+        while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        // Fractional part: only when `.` is followed by a digit or
+        // terminates the literal (`1.`), not a method call (`1.max(2)`)
+        // or tuple access.
+        if self.peek(0) == b'.' && !is_ident_start(self.peek(1)) && self.peek(1) != b'.' {
+            float = true;
+            self.bump();
+            while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek(0).is_ascii_digit() {
+                self.bump();
+            }
+        }
+        // Suffix (f32/f64 force float-ness; u32 etc. do not).
+        if is_ident_start(self.peek(0)) {
+            let suffix_start = self.pos;
+            while is_ident_byte(self.peek(0)) {
+                self.bump();
+            }
+            let suffix = &self.src[suffix_start..self.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                float = true;
+            }
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_code() {
+        let src = r##"
+            let s = "Instant::now()"; // Instant::now()
+            /* thread::spawn */
+            let r = r#"println!("x")"#;
+        "##;
+        let idents: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("&'a str; 'x'; '\\n'; b'q'");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(ks.contains(&(TokKind::Char, "'\\n'".into())));
+        assert!(ks.contains(&(TokKind::Char, "b'q'".into())));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let ks = kinds("/// doc\n//! inner\n// plain\n//// banner");
+        assert_eq!(
+            ks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            [
+                TokKind::DocComment,
+                TokKind::DocComment,
+                TokKind::LineComment,
+                TokKind::LineComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("/* a /* b */ c */ x");
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert_eq!(ks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        let ks = kinds("1 1.0 1e-3 2.5f32 7f32 3usize x.0");
+        assert_eq!(ks[0].0, TokKind::Int);
+        assert_eq!(ks[1].0, TokKind::Float);
+        assert_eq!(ks[2].0, TokKind::Float);
+        assert_eq!(ks[3].0, TokKind::Float);
+        assert_eq!(ks[4].0, TokKind::Float);
+        assert_eq!(ks[5].0, TokKind::Int);
+        // Tuple access stays ident / punct / int.
+        assert_eq!(ks[6], (TokKind::Ident, "x".into()));
+        assert_eq!(ks[8].0, TokKind::Int);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "r#\"a \" b\"# tail";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokKind::Str);
+        assert_eq!(ks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ks = kinds("r#match + br#\"raw\"#");
+        assert_eq!(ks[0], (TokKind::Ident, "r#match".into()));
+        assert_eq!(ks[2].0, TokKind::Str);
+    }
+}

@@ -1,0 +1,84 @@
+//! hadfl-lint — scope-aware static analyzer for the HADFL workspace
+//! invariants.
+//!
+//! The repo enforces invariants that `clippy` cannot express and that
+//! grep kept getting wrong: the `Clock` seam behind `hadfl-check`'s
+//! exhaustive exploration, the DESIGN.md §10 determinism contract,
+//! the no-guard-across-`Port::send` deadlock rule, and
+//! `wire::seal`/`open` causal stamping. This crate reimplements those
+//! gates — plus three new rules — as a real analyzer: its own lexer
+//! (strings, raw strings, char literals, nested comments, generics),
+//! a brace/scope tracker, and a per-file symbol table, with no
+//! external dependencies.
+//!
+//! Rules (see [`rules::all`]):
+//!
+//! 1. `ambient-clock` — no `Instant::now()`/`SystemTime::now()` in
+//!    protocol paths.
+//! 2. `guard-across-send` — no lock guard held across a blocking
+//!    `Port::send`.
+//! 3. `print-in-protocol` — no stdout/stderr macros where telemetry
+//!    events belong.
+//! 4. `raw-frame` — no `Message::encode`/`decode` outside
+//!    `wire::seal`/`open`.
+//! 5. `raw-spawn` — no raw thread spawns in the compute kernels.
+//! 6. `nondeterministic-iteration` — no `HashMap`/`HashSet` iteration
+//!    in order-sensitive paths.
+//! 7. `unwrap-in-protocol` — no `unwrap`/`expect`/`panic!` in
+//!    non-test protocol code.
+//! 8. `float-reduce-order` — no free-association float accumulation
+//!    outside `chunked_sum`/`par_reduce`.
+//!
+//! Findings carry `file:line:col` spans in human and `--json` form.
+//! Inline waivers — `// lint:allow(rule): reason` — are honored only
+//! with a non-empty reason, and flagged when unused (see [`waiver`]).
+//! The analyzer proves itself on a seeded-violation fixture corpus
+//! (`fixtures/`) that the test suite must classify with zero false
+//! negatives and zero false positives, including the old awk gate's
+//! documented blind spots.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod waiver;
+pub mod workspace;
+
+use report::Finding;
+use rules::FileCx;
+use scope::{ScopeMap, SourceFile};
+
+/// Analysis result for one file.
+pub struct FileResult {
+    /// Surviving findings (rule findings minus waived, plus waiver
+    /// meta-findings).
+    pub findings: Vec<Finding>,
+    /// Count of findings suppressed by valid waivers.
+    pub waived: usize,
+}
+
+/// Runs the named rules over one source text. `path` labels findings
+/// and is *not* re-checked against rule scopes — callers pick the
+/// rule set (the workspace driver picks by scope; fixture tests force
+/// rules on).
+///
+/// Unknown rule ids are ignored; waiver grammar violations and unused
+/// waivers surface as `invalid-waiver` / `unused-waiver` findings.
+pub fn analyze_source(path: &str, text: &str, rule_ids: &[&str]) -> FileResult {
+    let src = SourceFile::new(path, text);
+    let scopes = ScopeMap::build(&src);
+    let cx = FileCx {
+        src: &src,
+        scopes: &scopes,
+    };
+    let mut raw = Vec::new();
+    for id in rule_ids {
+        if let Some(rule) = rules::by_id(id) {
+            raw.extend((rule.run)(&cx));
+        }
+    }
+    let mut findings = Vec::new();
+    let waivers = waiver::collect(&src, &rules::ids(), &mut findings);
+    let waived = waiver::apply(&src, waivers, raw, &mut findings);
+    FileResult { findings, waived }
+}

@@ -1,0 +1,104 @@
+//! `hadfl-lint` CLI.
+//!
+//! ```text
+//! hadfl-lint --workspace [--json] [--root DIR]   # lint all in-scope files
+//! hadfl-lint [--json] [--root DIR] FILE...       # lint specific files
+//! hadfl-lint --list-rules                        # print the rule registry
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error — the same
+//! contract the old `tools/lint.sh` grep gates had, so CI wiring is
+//! unchanged.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hadfl_lint::{rules, workspace};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut scan_workspace = false;
+    let mut list_rules = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => scan_workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: hadfl-lint [--workspace | FILE...] [--json] [--root DIR] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    if list_rules {
+        for rule in rules::all() {
+            println!("{:28} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !scan_workspace && files.is_empty() {
+        scan_workspace = true;
+    }
+
+    let root = match root_arg {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => return fail(&format!("cannot read cwd: {err}")),
+            };
+            match workspace::find_root(&cwd) {
+                Some(dir) => dir,
+                None => return fail("no workspace root found (pass --root)"),
+            }
+        }
+    };
+
+    let report = if scan_workspace {
+        workspace::analyze_workspace(&root)
+    } else {
+        // Explicit files are taken relative to the root so rule
+        // scopes match the same way `--workspace` matches them.
+        workspace::analyze_files(&root, &files)
+    };
+    let report = match report {
+        Ok(report) => report,
+        Err(err) => return fail(&format!("lint failed: {err}")),
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("hadfl-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hadfl-lint: {msg}");
+    ExitCode::from(2)
+}

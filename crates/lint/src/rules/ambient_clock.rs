@@ -1,0 +1,36 @@
+//! `ambient-clock`: no raw wall-clock reads in protocol paths.
+//!
+//! `hadfl-check` exhaustively explores message/timer interleavings on
+//! virtual time; a raw `Instant::now()` or `SystemTime::now()` is
+//! invisible to its scheduler and silently reintroduces real-time
+//! nondeterminism. Time must flow through the `hadfl::clock::Clock`
+//! seam. The lexer makes this sound where grep was not: mentions in
+//! strings, comments, and doc examples don't trip it.
+
+use super::{finding, FileCx};
+use crate::report::Finding;
+
+pub fn run(cx: &FileCx) -> Vec<Finding> {
+    let src = cx.src;
+    let mut out = Vec::new();
+    for i in 0..src.len() {
+        for source in ["Instant", "SystemTime"] {
+            if src.is_ident(i, source)
+                && src.is_path_sep(i + 1)
+                && src.is_ident(i + 3, "now")
+                && src.is_punct(i + 4, '(')
+            {
+                out.push(finding(
+                    cx,
+                    i,
+                    "ambient-clock",
+                    format!(
+                        "raw `{source}::now()` — take time through the \
+                         `hadfl::clock::Clock` seam so `hadfl-check` can drive it"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,135 @@
+//! `float-reduce-order`: no free-association float accumulation in
+//! the kernels.
+//!
+//! Float addition is not associative; the DESIGN.md §10 determinism
+//! contract gets bit-identical results at any `HADFL_THREADS` by
+//! pinning one association: fixed `F32_CHUNK` boundaries with
+//! partials combined in ascending chunk order (`chunked_sum`,
+//! `par_reduce`). A naive `.sum::<f32>()` or float `fold` outside
+//! those helpers picks a different association than the parallel
+//! path and silently breaks bit-identity.
+//!
+//! Exempt by construction: code inside a `chunked_sum(…)` /
+//! `par_reduce(…)` call (that *is* the fixed association), the body
+//! of `fn chunked_sum` itself, order-insensitive folds
+//! (`fold(init, f32::max)` / `min`), integer sums, and test code.
+
+use super::{finding, split_args, FileCx};
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::scope::call_extents;
+
+pub fn run(cx: &FileCx) -> Vec<Finding> {
+    let src = cx.src;
+    let mut exempt: Vec<(usize, usize)> = call_extents(cx.src, cx.scopes, "chunked_sum");
+    exempt.extend(call_extents(cx.src, cx.scopes, "par_reduce"));
+    for f in &cx.scopes.fns {
+        if f.name == "chunked_sum" {
+            exempt.push((f.body_open, f.body_close));
+        }
+    }
+    let is_exempt = |i: usize| exempt.iter().any(|&(s, e)| s <= i && i <= e);
+    let mut out = Vec::new();
+    for i in 0..src.len() {
+        if cx.scopes.in_test(i) || is_exempt(i) || !src.is_punct(i, '.') {
+            continue;
+        }
+        if src.is_ident(i + 1, "sum") {
+            // `.sum::<f32>()` / `.sum::<f64>()`.
+            let turbofish_float = src.is_path_sep(i + 2)
+                && src.is_punct(i + 4, '<')
+                && (src.is_ident(i + 5, "f32") || src.is_ident(i + 5, "f64"))
+                && src.is_punct(i + 6, '>');
+            // `let x: f32 = ….sum();` — the ascription names the type.
+            let ascribed_float = src.is_punct(i + 2, '(') && stmt_has_float_ascription(cx, i);
+            if turbofish_float || ascribed_float {
+                out.push(finding(
+                    cx,
+                    i + 1,
+                    "float-reduce-order",
+                    "naive float `.sum()` picks a free association — use the \
+                     fixed-association `chunked_sum` helper (or a waiver with \
+                     the reason it can never be parallelized)"
+                        .to_string(),
+                ));
+            }
+        }
+        if src.is_ident(i + 1, "fold") && src.is_punct(i + 2, '(') {
+            let close = cx.scopes.close_of(i + 2);
+            let args = split_args(cx, i + 2, close);
+            if args.len() == 2
+                && arg_is_float_init(cx, args[0])
+                && !arg_is_order_insensitive(cx, args[1])
+            {
+                out.push(finding(
+                    cx,
+                    i + 1,
+                    "float-reduce-order",
+                    "float `fold` accumulates in a free association — use \
+                     `chunked_sum`/`par_reduce`, or `f32::max`/`f32::min` \
+                     style order-insensitive combiners"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Walks back from `.sum` to the statement's `let`, looking for a
+/// `: f32` / `: f64` ascription before the `=`.
+fn stmt_has_float_ascription(cx: &FileCx, i: usize) -> bool {
+    let src = cx.src;
+    let mut j = i;
+    let mut steps = 0;
+    while j > 0 && steps < 80 {
+        steps += 1;
+        j -= 1;
+        if src.is_punct(j, ';') || src.is_punct(j, '{') || src.is_punct(j, '}') {
+            return false;
+        }
+        if src.is_ident(j, "let") {
+            // Scan forward through the pattern/type for `: f32|f64`.
+            for k in j + 1..i {
+                if src.is_punct(k, '=') {
+                    return false;
+                }
+                if src.is_punct(k, ':')
+                    && !src.is_path_sep(k)
+                    && !(k > 0 && src.is_path_sep(k - 1))
+                    && (src.is_ident(k + 1, "f32") || src.is_ident(k + 1, "f64"))
+                {
+                    return true;
+                }
+            }
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether a `fold` init argument is float-shaped: a float literal or
+/// an `f32::`/`f64::` constant, possibly behind `-`/`&`/`(`.
+fn arg_is_float_init(cx: &FileCx, (start, end): (usize, usize)) -> bool {
+    let src = cx.src;
+    let mut j = start;
+    while j < end && (src.is_punct(j, '-') || src.is_punct(j, '&') || src.is_punct(j, '(')) {
+        j += 1;
+    }
+    if j >= end {
+        return false;
+    }
+    src.tok(j).kind == TokKind::Float
+        || ((src.is_ident(j, "f32") || src.is_ident(j, "f64")) && src.is_path_sep(j + 1))
+}
+
+/// `f32::max` / `f32::min` (and f64 forms) are commutative and
+/// associative on the non-NaN inputs the kernels feed them — order
+/// cannot change the result.
+fn arg_is_order_insensitive(cx: &FileCx, (start, end): (usize, usize)) -> bool {
+    let src = cx.src;
+    end - start == 4
+        && (src.is_ident(start, "f32") || src.is_ident(start, "f64"))
+        && src.is_path_sep(start + 1)
+        && (src.is_ident(start + 3, "max") || src.is_ident(start + 3, "min"))
+}

@@ -1,0 +1,31 @@
+//! `print-in-protocol`: no stdout/stderr macros in protocol paths.
+//!
+//! Runtime observability goes through the `hadfl-telemetry` event
+//! layer — structured, schema-versioned, zero-cost when disabled.
+//! Stray prints bypass the sinks, garble node output parsed by tests,
+//! and pay formatting cost even when nobody listens. Doc-comment
+//! examples are exempt by construction (comments are not code
+//! tokens).
+
+use super::{finding, FileCx};
+use crate::report::Finding;
+
+const MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+
+pub fn run(cx: &FileCx) -> Vec<Finding> {
+    let src = cx.src;
+    let mut out = Vec::new();
+    for i in 0..src.len() {
+        for m in MACROS {
+            if src.is_ident(i, m) && src.is_punct(i + 1, '!') {
+                out.push(finding(
+                    cx,
+                    i,
+                    "print-in-protocol",
+                    format!("`{m}!` in a protocol path — emit a `hadfl-telemetry` event instead"),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,34 @@
+//! `raw-spawn`: no raw thread spawns in the compute kernels.
+//!
+//! Parallelism in `crates/tensor`, `crates/nn`, and
+//! `core/src/aggregate.rs` must go through the `hadfl-par` substrate,
+//! whose fixed chunk boundaries and ordered combines keep results
+//! bit-identical at any thread count (DESIGN.md §10). Both
+//! `thread::spawn(..)` and the builder form `.spawn(..)` are caught;
+//! `crates/par` is outside this rule's scope — it is the one
+//! sanctioned spawner.
+
+use super::{finding, FileCx};
+use crate::report::Finding;
+
+pub fn run(cx: &FileCx) -> Vec<Finding> {
+    let src = cx.src;
+    let mut out = Vec::new();
+    for i in 0..src.len() {
+        let hit = (src.is_ident(i, "thread")
+            && src.is_path_sep(i + 1)
+            && src.is_ident(i + 3, "spawn"))
+            || (src.is_punct(i, '.') && src.is_ident(i + 1, "spawn") && src.is_punct(i + 2, '('));
+        if hit {
+            out.push(finding(
+                cx,
+                i,
+                "raw-spawn",
+                "raw thread spawn in a compute kernel — route the work through \
+                 the `hadfl-par` substrate to keep chunk boundaries deterministic"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,349 @@
+//! Source model and scope tracking shared by every rule.
+//!
+//! [`SourceFile`] owns the text and tokens; `code` is the view with
+//! comments stripped (rules reason about code tokens, the waiver
+//! parser reads the comments). On top of that view this module
+//! computes the *scope map*:
+//!
+//! - matched `()`/`[]`/`{}` bracket pairs,
+//! - brace depth per token,
+//! - test regions (`#[cfg(test)]` items and `#[test]` fns), so rules
+//!   can exempt test code without hand-listing files,
+//! - function spans with names, nested fns included — the per-file
+//!   symbol foundation that lets a rule exempt `fn digest_msg` rather
+//!   than "any line mentioning digest_msg".
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A lexed source file plus its comment-stripped code view.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub text: String,
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens.
+    pub code: Vec<usize>,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        let toks = lex(text);
+        let code = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+            toks,
+            code,
+        }
+    }
+
+    /// Number of code tokens.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file has no code tokens.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The `i`-th code token.
+    pub fn tok(&self, i: usize) -> &Tok {
+        &self.toks[self.code[i]]
+    }
+
+    /// Text of the `i`-th code token.
+    pub fn text_of(&self, i: usize) -> &str {
+        self.tok(i).text(&self.text)
+    }
+
+    /// Whether code token `i` is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        i < self.len() && self.tok(i).kind == TokKind::Ident && self.text_of(i) == name
+    }
+
+    /// Whether code token `i` is any identifier.
+    pub fn is_any_ident(&self, i: usize) -> bool {
+        i < self.len() && self.tok(i).kind == TokKind::Ident
+    }
+
+    /// Whether code token `i` is the punctuation character `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        i < self.len() && self.tok(i).kind == TokKind::Punct && self.text_of(i).starts_with(c)
+    }
+
+    /// Whether code tokens at `i` form `::` (two adjacent `:`).
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':')
+    }
+}
+
+/// A function item: its name and the code-token extents of its
+/// signature and body.
+pub struct FnSpan {
+    pub name: String,
+    /// Code-token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Code-token index of the opening `{`.
+    pub body_open: usize,
+    /// Code-token index of the matching `}`.
+    pub body_close: usize,
+}
+
+/// Matched brackets, depths, test regions, and function spans for one
+/// file.
+pub struct ScopeMap {
+    /// For each code token: index of the matching close bracket when
+    /// the token is `(`/`[`/`{`, else `usize::MAX`.
+    close_of: Vec<usize>,
+    /// Brace depth of the context containing each code token (the
+    /// `{` itself carries the outer depth).
+    depth: Vec<u32>,
+    /// Code-token ranges `(start, end)` (inclusive) that are test
+    /// code.
+    test_regions: Vec<(usize, usize)>,
+    pub fns: Vec<FnSpan>,
+}
+
+impl ScopeMap {
+    pub fn build(src: &SourceFile) -> ScopeMap {
+        let n = src.len();
+        let mut close_of = vec![usize::MAX; n];
+        let mut depth = vec![0u32; n];
+        let mut brace = 0u32;
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, d) in depth.iter_mut().enumerate() {
+            *d = brace;
+            if src.tok(i).kind != TokKind::Punct {
+                continue;
+            }
+            match src.text_of(i).as_bytes()[0] {
+                b'(' | b'[' | b'{' => {
+                    stack.push(i);
+                    if src.is_punct(i, '{') {
+                        brace += 1;
+                    }
+                }
+                b')' | b']' | b'}' => {
+                    if let Some(open) = stack.pop() {
+                        close_of[open] = i;
+                    }
+                    if src.is_punct(i, '}') {
+                        brace = brace.saturating_sub(1);
+                        *d = brace;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut map = ScopeMap {
+            close_of,
+            depth,
+            test_regions: Vec::new(),
+            fns: Vec::new(),
+        };
+        map.find_test_regions(src);
+        map.find_fns(src);
+        map
+    }
+
+    /// Matching close bracket for the open bracket at code index `i`
+    /// (or the end of file when unbalanced).
+    pub fn close_of(&self, i: usize) -> usize {
+        let c = self.close_of[i];
+        if c == usize::MAX {
+            self.depth.len().saturating_sub(1)
+        } else {
+            c
+        }
+    }
+
+    /// Brace depth of the context containing code token `i`.
+    pub fn depth(&self, i: usize) -> u32 {
+        self.depth[i]
+    }
+
+    /// Whether code token `i` lies in test code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s <= i && i <= e)
+    }
+
+    /// Innermost function span whose *body* contains code token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_open <= i && i <= f.body_close)
+            .min_by_key(|f| f.body_close - f.body_open)
+    }
+
+    /// Innermost function whose whole item (signature + body) contains
+    /// code token `i` — attributes parameters to their function.
+    pub fn enclosing_fn_item(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.sig_start <= i && i <= f.body_close)
+            .min_by_key(|f| f.body_close - f.sig_start)
+    }
+
+    /// Marks `#[cfg(test)]`-annotated items and `#[test]` fns: the
+    /// brace block following the attribute becomes a test region.
+    fn find_test_regions(&mut self, src: &SourceFile) {
+        let n = src.len();
+        let mut i = 0;
+        while i < n {
+            if !(src.is_punct(i, '#') && src.is_punct(i + 1, '[')) {
+                i += 1;
+                continue;
+            }
+            let attr_close = self.close_of(i + 1);
+            if self.attr_is_test(src, i + 2, attr_close) {
+                // Find the annotated item's block: the first `{` after
+                // the attribute, skipping bracketed groups (parameter
+                // lists, further attributes). A `;` first means a
+                // block-less item (`#[cfg(test)] use …;`).
+                let mut j = attr_close + 1;
+                while j < n {
+                    if src.is_punct(j, ';') {
+                        break;
+                    }
+                    if src.is_punct(j, '{') {
+                        self.test_regions.push((j, self.close_of(j)));
+                        break;
+                    }
+                    if src.is_punct(j, '(') || src.is_punct(j, '[') {
+                        j = self.close_of(j);
+                    }
+                    j += 1;
+                }
+            }
+            i = attr_close + 1;
+        }
+    }
+
+    /// Whether the attribute tokens in `(start..end)` denote test
+    /// code: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but
+    /// not `#[cfg(not(test))]`.
+    fn attr_is_test(&self, src: &SourceFile, start: usize, end: usize) -> bool {
+        if src.is_ident(start, "test") && start + 1 == end {
+            return true;
+        }
+        if !src.is_ident(start, "cfg") {
+            return false;
+        }
+        let mut negated_until = 0usize;
+        for j in start + 1..end {
+            if src.is_ident(j, "not") && src.is_punct(j + 1, '(') {
+                negated_until = negated_until.max(self.close_of(j + 1));
+            }
+            if src.is_ident(j, "test") && j > negated_until {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records every `fn name(…) … { … }` item, nested fns included.
+    fn find_fns(&mut self, src: &SourceFile) {
+        let n = src.len();
+        for i in 0..n {
+            if !src.is_ident(i, "fn") || !src.is_any_ident(i + 1) {
+                continue;
+            }
+            // Skip `fn` in type position (`fn(` / `Fn(`): requires a
+            // name identifier right after, which types don't have.
+            let name = src.text_of(i + 1).to_string();
+            let mut j = i + 2;
+            let mut body = None;
+            while j < n {
+                if src.is_punct(j, ';') {
+                    break; // trait method declaration — no body
+                }
+                if src.is_punct(j, '{') {
+                    body = Some(j);
+                    break;
+                }
+                if src.is_punct(j, '(') || src.is_punct(j, '[') {
+                    j = self.close_of(j);
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                self.fns.push(FnSpan {
+                    name,
+                    sig_start: i,
+                    body_open: open,
+                    body_close: self.close_of(open),
+                });
+            }
+        }
+    }
+}
+
+/// All code-token extents `(open_paren, close_paren)` of calls to
+/// `name(…)` — used by the float-reduce-order rule to exempt the
+/// fixed-association `chunked_sum`/`par_reduce` call sites.
+pub fn call_extents(src: &SourceFile, scopes: &ScopeMap, name: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..src.len() {
+        if src.is_ident(i, name) && src.is_punct(i + 1, '(') {
+            out.push((i + 1, scopes.close_of(i + 1)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(srctext: &str) -> (SourceFile, ScopeMap) {
+        let src = SourceFile::new("x.rs", srctext);
+        let map = ScopeMap::build(&src);
+        (src, map)
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let text = "
+            fn real() { work(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn t() { helper(); }
+            }
+            #[cfg(not(test))]
+            fn also_real() { more(); }
+        ";
+        let (src, map) = setup(text);
+        let idx = |name: &str| (0..src.len()).find(|&i| src.is_ident(i, name)).unwrap();
+        assert!(!map.in_test(idx("work")));
+        assert!(map.in_test(idx("helper")));
+        assert!(map.in_test(idx("t")));
+        assert!(!map.in_test(idx("more")));
+    }
+
+    #[test]
+    fn fn_spans_track_names_and_nesting() {
+        let text = "
+            fn outer(a: usize) -> usize {
+                fn inner() { body(); }
+                tail()
+            }
+        ";
+        let (src, map) = setup(text);
+        let body = (0..src.len()).find(|&i| src.is_ident(i, "body")).unwrap();
+        let tail = (0..src.len()).find(|&i| src.is_ident(i, "tail")).unwrap();
+        assert_eq!(map.enclosing_fn(body).unwrap().name, "inner");
+        assert_eq!(map.enclosing_fn(tail).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn depth_and_brackets() {
+        let (src, map) = setup("fn f() { { inner(); } }");
+        let inner = (0..src.len()).find(|&i| src.is_ident(i, "inner")).unwrap();
+        assert_eq!(map.depth(inner), 2);
+        let first_open = (0..src.len()).find(|&i| src.is_punct(i, '{')).unwrap();
+        assert_eq!(map.close_of(first_open), src.len() - 1);
+    }
+}

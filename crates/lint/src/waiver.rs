@@ -1,0 +1,154 @@
+//! Inline waivers: `// lint:allow(rule-name): reason`.
+//!
+//! A waiver suppresses findings of the named rule on its own line
+//! (trailing comment) or, when the comment stands alone on a line, on
+//! the next code line. The grammar is deliberately strict:
+//!
+//! - the rule name must be a registered rule,
+//! - the reason must be non-empty — a waiver is a reviewed exception,
+//!   and the reason is where the review lives,
+//! - doc comments don't carry waivers (they are API documentation,
+//!   not annotations).
+//!
+//! Violations of the grammar are themselves findings
+//! (`invalid-waiver`), and a valid waiver that suppressed nothing is
+//! flagged too (`unused-waiver`) so stale exceptions cannot linger
+//! after the code they excused is gone.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::scope::SourceFile;
+
+pub struct Waiver {
+    pub rule: String,
+    /// Line whose findings this waiver covers.
+    pub target_line: u32,
+    /// Where the waiver itself sits (for unused-waiver findings).
+    pub line: u32,
+    pub col: u32,
+    pub used: bool,
+}
+
+/// Scans comments for waivers. Grammar errors are appended to
+/// `findings` immediately; valid waivers are returned for matching.
+pub fn collect(src: &SourceFile, known_rules: &[&str], findings: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (ti, tok) in src.toks.iter().enumerate() {
+        if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(&src.text);
+        let Some(at) = text.find("lint:allow") else {
+            continue;
+        };
+        let invalid = |msg: &str| Finding {
+            rule: "invalid-waiver".into(),
+            file: src.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: msg.to_string(),
+        };
+        let rest = &text[at + "lint:allow".len()..];
+        let Some(rest) = rest.strip_prefix('(') else {
+            findings.push(invalid(
+                "malformed waiver: expected `lint:allow(rule): reason`",
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(invalid("malformed waiver: missing `)` after rule name"));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known_rules.contains(&rule.as_str()) {
+            findings.push(invalid(&format!(
+                "waiver names unknown rule `{rule}` (see --list-rules)"
+            )));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = match after.strip_prefix(':') {
+            Some(r) => r.trim().trim_end_matches("*/").trim(),
+            None => {
+                findings.push(invalid(&format!(
+                    "waiver for `{rule}` is missing the `: reason` clause"
+                )));
+                continue;
+            }
+        };
+        if reason.is_empty() {
+            findings.push(invalid(&format!(
+                "waiver for `{rule}` has an empty reason — a waiver is a \
+                 reviewed exception and must say why"
+            )));
+            continue;
+        }
+        // Trailing comment waives its own line; a standalone comment
+        // line waives the next code line.
+        let standalone = src
+            .toks
+            .iter()
+            .take(ti)
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .count()
+            == 0;
+        let target_line = if standalone {
+            src.toks[ti + 1..]
+                .iter()
+                .find(|t| !t.is_comment())
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        } else {
+            tok.line
+        };
+        out.push(Waiver {
+            rule,
+            target_line,
+            line: tok.line,
+            col: tok.col,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Partitions `raw` findings into surviving ones and a waived count,
+/// then reports unused waivers. Meta findings (`invalid-waiver`,
+/// `unused-waiver`) cannot be waived.
+pub fn apply(
+    src: &SourceFile,
+    mut waivers: Vec<Waiver>,
+    raw: Vec<Finding>,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let mut waived = 0usize;
+    for f in raw {
+        let slot = waivers.iter_mut().find(|w| {
+            !matches!(f.rule.as_str(), "invalid-waiver" | "unused-waiver")
+                && w.rule == f.rule
+                && w.target_line == f.line
+        });
+        match slot {
+            Some(w) => {
+                w.used = true;
+                waived += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    for w in waivers.iter().filter(|w| !w.used) {
+        findings.push(Finding {
+            rule: "unused-waiver".into(),
+            file: src.path.clone(),
+            line: w.line,
+            col: w.col,
+            message: format!(
+                "waiver for `{}` suppressed nothing — remove it or move it \
+                 next to the site it excuses",
+                w.rule
+            ),
+        });
+    }
+    waived
+}

@@ -1,0 +1,100 @@
+//! Workspace driver: file discovery, scope matching, and the
+//! аnalyze-everything entry point used by the CLI and CI.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::Report;
+use crate::rules;
+
+/// Locates the workspace root by walking up from `start` to the
+/// first `Cargo.toml` containing a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Directories never descended into: build output, the offline
+/// dependency stand-ins (not first-party code), VCS metadata, and the
+/// analyzer's own seeded-violation corpus.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// All `.rs` files under `root` (workspace-relative, `/`-separated)
+/// that at least one rule's scope covers.
+pub fn discover(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+                continue;
+            }
+            if !name.ends_with(".rs") {
+                continue;
+            }
+            let rel = relative_to(root, &path);
+            if rules::all().iter().any(|r| r.scope.matches(&rel)) {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyzes every in-scope file under `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let files = discover(root)?;
+    analyze_files(root, &files)
+}
+
+/// Analyzes the given workspace-relative files, each under the rules
+/// whose scope covers it. Files no rule covers are skipped (and not
+/// counted as scanned).
+pub fn analyze_files(root: &Path, files: &[String]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for rel in files {
+        let applicable: Vec<&str> = rules::all()
+            .iter()
+            .filter(|r| r.scope.matches(rel))
+            .map(|r| r.id)
+            .collect();
+        if applicable.is_empty() {
+            continue;
+        }
+        let text = fs::read_to_string(root.join(rel))?;
+        let result = crate::analyze_source(rel, &text, &applicable);
+        report.findings.extend(result.findings);
+        report.waived += result.waived;
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative_to(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,87 @@
+//! Waiver grammar and lifecycle: reasons are mandatory, unknown rules
+//! are rejected, suppression is counted, and stale waivers surface.
+
+fn findings_of(text: &str, rules: &[&str]) -> Vec<String> {
+    let mut out: Vec<String> = hadfl_lint::analyze_source("w.rs", text, rules)
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}", f.line, f.rule))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn valid_waiver_suppresses_and_counts() {
+    let text = "pub fn f() -> std::time::Instant {\n\
+                \x20   // lint:allow(ambient-clock): bootstrap runs before the seam exists\n\
+                \x20   std::time::Instant::now()\n\
+                }\n";
+    let result = hadfl_lint::analyze_source("w.rs", text, &["ambient-clock"]);
+    assert!(result.findings.is_empty(), "{:?}", result.findings);
+    assert_eq!(result.waived, 1);
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let text = "pub fn f() -> std::time::Instant {\n\
+                \x20   std::time::Instant::now() // lint:allow(ambient-clock): pre-seam bootstrap\n\
+                }\n";
+    let result = hadfl_lint::analyze_source("w.rs", text, &["ambient-clock"]);
+    assert!(result.findings.is_empty(), "{:?}", result.findings);
+    assert_eq!(result.waived, 1);
+}
+
+#[test]
+fn missing_reason_is_rejected_and_does_not_suppress() {
+    let text = "pub fn f() -> std::time::Instant {\n\
+                \x20   // lint:allow(ambient-clock)\n\
+                \x20   std::time::Instant::now()\n\
+                }\n";
+    let got = findings_of(text, &["ambient-clock"]);
+    // The malformed waiver is itself a finding AND the violation it
+    // failed to waive still fires.
+    assert_eq!(got, ["2:invalid-waiver", "3:ambient-clock"]);
+}
+
+#[test]
+fn empty_reason_is_rejected() {
+    let text = "// lint:allow(ambient-clock):   \nfn f() {}\n";
+    let got = findings_of(text, &["ambient-clock"]);
+    assert_eq!(got, ["1:invalid-waiver"]);
+}
+
+#[test]
+fn unknown_rule_is_rejected() {
+    let text = "// lint:allow(no-such-rule): reason\nfn f() {}\n";
+    let got = findings_of(text, &["ambient-clock"]);
+    assert_eq!(got, ["1:invalid-waiver"]);
+}
+
+#[test]
+fn unused_waiver_is_flagged() {
+    let text = "// lint:allow(ambient-clock): nothing here reads a clock\nfn f() {}\n";
+    let got = findings_of(text, &["ambient-clock"]);
+    assert_eq!(got, ["1:unused-waiver"]);
+}
+
+#[test]
+fn waiver_only_covers_its_own_rule() {
+    let text = "pub fn f() -> std::time::Instant {\n\
+                \x20   // lint:allow(print-in-protocol): wrong rule for the site below\n\
+                \x20   std::time::Instant::now()\n\
+                }\n";
+    let got = findings_of(text, &["ambient-clock"]);
+    // The clock violation fires and the mistargeted waiver is unused.
+    assert_eq!(got, ["2:unused-waiver", "3:ambient-clock"]);
+}
+
+#[test]
+fn doc_comments_do_not_carry_waivers() {
+    let text = "/// lint:allow(ambient-clock): docs are not annotations\n\
+                pub fn f() -> std::time::Instant {\n\
+                \x20   std::time::Instant::now()\n\
+                }\n";
+    let got = findings_of(text, &["ambient-clock"]);
+    assert_eq!(got, ["3:ambient-clock"]);
+}

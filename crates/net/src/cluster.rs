@@ -258,6 +258,8 @@ impl ClusterConfig {
             })
             .collect();
         let root = Value::Object(vec![("nodes".to_string(), Value::Array(nodes))]);
+        // lint:allow(unwrap-in-protocol): serializing the Value tree built just above cannot
+        // fail — every float in it was validated finite by `Cluster::new`
         serde_json::to_string_pretty(&root).expect("cluster JSON has no non-finite floats")
     }
 

@@ -25,7 +25,7 @@
 // `#[allow]` with its invariant spelled out.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -97,7 +97,7 @@ struct Shared {
     /// Clock readings (durations since the port's clock epoch) of the
     /// last traffic per peer. Timestamps go through the [`Clock`] seam
     /// so tests and the model checker can run on virtual time.
-    last_seen: Mutex<HashMap<usize, Duration>>,
+    last_seen: Mutex<BTreeMap<usize, Duration>>,
     shutdown: AtomicBool,
     clock: Arc<dyn Clock>,
     opts: TcpOptions,
@@ -219,7 +219,7 @@ impl BoundNode {
             inbound_tx,
             stats: Mutex::new(NetStats::new()),
             raw_bytes: AtomicU64::new(0),
-            last_seen: Mutex::new(HashMap::new()),
+            last_seen: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             clock,
             opts: opts.clone(),
@@ -232,7 +232,7 @@ impl BoundNode {
         let accept_shared = Arc::clone(&shared);
         let listener = self.listener;
         thread::spawn(move || accept_loop(listener, accept_shared));
-        let conns = Arc::new(Mutex::new(HashMap::new()));
+        let conns = Arc::new(Mutex::new(BTreeMap::new()));
         if let Some(interval) = opts.heartbeat_interval {
             let hb_shared = Arc::clone(&shared);
             let hb_conns = Arc::clone(&conns);
@@ -251,7 +251,7 @@ impl BoundNode {
 pub struct TcpPort {
     cluster: ClusterConfig,
     shared: Arc<Shared>,
-    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    conns: Arc<Mutex<BTreeMap<usize, TcpStream>>>,
     inbound_rx: Receiver<Message>,
 }
 
@@ -366,6 +366,41 @@ impl TcpPort {
             opts.max_dial_attempts
         )))
     }
+
+    /// Post-write bookkeeping for a delivered frame: the raw-byte and
+    /// payload ledgers, the `FrameSent` telemetry event, and returning
+    /// the live stream to the connection cache.
+    fn record_send(
+        &self,
+        to: usize,
+        stream: TcpStream,
+        frame: &[u8],
+        payload: u64,
+        msg: &Message,
+        stamp: &CausalStamp,
+    ) {
+        self.shared
+            .raw_bytes
+            .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+        self.shared.stats.lock().record(
+            endpoint_of(self.shared.me, self.shared.devices),
+            endpoint_of(to, self.shared.devices),
+            payload,
+        );
+        if self.shared.tel.enabled() {
+            self.shared.tel.emit(
+                self.shared.clock.now(),
+                EventKind::FrameSent {
+                    src: self.shared.me as u32,
+                    dst: to as u32,
+                    bytes: payload,
+                    kind: msg.kind().to_string(),
+                    lamport: stamp.lamport,
+                },
+            );
+        }
+        self.conns.lock().insert(to, stream);
+    }
 }
 
 /// Read-only view of a [`TcpPort`]'s counters; see
@@ -418,53 +453,29 @@ impl Port for TcpPort {
         // The ledger charges the payload only; the stamp header is
         // transport overhead like the length prefix.
         let payload = (frame.len() - wire::STAMP_LEN) as u64;
-        // One reconnect round: a cached connection may have died since
-        // the last send; re-dial (with its own backoff budget) once.
         // The stream is taken *out* of the map for the duration of the
         // write, so the `conns` lock is never held across `dial` (which
         // sleeps through backoff) or `write_all` (which can block on a
         // stalled peer until the write timeout) — heartbeats and the
-        // port's other sends stay unblocked.
-        for fresh in [false, true] {
-            let cached = self.conns.lock().remove(&to);
-            let mut stream = match cached {
-                Some(stream) => stream,
-                None => self.dial(to)?,
-            };
-            match write_frame(&mut stream, &frame) {
-                Ok(()) => {
-                    self.shared
-                        .raw_bytes
-                        .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
-                    self.shared.stats.lock().record(
-                        endpoint_of(self.shared.me, self.shared.devices),
-                        endpoint_of(to, self.shared.devices),
-                        payload,
-                    );
-                    if self.shared.tel.enabled() {
-                        self.shared.tel.emit(
-                            self.shared.clock.now(),
-                            EventKind::FrameSent {
-                                src: self.shared.me as u32,
-                                dst: to as u32,
-                                bytes: payload,
-                                kind: msg.kind().to_string(),
-                                lamport: stamp.lamport,
-                            },
-                        );
-                    }
-                    self.conns.lock().insert(to, stream);
-                    return Ok(());
-                }
-                Err(e) if !fresh => {
-                    let _ = e; // stale socket: drop it and re-dial
-                }
-                Err(e) => {
-                    return Err(HadflError::InvalidConfig(format!("send to {to}: {e}")));
-                }
+        // port's other sends stay unblocked. The take must be its own
+        // statement: an `if let` scrutinee's guard lives through the
+        // body (edition 2021), which would deadlock `record_send`'s
+        // re-lock of `conns`.
+        let cached = self.conns.lock().remove(&to);
+        if let Some(mut stream) = cached {
+            // A cached connection may have died since the last send;
+            // a failed write drops it and falls through to a fresh
+            // dial (which has its own backoff budget).
+            if write_frame(&mut stream, &frame).is_ok() {
+                self.record_send(to, stream, &frame, payload, msg, &stamp);
+                return Ok(());
             }
         }
-        unreachable!("second pass either returns Ok or Err");
+        let mut stream = self.dial(to)?;
+        write_frame(&mut stream, &frame)
+            .map_err(|e| HadflError::InvalidConfig(format!("send to {to}: {e}")))?;
+        self.record_send(to, stream, &frame, payload, msg, &stamp);
+        Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<Message>, HadflError> {
@@ -537,11 +548,11 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 let mut byte = [0u8; 1];
                 match stream.read(&mut byte) {
                     Ok(0) => return,
-                    Ok(1) => {
+                    // A non-zero read into a one-byte buffer is one byte.
+                    Ok(_) => {
                         pending.push(byte[0]);
                         continue;
                     }
-                    Ok(_) => unreachable!("one-byte buffer"),
                     Err(e)
                         if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
                     {
@@ -629,7 +640,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
 
 fn heartbeat_loop(
     shared: Arc<Shared>,
-    conns: Arc<Mutex<HashMap<usize, TcpStream>>>,
+    conns: Arc<Mutex<BTreeMap<usize, TcpStream>>>,
     interval: Duration,
 ) {
     let msg = Message::Heartbeat {

@@ -1,149 +1,14 @@
 #!/usr/bin/env bash
-# Pattern gates that clippy cannot express, enforced in CI (see
-# .github/workflows/ci.yml) and runnable locally:
+# Workspace static-analysis gate. The pattern rules formerly written
+# as grep/awk heuristics here now live in `crates/lint` (hadfl-lint),
+# a scope-aware analyzer with its own lexer, waiver grammar, and a
+# seeded-violation fixture corpus. See DESIGN.md §11 for the rule
+# catalogue and tools/lint.sh history for what each rule replaced.
 #
-#   1. No ambient time in the protocol paths. `crates/core/src/exec.rs`
-#      and `crates/net/src/tcp.rs` must take time through the
-#      `hadfl::clock::Clock` seam — a raw `Instant::now()` or
-#      `SystemTime::now()` there is invisible to `hadfl-check`'s
-#      deterministic scheduler and breaks exhaustive exploration.
-#
-#   2. No lock guard held across `Port::send`. A send can block on a
-#      slow peer's TCP buffer; holding a mutex meanwhile stalls the
-#      reader/heartbeat threads into a distributed deadlock. Guards
-#      must be dropped (or confined to a temporary) before sending.
-#
-#   3. No `println!`/`eprintln!` in the protocol hot paths. Runtime
-#      observability goes through the `hadfl-telemetry` event layer
-#      (structured, schema-versioned, zero-cost when disabled) — stray
-#      prints bypass the sinks, garble node output parsed by tests,
-#      and cost formatting on every call even when nobody listens.
-#
-#   4. No raw frame construction outside `wire::seal`/`wire::open`.
-#      Every on-wire frame carries a causal stamp (origin + Lamport
-#      clock); a transport that calls `Message::encode`/`decode`
-#      directly ships an unstamped frame the causal merge cannot
-#      order. `encoded_len` (payload-ledger accounting) is exempt, as
-#      is `exec.rs`'s `digest_msg` (a model-checker digest, not a
-#      wire frame).
-#
-#   5. No raw `thread::spawn` in the compute kernels. Parallelism in
-#      `crates/tensor`, `crates/nn`, and `core/src/aggregate.rs` must
-#      go through the `hadfl-par` substrate, whose fixed chunk
-#      boundaries and ordered combines are what keep results
-#      bit-identical at any thread count (DESIGN.md §10). The
-#      executor's long-lived driver threads (`exec.rs`) are exempt —
-#      they are actors, not data-parallel kernels.
-#
-# Exit status: 0 clean, 1 any gate tripped.
+# Exit status (hadfl-lint's own contract, preserved from the old
+# script): 0 clean, 1 any finding, 2 usage or I/O error.
 set -u
 
 cd "$(dirname "$0")/.."
 
-CLOCKED_FILES="crates/core/src/exec.rs crates/net/src/tcp.rs"
-status=0
-
-# ---- gate 1: ambient clocks -------------------------------------------------
-for f in $CLOCKED_FILES; do
-    hits=$(grep -n 'Instant::now()\|SystemTime::now()' "$f" || true)
-    if [ -n "$hits" ]; then
-        echo "lint: ambient clock in $f (use the hadfl::clock::Clock seam):"
-        echo "$hits" | sed "s|^|  $f:|"
-        status=1
-    fi
-done
-
-# ---- gate 2: lock guard held across Port::send ------------------------------
-# Heuristic: a `let`-bound `.lock()` guard lives to the end of its
-# block; flag any two-argument `.send(to, msg)` (the `Port::send`
-# shape — one-argument channel sends are non-blocking and exempt)
-# while such a guard is in scope. Expression-temporary locks like
-# `x.lock().insert(..)` drop their guard at the statement boundary
-# and are exempt.
-for f in $CLOCKED_FILES; do
-    hits=$(awk '
-        function brace_delta(s,    t, opens, closes) {
-            t = s; opens = gsub(/{/, "", t)
-            t = s; closes = gsub(/}/, "", t)
-            return opens - closes
-        }
-        {
-            line = $0
-            sub(/\/\/.*/, "", line)
-            if (line ~ /let[ \t]+(mut[ \t]+)?[A-Za-z_][A-Za-z0-9_]*[^;]*\.lock\(\)/ \
-                && line !~ /\.lock\(\)[ \t]*\./) {
-                g_n += 1; g_depth[g_n] = depth; g_line[g_n] = FNR
-            }
-            if (line ~ /\.send\([^,)]+,/) {
-                for (i = 1; i <= g_n; i++) {
-                    if (g_depth[i] >= 0)
-                        printf "%d: Port::send with the lock guard from line %d still held\n", FNR, g_line[i]
-                }
-            }
-            depth += brace_delta(line)
-            for (i = 1; i <= g_n; i++)
-                if (g_depth[i] >= 0 && depth < g_depth[i]) g_depth[i] = -1
-        }' "$f")
-    if [ -n "$hits" ]; then
-        echo "lint: lock guard held across Port::send in $f:"
-        echo "$hits" | sed "s|^|  $f:|"
-        status=1
-    fi
-done
-
-# ---- gate 3: stdout/stderr prints in protocol hot paths ---------------------
-# Doc examples (`/// println!...`) are fine — only real code trips the
-# gate.
-for f in $CLOCKED_FILES; do
-    hits=$(grep -n 'println!\|eprintln!' "$f" | grep -v '^[0-9]*:[[:space:]]*//' || true)
-    if [ -n "$hits" ]; then
-        echo "lint: print macro in $f (emit a hadfl-telemetry event instead):"
-        echo "$hits" | sed "s|^|  $f:|"
-        status=1
-    fi
-done
-
-# ---- gate 4: raw frame construction outside seal/open -----------------------
-# The stamped frame helpers live in crates/core/src/wire.rs; the
-# transport layers must go through them. `encoded_len` only sizes the
-# payload for the NetStats ledger and does not build a frame.
-FRAME_FILES="crates/core/src/exec.rs crates/core/src/transport.rs crates/net/src/tcp.rs"
-for f in $FRAME_FILES; do
-    hits=$(awk '
-        {
-            line = $0
-            sub(/\/\/.*/, "", line)
-            if (match(line, /fn[ \t]+[A-Za-z_][A-Za-z0-9_]*/)) {
-                fname = substr(line, RSTART + 3, RLENGTH - 3)
-                gsub(/^[ \t]+/, "", fname)
-            }
-            if (line ~ /encoded_len/) next
-            if (line ~ /\.encode\(\)|::decode\(|\.decode\(/ && fname != "digest_msg")
-                printf "%d: raw frame construction in fn %s (use wire::seal / wire::open)\n", FNR, fname
-        }' "$f")
-    if [ -n "$hits" ]; then
-        echo "lint: unstamped frame in $f:"
-        echo "$hits" | sed "s|^|  $f:|"
-        status=1
-    fi
-done
-
-# ---- gate 5: raw thread spawns in compute kernels ---------------------------
-# Data-parallel work in the kernel crates must flow through hadfl-par;
-# a stray `thread::spawn` (or `std::thread::spawn`) there escapes the
-# determinism contract. hadfl-par itself is the one place allowed to
-# spawn.
-KERNEL_SOURCES=$(find crates/tensor/src crates/nn/src -name '*.rs'; echo crates/core/src/aggregate.rs)
-for f in $KERNEL_SOURCES; do
-    hits=$(grep -n 'thread::spawn' "$f" | grep -v '^[0-9]*:[[:space:]]*//' || true)
-    if [ -n "$hits" ]; then
-        echo "lint: raw thread spawn in $f (use the hadfl-par substrate):"
-        echo "$hits" | sed "s|^|  $f:|"
-        status=1
-    fi
-done
-
-if [ "$status" -eq 0 ]; then
-    echo "lint: clean"
-fi
-exit "$status"
+exec cargo run -q -p hadfl-lint -- --workspace "$@"
