@@ -168,6 +168,26 @@ fn bench_span_emission(c: &mut Criterion) {
             emit_pair(black_box(&tel), black_box(i));
         });
     });
+    group.bench_function("ship_queue_sink", |b| {
+        use hadfl_telemetry::ship::{BatchShipper, ShipBatch};
+        use hadfl_telemetry::{ShipOptions, ShipSink};
+
+        /// Discards batches: the bench measures the hot-path cost of
+        /// `ShipQueue::offer` + the channel hop, not a transport.
+        struct NullShipper;
+        impl BatchShipper for NullShipper {
+            fn ship(&mut self, _batch: &ShipBatch) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let sink = ShipSink::new(0, ShipOptions::default(), Box::new(NullShipper));
+        let tel = Telemetry::new(0, vec![Box::new(sink)]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            emit_pair(black_box(&tel), black_box(i));
+        });
+    });
     group.finish();
 }
 

@@ -846,5 +846,8 @@ pub fn describe_message(msg: &Message) -> String {
         Message::Heartbeat { from } => format!("Heartbeat(from {from})"),
         Message::Hello { from } => format!("Hello(from {from})"),
         Message::FinalParams { device, .. } => format!("FinalParams(dev {device})"),
+        Message::TelemetryBatch { node, dropped, .. } => {
+            format!("TelemetryBatch(node {node}, dropped {dropped})")
+        }
     }
 }

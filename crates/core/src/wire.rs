@@ -176,6 +176,21 @@ pub enum Message {
         /// The device's final parameter vector.
         params: Vec<f32>,
     },
+    /// A batch of telemetry events shipped out-of-band to a collector.
+    /// The payload is opaque to the protocol (JSONL-encoded events);
+    /// it rides the same sealed-frame envelope as every other message
+    /// so Lamport stamps stay on one scale, but its bytes are ledgered
+    /// by the shipper's own counter, never by `NetStats` — telemetry
+    /// traffic must not pollute the paper's 2·K·M accounting.
+    TelemetryBatch {
+        /// The shipping participant.
+        node: u32,
+        /// Droppable-class events thinned under backpressure since the
+        /// previous batch (never silent: the collector surfaces this).
+        dropped: u32,
+        /// JSONL-encoded telemetry event lines, UTF-8.
+        payload: Vec<u8>,
+    },
 }
 
 const TAG_PARAM_SYNC: u8 = 1;
@@ -192,6 +207,7 @@ const TAG_SHUTDOWN: u8 = 11;
 const TAG_HEARTBEAT: u8 = 12;
 const TAG_HELLO: u8 = 13;
 const TAG_FINAL_PARAMS: u8 = 14;
+const TAG_TELEMETRY_BATCH: u8 = 15;
 
 fn put_params(buf: &mut BytesMut, params: &[f32]) {
     buf.put_u32_le(params.len() as u32);
@@ -362,6 +378,17 @@ impl Message {
                 buf.put_u32_le(*device);
                 put_params(buf, params);
             }
+            Message::TelemetryBatch {
+                node,
+                dropped,
+                payload,
+            } => {
+                buf.put_u8(TAG_TELEMETRY_BATCH);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*dropped);
+                buf.put_u32_le(payload.len() as u32);
+                buf.put_slice(payload);
+            }
         }
     }
 
@@ -383,6 +410,7 @@ impl Message {
             Message::Heartbeat { .. } => "heartbeat",
             Message::Hello { .. } => "hello",
             Message::FinalParams { .. } => "final_params",
+            Message::TelemetryBatch { .. } => "telemetry_batch",
         }
     }
 
@@ -406,6 +434,7 @@ impl Message {
             Message::ReportRequest { .. } => 1 + 4,
             Message::Shutdown => 1,
             Message::Heartbeat { .. } | Message::Hello { .. } => 1 + 4,
+            Message::TelemetryBatch { payload, .. } => 1 + 4 + 4 + 4 + payload.len(),
         }
     }
 
@@ -538,6 +567,19 @@ impl Message {
                 let params = get_f32s(&mut frame, len);
                 Message::FinalParams { device, params }
             }
+            TAG_TELEMETRY_BATCH => {
+                need(frame, 12)?;
+                let node = frame.get_u32_le();
+                let dropped = frame.get_u32_le();
+                let len = frame.get_u32_le() as usize;
+                need(frame, len)?;
+                let payload = frame.take_bytes(len).to_vec();
+                Message::TelemetryBatch {
+                    node,
+                    dropped,
+                    payload,
+                }
+            }
             other => {
                 return Err(HadflError::InvalidConfig(format!(
                     "unknown message tag {other}"
@@ -621,6 +663,42 @@ mod tests {
             device: 2,
             params: vec![0.5, -0.5],
         });
+        roundtrip(Message::TelemetryBatch {
+            node: 4,
+            dropped: 17,
+            payload: b"{\"v\":1}\n{\"v\":1}\n".to_vec(),
+        });
+        roundtrip(Message::TelemetryBatch {
+            node: 0,
+            dropped: 0,
+            payload: vec![],
+        });
+    }
+
+    #[test]
+    fn telemetry_batch_payload_is_opaque_bytes() {
+        // Arbitrary (even non-UTF-8) payload bytes survive untouched:
+        // the wire layer must not interpret the batch contents.
+        let payload: Vec<u8> = (0u16..400).map(|i| (i % 251) as u8).collect();
+        let msg = Message::TelemetryBatch {
+            node: 9,
+            dropped: 3,
+            payload: payload.clone(),
+        };
+        let frame = msg.encode();
+        assert_eq!(frame.len(), 1 + 4 + 4 + 4 + payload.len());
+        let Message::TelemetryBatch {
+            payload: back,
+            dropped,
+            node,
+        } = Message::decode(&frame).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((node, dropped), (9, 3));
+        assert_eq!(back, payload);
+        // Truncated payloads are rejected, not silently shortened.
+        assert!(Message::decode(&frame[..frame.len() - 1]).is_err());
     }
 
     #[test]

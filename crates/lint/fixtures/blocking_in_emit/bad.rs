@@ -1,0 +1,40 @@
+//! Seeded violations for `blocking-in-emit`: blocking work inside
+//! `emit`/`record` bodies, including via closures defined there.
+
+impl Telemetry {
+    pub fn emit(&self, now: Duration, kind: EventKind) {
+        let mut sinks = self.sinks.lock(); //~ blocking-in-emit
+        for sink in sinks.iter_mut() {
+            sink.record(&kind);
+        }
+    }
+}
+
+impl Sink for FileEverySink {
+    fn record(&mut self, event: &Event) {
+        // Opening the file per event is the classic hot-path stall.
+        let mut f = File::create(&self.path).unwrap(); //~ blocking-in-emit
+        writeln!(f, "{event:?}").ok();
+    }
+}
+
+impl Sink for DialingSink {
+    fn record(&mut self, event: &Event) {
+        // A fresh TCP dial per event blocks on the network.
+        if let Ok(mut s) = TcpStream::connect(&self.addr) { //~ blocking-in-emit
+            let _ = s.write_all(b"x");
+        }
+        let _ = UdpSocket::bind("0.0.0.0:0"); //~ blocking-in-emit
+    }
+}
+
+impl Sink for AppendingSink {
+    fn record(&mut self, event: &Event) {
+        let open = || {
+            // The closure runs inside record: still the hot path.
+            OpenOptions::new().append(true).open(&self.path) //~ blocking-in-emit
+        };
+        let _ = open();
+        fs::write(&self.path, b"event").ok(); //~ blocking-in-emit
+    }
+}

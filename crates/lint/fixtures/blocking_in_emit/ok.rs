@@ -1,0 +1,67 @@
+//! Known-clean look-alikes for `blocking-in-emit`.
+
+impl Sink for ChannelSink {
+    fn record(&mut self, event: &Event) {
+        // The sanctioned hot path: classification + atomics + a
+        // channel send; a worker thread does the blocking work.
+        if is_critical(&event.kind) {
+            let _ = self.tx.send(event.clone());
+        }
+        self.depth.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        // Writing to an ALREADY-OPEN buffered writer is legal — the
+        // open (done in the constructor) is the unbounded stall, not
+        // the write.
+        writeln!(self.out, "{event:?}").ok();
+    }
+}
+
+impl JsonlSink {
+    /// Constructors may open files; they run once, off the hot path.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let out = File::create(path)?;
+        Ok(JsonlSink {
+            out: BufWriter::new(out),
+        })
+    }
+
+    /// Lock use outside emit/record bodies is out of scope here.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.buf.lock().clone()
+    }
+}
+
+/// Doc examples never trip the rule:
+///
+/// ```
+/// fn record(sink: &MySink) {
+///     let guard = sink.state.lock();
+/// }
+/// ```
+pub fn documented() {}
+
+impl Sink for LookalikeSink {
+    fn record(&mut self, event: &Event) {
+        // `lock`-prefixed identifiers are not `.lock()` (token
+        // equality, not substrings), and a local named `fs` is not
+        // the module.
+        self.lock_free_push(event);
+        let fs = event.seq;
+        let _ = fs + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_block_in_record_helpers() {
+        fn record(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+            std::fs::File::create(path)
+        }
+        let _ = record;
+    }
+}

@@ -11,6 +11,7 @@ use crate::report::Finding;
 use crate::scope::{ScopeMap, SourceFile};
 
 pub mod ambient_clock;
+pub mod blocking_in_emit;
 pub mod float_reduce_order;
 pub mod guard_across_send;
 pub mod nondet_iteration;
@@ -67,7 +68,7 @@ pub fn ids() -> Vec<&'static str> {
     RULES.iter().map(|r| r.id).collect()
 }
 
-static RULES: [Rule; 8] = [
+static RULES: [Rule; 9] = [
     Rule {
         id: "ambient-clock",
         summary: "no Instant::now()/SystemTime::now() in protocol paths — time goes \
@@ -178,6 +179,18 @@ static RULES: [Rule; 8] = [
             excludes: &[],
         },
         run: float_reduce_order::run,
+    },
+    Rule {
+        id: "blocking-in-emit",
+        summary: "no .lock() or file/socket construction in Telemetry::emit / \
+                  Sink::record bodies — the telemetry hot path runs inline in \
+                  protocol threads; blocking work goes to a shipper thread",
+        scope: Scope {
+            dirs: &["crates/telemetry/src/"],
+            files: &[],
+            excludes: &[],
+        },
+        run: blocking_in_emit::run,
     },
 ];
 

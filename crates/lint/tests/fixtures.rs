@@ -102,6 +102,11 @@ fn float_reduce_order() {
 }
 
 #[test]
+fn blocking_in_emit() {
+    check_dir("blocking_in_emit", &["blocking-in-emit"]);
+}
+
+#[test]
 fn waiver_corpus() {
     check_dir("waivers", &["ambient-clock"]);
 }

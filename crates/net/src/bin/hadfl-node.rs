@@ -24,14 +24,17 @@ use hadfl::exec::{run_coordinator_instrumented, run_device_instrumented, Protoco
 use hadfl::trace::CommSummary;
 use hadfl::{HadflConfig, HadflError, Workload};
 use hadfl_net::cluster::{ClusterConfig, Role};
+use hadfl_net::ship::TcpShipper;
 use hadfl_net::tcp::{BoundNode, TcpOptions};
 use hadfl_telemetry::{
-    serve_metrics, JsonlSink, MetricsRegistry, MetricsServer, MetricsSink, Sink, Telemetry,
+    serve_metrics, JsonlSink, MetricsRegistry, MetricsServer, MetricsSink, ShipOptions, ShipSink,
+    Sink, Telemetry,
 };
 
 const USAGE: &str = "usage: hadfl-node --cluster <file.toml|file.json> --id <n> \
 [--model mlp] [--seed 0] [--rounds 3] [--window-ms 1000] [--step-sleep-ms 4] \
-[--num-selected 2] [--telemetry-dir <dir>] [--metrics-addr <host:port>]";
+[--num-selected 2] [--telemetry-dir <dir>] [--metrics-addr <host:port>] \
+[--ship-to <host:port>]";
 
 struct Args {
     cluster: String,
@@ -44,6 +47,7 @@ struct Args {
     num_selected: usize,
     telemetry_dir: Option<String>,
     metrics_addr: Option<String>,
+    ship_to: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
     let mut num_selected = 2usize;
     let mut telemetry_dir = None;
     let mut metrics_addr = None;
+    let mut ship_to = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -93,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+            "--ship-to" => ship_to = Some(value("--ship-to")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -108,13 +114,15 @@ fn parse_args() -> Result<Args, String> {
         num_selected,
         telemetry_dir,
         metrics_addr,
+        ship_to,
     })
 }
 
 /// Builds the node's [`Telemetry`] handle from the observability flags:
 /// `--telemetry-dir` adds a per-node JSONL sink (`node-<id>.jsonl`),
 /// `--metrics-addr` adds a metrics sink behind a Prometheus-style text
-/// endpoint. Neither flag ⇒ the zero-cost disabled handle.
+/// endpoint, `--ship-to` adds a `ShipSink` streaming batches to a
+/// `hadfl-collector`. No flags ⇒ the zero-cost disabled handle.
 fn build_telemetry(args: &Args) -> Result<(Telemetry, Option<MetricsServer>), HadflError> {
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
     if let Some(dir) = &args.telemetry_dir {
@@ -137,11 +145,22 @@ fn build_telemetry(args: &Args) -> Result<(Telemetry, Option<MetricsServer>), Ha
         );
         server = Some(srv);
     }
-    if sinks.is_empty() {
-        Ok((Telemetry::disabled(), None))
-    } else {
-        Ok((Telemetry::new(args.id as u32, sinks), server))
+    if sinks.is_empty() && args.ship_to.is_none() {
+        return Ok((Telemetry::disabled(), None));
     }
+    let tel = Telemetry::new(args.id as u32, sinks);
+    if let Some(addr) = &args.ship_to {
+        // The shipper stamps outgoing batches with this node's own
+        // Lamport clock, so it attaches after the handle exists.
+        let shipper = TcpShipper::new(addr, args.id as u32, tel.lamport_clock());
+        tel.attach_sink(Box::new(ShipSink::new(
+            args.id as u32,
+            ShipOptions::default(),
+            Box::new(shipper),
+        )));
+        eprintln!("hadfl-node: shipping telemetry to {addr}");
+    }
+    Ok((tel, server))
 }
 
 fn run(args: &Args) -> Result<(), HadflError> {

@@ -22,7 +22,11 @@
 //! on the same ledger as the analytical simulation driver.
 
 pub mod cluster;
+pub mod collector;
+pub mod ship;
 pub mod tcp;
 
 pub use cluster::{ClusterConfig, NodeSpec, Role};
+pub use collector::{Collector, CollectorOptions, CollectorServer, FleetStatus, NodeIngest};
+pub use ship::{ShipLedger, TcpShipper};
 pub use tcp::{BoundNode, TcpOptions, TcpPort};

@@ -1,0 +1,355 @@
+//! End-to-end collector tests: the 1k-device simulated fleet shipped
+//! over real TCP into a running [`CollectorServer`], and a scripted
+//! [`ManualClock`] reproduction of every health rule.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use hadfl::clock::{Clock, ManualClock, WallClock};
+use hadfl_net::collector::{Collector, CollectorOptions, CollectorServer};
+use hadfl_net::ship::TcpShipper;
+use hadfl_simnet::{simulate_fleet, DeadSpec, FleetConfig, StragglerSpec};
+use hadfl_telemetry::health::HealthOptions;
+use hadfl_telemetry::ship::{ShipOptions, ShipSink};
+use hadfl_telemetry::sink::Sink;
+use hadfl_telemetry::{Event, EventKind, FollowState, MetricsRegistry, SCHEMA_VERSION};
+
+/// Minimal HTTP/1.1 GET against the collector's endpoint; returns the
+/// full response (headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: collector\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn thousand_device_fleet_ships_through_a_live_collector() {
+    let cfg = FleetConfig {
+        devices: 1000,
+        rounds: 5,
+        num_selected: 32,
+        param_bytes: 64 * 1024,
+        straggler: Some(StragglerSpec {
+            device: 3,
+            from_round: 1,
+            slow_factor: 10.0,
+        }),
+        dead: Some(DeadSpec {
+            device: 7,
+            at_round: 3,
+        }),
+        ..FleetConfig::default()
+    };
+    let mut events = Vec::new();
+    let report = simulate_fleet(&cfg, &mut |e| events.push(e)).expect("fleet run");
+    assert_eq!(report.events_emitted, events.len() as u64);
+
+    let spool = std::env::temp_dir().join(format!(
+        "hadfl-collector-fleet-{}.jsonl",
+        std::process::id()
+    ));
+    let opts = CollectorOptions {
+        spool: Some(spool.clone()),
+        ..CollectorOptions::default()
+    };
+    let registry = MetricsRegistry::new();
+    let collector = Collector::new(WallClock::shared(), registry, &opts).expect("collector setup");
+    let server = CollectorServer::start(
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        Arc::new(Mutex::new(collector)),
+        Duration::from_millis(20),
+        CollectorOptions::default().max_frame_bytes,
+    )
+    .expect("collector server");
+
+    // Ship the whole fleet's stream through the production path: the
+    // ShipSink queue + shipper thread + sealed TCP frames. Capacity is
+    // raised above the event count so the parity check stays exact.
+    let coordinator = cfg.devices as u32;
+    let shipper = TcpShipper::new(
+        &server.ingest_addr().to_string(),
+        coordinator,
+        hadfl_telemetry::LamportClock::new(),
+    );
+    let ledger = shipper.ledger();
+    {
+        let mut sink = ShipSink::new(
+            coordinator,
+            ShipOptions {
+                capacity: events.len() + 1,
+                ..ShipOptions::default()
+            },
+            Box::new(shipper),
+        );
+        for event in &events {
+            sink.record(event);
+        }
+        sink.flush();
+    } // drop joins the shipper thread after a final flush
+
+    // Wait for the collector to apply every event.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let applied = server.collector().lock().status().events_applied;
+        if applied >= report.events_emitted {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "collector applied only {applied}/{} events",
+            report.events_emitted
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let status = server.collector().lock().status();
+    assert_eq!(status.events_applied, report.events_emitted);
+    assert_eq!(status.garbage_lines, 0);
+    assert_eq!(status.events_dropped, 0, "capacity was above event count");
+
+    // Telemetry is ledgered apart from param traffic, and the claim
+    // under test: observing the fleet costs < 5% of moving its
+    // parameters. Both sides of the wire must agree on the ledger.
+    assert_eq!(
+        status.telemetry_bytes,
+        ledger.payload_bytes(),
+        "shipper and collector ledgers disagree"
+    );
+    assert!(
+        status.telemetry_bytes < report.param_bytes_total / 20,
+        "telemetry {} bytes >= 5% of param {} bytes",
+        status.telemetry_bytes,
+        report.param_bytes_total
+    );
+
+    // The injected faults each raise their alert, within 3 rounds.
+    let alerts = status.report.alerts;
+    let straggler = alerts
+        .iter()
+        .find(|a| a.rule == "straggler" && a.device == Some(3))
+        .expect("straggler alert for device 3");
+    assert!(
+        straggler.round.unwrap_or(u32::MAX) <= 1 + 2,
+        "straggler alert too late: {straggler:?}"
+    );
+    let dead = alerts
+        .iter()
+        .find(|a| a.rule == "dead-device" && a.device == Some(7))
+        .expect("dead-device alert for device 7");
+    assert!(
+        dead.round.unwrap_or(u32::MAX) <= 3 + 2,
+        "dead-device alert too late: {dead:?}"
+    );
+    assert!(
+        !alerts.iter().any(|a| a.rule == "round-watchdog"),
+        "no stalled rounds in a completed run: {alerts:?}"
+    );
+
+    // The HTTP surface serves the same picture.
+    let health = http_get(server.http_addr(), "/health");
+    assert!(health.contains("200 OK"), "{health}");
+    assert!(health.contains("application/json"), "{health}");
+    assert!(health.contains("\"straggler\""), "{health}");
+    assert!(health.contains("\"dead-device\""), "{health}");
+    let metrics = http_get(server.http_addr(), "/metrics");
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("hadfl_fleet_nodes"), "{metrics}");
+    assert!(
+        metrics.contains("hadfl_fleet_alerts{rule=\"straggler\"}"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+
+    // The spool is the merged `(lam, node, seq)` timeline, in exactly
+    // the format `hadfl-trace --follow` tails.
+    let spooled = std::fs::read_to_string(&spool).expect("read spool");
+    let mut follow = FollowState::new();
+    let mut last_lam = 0u64;
+    for line in spooled.lines() {
+        let event = Event::from_json(line).expect("spool line parses");
+        assert!(event.lam >= last_lam, "spool out of causal order");
+        last_lam = event.lam;
+        follow.observe(&event);
+    }
+    assert_eq!(follow.events_seen(), report.events_emitted);
+    let rendered = follow.render(16);
+    assert!(rendered.contains("round"), "{rendered}");
+    let _ = std::fs::remove_file(&spool);
+}
+
+/// Builds one scripted event; `lam` doubles as seq for brevity.
+fn ev(node: u32, lam: u64, kind: EventKind) -> Event {
+    Event {
+        v: SCHEMA_VERSION,
+        seq: lam,
+        node,
+        t_us: lam * 1_000,
+        lam,
+        kind,
+    }
+}
+
+/// Scripts a collector on a [`ManualClock`] through every health rule
+/// and returns the serialized alerts, in the order they were raised.
+fn scripted_alerts() -> Vec<String> {
+    let clock = ManualClock::new();
+    let opts = CollectorOptions {
+        health: HealthOptions {
+            round_deadline: Duration::from_secs(10),
+            budget_bytes: Some(1_000),
+            ..HealthOptions::default()
+        },
+        ..CollectorOptions::default()
+    };
+    let registry = MetricsRegistry::new();
+    let clock_dyn: Arc<dyn Clock> = Arc::new(clock.clone());
+    let mut collector = Collector::new(clock_dyn, registry, &opts).expect("collector setup");
+
+    // Round 1 planned; everyone healthy so far.
+    collector.ingest_event(ev(
+        1000,
+        1,
+        EventKind::RoundPlanned {
+            round: 1,
+            available: vec![0, 1, 2],
+            versions: vec![100.0, 100.0, 100.0],
+            probabilities: vec![1.0 / 3.0; 3],
+            selected: vec![0, 1],
+            unselected: vec![2],
+            broadcaster: 0,
+        },
+    ));
+    collector.tick();
+    assert!(collector.alerts().is_empty(), "{:?}", collector.alerts());
+
+    // 1. No ring progress for 11s > 10s deadline: round-watchdog.
+    clock.advance(Duration::from_secs(11));
+    collector.tick();
+
+    // 2. Device 1 found dead twice: dead-device via repeated bypass.
+    collector.ingest_event(ev(0, 2, EventKind::BypassDeclared { round: 1, dead: 1 }));
+    collector.ingest_event(ev(0, 3, EventKind::BypassDeclared { round: 1, dead: 1 }));
+    collector.tick();
+
+    // 3. Round 1 dissolves without a merge; planning round 2 closes it
+    //    as a dead ring.
+    collector.ingest_event(ev(
+        0,
+        4,
+        EventKind::RingExit {
+            round: 1,
+            dissolved: true,
+        },
+    ));
+    collector.ingest_event(ev(
+        1000,
+        5,
+        EventKind::RoundPlanned {
+            round: 2,
+            available: vec![0, 2],
+            versions: vec![110.0, 110.0],
+            probabilities: vec![0.5; 2],
+            selected: vec![0, 2],
+            unselected: vec![],
+            broadcaster: 0,
+        },
+    ));
+    collector.tick();
+
+    // 4. Device 5's Eq. 7 forecasts keep overshooting: straggler.
+    collector.ingest_event(ev(
+        1000,
+        6,
+        EventKind::Prediction {
+            round: 2,
+            device: 5,
+            predicted: 200.0,
+            actual: 100.0,
+        },
+    ));
+    collector.ingest_event(ev(
+        1000,
+        7,
+        EventKind::Prediction {
+            round: 3,
+            device: 5,
+            predicted: 210.0,
+            actual: 105.0,
+        },
+    ));
+    collector.tick();
+
+    // 5. Param traffic crosses the configured budget: budget-burn.
+    collector.ingest_event(ev(
+        0,
+        8,
+        EventKind::FrameSent {
+            src: 0,
+            dst: 2,
+            bytes: 2_000,
+            kind: "param_accum".into(),
+            lamport: 8,
+        },
+    ));
+    collector.tick();
+
+    collector
+        .alerts()
+        .iter()
+        .map(|a| serde_json::to_string(a).expect("alert serializes"))
+        .collect()
+}
+
+#[test]
+fn manual_clock_script_reproduces_every_alert_deterministically() {
+    let alerts = scripted_alerts();
+    let rules: Vec<&str> = alerts
+        .iter()
+        .map(|a| {
+            if a.contains("\"round-watchdog\"") {
+                "round-watchdog"
+            } else if a.contains("\"dead-device\"") {
+                "dead-device"
+            } else if a.contains("\"dead-ring\"") {
+                "dead-ring"
+            } else if a.contains("\"straggler\"") {
+                "straggler"
+            } else if a.contains("\"budget-burn\"") {
+                "budget-burn"
+            } else {
+                "?"
+            }
+        })
+        .collect();
+    assert_eq!(
+        rules,
+        vec![
+            "round-watchdog",
+            "dead-device",
+            "dead-ring",
+            "straggler",
+            "budget-burn"
+        ],
+        "{alerts:#?}"
+    );
+    // Virtual time makes the whole script reproducible bit-for-bit.
+    assert_eq!(alerts, scripted_alerts());
+}

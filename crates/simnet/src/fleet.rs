@@ -1,0 +1,564 @@
+//! Fleet-scale telemetry generator: a virtual-time simulated HADFL
+//! run that emits the *same* event stream a real cluster ships to
+//! `hadfl-collector`.
+//!
+//! The point is exercising the live observability pipeline (ship →
+//! collect → merge → health rules) at sizes a process-per-node cluster
+//! cannot reach cheaply — a 1k-device round here is a few thousand
+//! events, not a thousand sockets. The simulation is deliberately
+//! protocol-shaped rather than protocol-exact: rounds plan, rings
+//! reduce and merge, param frames are byte-accounted, Eq. 7-style
+//! forecasts are logged — everything the collector's health rules and
+//! byte-parity checks consume — with injectable heterogeneity faults:
+//!
+//! - [`StragglerSpec`]: a device runs `slow_factor`× slower from a
+//!   given round, so its version drifts below the fleet median and its
+//!   forecasts overshoot, exactly the signals the straggler rule
+//!   scores.
+//! - [`DeadSpec`]: a device stops reporting at a given round; the
+//!   coordinator drops it and the ring bypass-repairs around it.
+//!
+//! Events carry per-node `seq` counters, one fleet-wide Lamport scale,
+//! and virtual-time `t_us` stamps, so the collector merges them with
+//! the same `(lam, node, seq)` key as real traffic.
+
+use std::time::Duration;
+
+use hadfl_telemetry::{Event, EventKind, SCHEMA_VERSION};
+
+use crate::error::SimError;
+use crate::time::VirtualTime;
+
+/// A device that slows down mid-run.
+#[derive(Debug, Clone, Copy)]
+pub struct StragglerSpec {
+    /// The afflicted device.
+    pub device: u32,
+    /// First round the slowdown applies to (1-based).
+    pub from_round: u32,
+    /// Speed divisor (10.0 = ten times slower).
+    pub slow_factor: f64,
+}
+
+/// A device that dies mid-run.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadSpec {
+    /// The dying device.
+    pub device: u32,
+    /// Round at whose start it stops reporting (1-based).
+    pub at_round: u32,
+}
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Device count (node ids `0..devices`; the coordinator is
+    /// `devices`).
+    pub devices: usize,
+    /// Rounds to simulate.
+    pub rounds: u32,
+    /// Ring size per round.
+    pub num_selected: usize,
+    /// Bytes of one parameter frame (the paper's `M`).
+    pub param_bytes: u64,
+    /// Virtual round window.
+    pub window: Duration,
+    /// Baseline local steps per device per window.
+    pub steps_per_window: u64,
+    /// Optional straggler injection.
+    pub straggler: Option<StragglerSpec>,
+    /// Optional dead-device injection.
+    pub dead: Option<DeadSpec>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 8,
+            rounds: 3,
+            num_selected: 4,
+            param_bytes: 64 * 1024,
+            window: Duration::from_millis(500),
+            steps_per_window: 100,
+            straggler: None,
+            dead: None,
+        }
+    }
+}
+
+/// Ground truth the simulation reports back (the test oracle for the
+/// collector's ledgers).
+#[derive(Debug, Clone)]
+pub struct FleetRunReport {
+    /// Total param payload bytes sent across the fleet — the number
+    /// telemetry on-wire bytes are compared against.
+    pub param_bytes_total: u64,
+    /// Events emitted.
+    pub events_emitted: u64,
+    /// Final per-device versions.
+    pub final_versions: Vec<u64>,
+}
+
+struct Emitter<'a> {
+    emit: &'a mut dyn FnMut(Event),
+    seqs: Vec<u64>,
+    lamport: u64,
+    count: u64,
+}
+
+impl Emitter<'_> {
+    fn emit(&mut self, node: u32, at: VirtualTime, kind: EventKind) {
+        self.lamport += 1;
+        let seq = &mut self.seqs[node as usize];
+        let event = Event {
+            v: SCHEMA_VERSION,
+            seq: *seq,
+            node,
+            t_us: (at.as_secs() * 1e6) as u64,
+            lam: self.lamport,
+            kind,
+        };
+        *seq += 1;
+        self.count += 1;
+        (self.emit)(event);
+    }
+}
+
+/// Runs the fleet simulation, handing every event to `emit` in
+/// emission order (already causally consistent: the fleet Lamport
+/// counter is globally monotone).
+///
+/// # Errors
+///
+/// Rejects empty fleets, zero ring sizes larger than the fleet, and
+/// fault specs naming devices outside the fleet.
+pub fn simulate_fleet(
+    cfg: &FleetConfig,
+    emit: &mut dyn FnMut(Event),
+) -> Result<FleetRunReport, SimError> {
+    if cfg.devices == 0 {
+        return Err(SimError::InvalidParameter(
+            "fleet needs at least one device".into(),
+        ));
+    }
+    if cfg.num_selected == 0 || cfg.num_selected > cfg.devices {
+        return Err(SimError::InvalidParameter(format!(
+            "ring size {} outside 1..={}",
+            cfg.num_selected, cfg.devices
+        )));
+    }
+    for (name, device) in [
+        ("straggler", cfg.straggler.map(|s| s.device)),
+        ("dead", cfg.dead.map(|d| d.device)),
+    ] {
+        if let Some(device) = device {
+            if device as usize >= cfg.devices {
+                return Err(SimError::InvalidParameter(format!(
+                    "{name} device {device} outside the fleet of {}",
+                    cfg.devices
+                )));
+            }
+        }
+    }
+
+    let k = cfg.devices;
+    let coord = k as u32;
+    let mut em = Emitter {
+        emit,
+        seqs: vec![0; k + 1],
+        lamport: 0,
+        count: 0,
+    };
+    let mut versions = vec![0u64; k];
+    let mut sent_bytes = vec![0u64; k];
+    let mut sent_frames = vec![0u64; k];
+    let mut alive = vec![true; k];
+    let window_secs = cfg.window.as_secs_f64();
+    let mut now = VirtualTime::ZERO;
+
+    for d in 0..k {
+        em.emit(d as u32, now, EventKind::DeviceStarted { device: d as u32 });
+    }
+
+    for round in 1..=cfg.rounds {
+        let round_start = now;
+        now = now.after(window_secs);
+
+        if let Some(dead) = cfg.dead {
+            if round == dead.at_round {
+                alive[dead.device as usize] = false;
+            }
+        }
+
+        // Local training during the window.
+        let mut increments = vec![0u64; k];
+        for d in 0..k {
+            if !alive[d] {
+                continue;
+            }
+            let mut steps = cfg.steps_per_window as f64;
+            if let Some(s) = cfg.straggler {
+                if d as u32 == s.device && round >= s.from_round {
+                    steps /= s.slow_factor.max(1.0);
+                }
+            }
+            let steps = steps.max(1.0) as u64;
+            increments[d] = steps;
+            versions[d] += steps;
+            em.emit(
+                d as u32,
+                now,
+                EventKind::LocalSteps {
+                    device: d as u32,
+                    steps,
+                    version: versions[d],
+                },
+            );
+        }
+
+        // Coordinator: forecasts, drop detection, the Eq. 8-shaped
+        // plan. Forecast = previous version + fleet-mean increment, so
+        // a straggler's actual undershoots its prediction.
+        let available: Vec<u32> = (0..k as u32).filter(|&d| alive[d as usize]).collect();
+        let mean_inc = {
+            let live: Vec<u64> = available.iter().map(|&d| increments[d as usize]).collect();
+            if live.is_empty() {
+                0.0
+            } else {
+                live.iter().sum::<u64>() as f64 / live.len() as f64
+            }
+        };
+        for &d in &available {
+            let actual = versions[d as usize] as f64;
+            let predicted = (versions[d as usize] - increments[d as usize]) as f64 + mean_inc;
+            em.emit(
+                coord,
+                now,
+                EventKind::Prediction {
+                    round,
+                    device: d,
+                    predicted,
+                    actual,
+                },
+            );
+        }
+        if let Some(dead) = cfg.dead {
+            if round == dead.at_round {
+                em.emit(
+                    coord,
+                    now,
+                    EventKind::DeviceDropped {
+                        round,
+                        device: dead.device,
+                    },
+                );
+            }
+        }
+
+        let ring_len = cfg.num_selected.min(available.len());
+        if ring_len == 0 {
+            continue;
+        }
+        // Deterministic rotation through the available set: over
+        // enough rounds every device is exercised, with no RNG.
+        let start = ((round as usize - 1) * ring_len) % available.len();
+        let selected: Vec<u32> = (0..ring_len)
+            .map(|i| available[(start + i) % available.len()])
+            .collect();
+        let unselected: Vec<u32> = available
+            .iter()
+            .copied()
+            .filter(|d| !selected.contains(d))
+            .collect();
+        let vers: Vec<f64> = available
+            .iter()
+            .map(|&d| versions[d as usize] as f64)
+            .collect();
+        let probabilities = vec![1.0 / available.len() as f64; available.len()];
+        let broadcaster = selected[0];
+        em.emit(
+            coord,
+            now,
+            EventKind::RoundPlanned {
+                round,
+                available: available.clone(),
+                versions: vers,
+                probabilities,
+                selected: selected.clone(),
+                unselected: unselected.clone(),
+                broadcaster,
+            },
+        );
+
+        // The ring: reduce pass (each member forwards the running sum
+        // to its successor), then the merge.
+        let ring_secs = window_secs * 0.2;
+        let ring_done = now.after(ring_secs);
+        for (i, &d) in selected.iter().enumerate() {
+            em.emit(
+                d,
+                now,
+                EventKind::RingEnter {
+                    round,
+                    ring: selected.clone(),
+                },
+            );
+            let dst = selected[(i + 1) % selected.len()];
+            em.emit(
+                d,
+                ring_done,
+                EventKind::FrameSent {
+                    src: d,
+                    dst,
+                    bytes: cfg.param_bytes,
+                    kind: "param_accum".into(),
+                    lamport: 0,
+                },
+            );
+            sent_bytes[d as usize] += cfg.param_bytes;
+            sent_frames[d as usize] += 1;
+            em.emit(
+                d,
+                ring_done,
+                EventKind::Accumulate {
+                    round,
+                    hops: i as u32 + 1,
+                },
+            );
+        }
+        // A dead ring member discovered mid-reduce: bypass + repair.
+        if let Some(dead) = cfg.dead {
+            if round == dead.at_round && selected.contains(&dead.device) {
+                let reporter = selected
+                    .iter()
+                    .copied()
+                    .find(|&d| d != dead.device)
+                    .unwrap_or(coord);
+                em.emit(
+                    reporter,
+                    ring_done,
+                    EventKind::BypassDeclared {
+                        round,
+                        dead: dead.device,
+                    },
+                );
+                em.emit(
+                    reporter,
+                    ring_done,
+                    EventKind::RingRepair {
+                        round,
+                        dead: dead.device,
+                    },
+                );
+            }
+        }
+        for &d in &selected {
+            em.emit(
+                d,
+                ring_done,
+                EventKind::Merge {
+                    round,
+                    participants: selected.len() as u32,
+                },
+            );
+            em.emit(
+                d,
+                ring_done,
+                EventKind::RingExit {
+                    round,
+                    dissolved: false,
+                },
+            );
+        }
+        // Broadcast of the merged model to the unselected.
+        for &u in &unselected {
+            em.emit(
+                broadcaster,
+                ring_done,
+                EventKind::FrameSent {
+                    src: broadcaster,
+                    dst: u,
+                    bytes: cfg.param_bytes,
+                    kind: "param_sync".into(),
+                    lamport: 0,
+                },
+            );
+            sent_bytes[broadcaster as usize] += cfg.param_bytes;
+            sent_frames[broadcaster as usize] += 1;
+        }
+        now = ring_done;
+        em.emit(
+            coord,
+            now,
+            EventKind::RoundComplete {
+                round,
+                duration_us: (now.elapsed_since(round_start) * 1e6) as u64,
+            },
+        );
+    }
+
+    em.emit(coord, now, EventKind::ShutdownSent { round: cfg.rounds });
+    for d in 0..k {
+        em.emit(
+            d as u32,
+            now,
+            EventKind::Ledger {
+                sent_bytes: sent_bytes[d],
+                recv_bytes: 0,
+                frames: sent_frames[d],
+            },
+        );
+        em.emit(
+            d as u32,
+            now,
+            EventKind::DeviceFinished {
+                device: d as u32,
+                version: versions[d],
+            },
+        );
+    }
+
+    Ok(FleetRunReport {
+        param_bytes_total: sent_bytes.iter().sum(),
+        events_emitted: em.count,
+        final_versions: versions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: &FleetConfig) -> (Vec<Event>, FleetRunReport) {
+        let mut events = Vec::new();
+        let report = simulate_fleet(cfg, &mut |e| events.push(e)).expect("valid config");
+        (events, report)
+    }
+
+    #[test]
+    fn healthy_fleet_emits_a_consistent_stream() {
+        let cfg = FleetConfig::default();
+        let (events, report) = collect(&cfg);
+        assert_eq!(events.len() as u64, report.events_emitted);
+        // Lamport strictly increases in emission order (one scale).
+        for pair in events.windows(2) {
+            assert!(pair[0].lam < pair[1].lam);
+        }
+        // Per-node seqs are contiguous from zero.
+        let mut next = vec![0u64; cfg.devices + 1];
+        for e in &events {
+            assert_eq!(e.seq, next[e.node as usize], "node {}", e.node);
+            next[e.node as usize] += 1;
+        }
+        // FrameSent bytes reconcile with the report's param ledger.
+        let framed: u64 = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::FrameSent { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(framed, report.param_bytes_total);
+        // And with the per-device Ledger events.
+        let ledgered: u64 = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Ledger { sent_bytes, .. } => Some(*sent_bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(ledgered, report.param_bytes_total);
+    }
+
+    #[test]
+    fn straggler_falls_behind_the_fleet() {
+        let cfg = FleetConfig {
+            devices: 10,
+            rounds: 4,
+            straggler: Some(StragglerSpec {
+                device: 3,
+                from_round: 1,
+                slow_factor: 10.0,
+            }),
+            ..FleetConfig::default()
+        };
+        let (_, report) = collect(&cfg);
+        let median = report.final_versions[0];
+        assert!(
+            (report.final_versions[3] as f64) < 0.2 * median as f64,
+            "{:?}",
+            report.final_versions
+        );
+    }
+
+    #[test]
+    fn dead_device_stops_reporting_and_is_dropped() {
+        let cfg = FleetConfig {
+            devices: 6,
+            rounds: 4,
+            dead: Some(DeadSpec {
+                device: 2,
+                at_round: 2,
+            }),
+            ..FleetConfig::default()
+        };
+        let (events, _) = collect(&cfg);
+        let dropped = events.iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::DeviceDropped {
+                    round: 2,
+                    device: 2
+                }
+            )
+        });
+        assert!(dropped, "coordinator must drop the dead device");
+        // No training activity from the corpse after it dies.
+        let post_mortem_steps = events.iter().any(|e| {
+            e.node == 2
+                && matches!(&e.kind, EventKind::LocalSteps { version, .. }
+                    if *version > cfg.steps_per_window)
+        });
+        assert!(!post_mortem_steps, "dead devices do not train");
+        // It never shows up as available again.
+        let reappears = events.iter().any(|e| match &e.kind {
+            EventKind::RoundPlanned {
+                round, available, ..
+            } => *round >= 2 && available.contains(&2),
+            _ => false,
+        });
+        assert!(!reappears);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut sink = |_e: Event| {};
+        assert!(simulate_fleet(
+            &FleetConfig {
+                devices: 0,
+                ..FleetConfig::default()
+            },
+            &mut sink
+        )
+        .is_err());
+        assert!(simulate_fleet(
+            &FleetConfig {
+                num_selected: 100,
+                ..FleetConfig::default()
+            },
+            &mut sink
+        )
+        .is_err());
+        assert!(simulate_fleet(
+            &FleetConfig {
+                dead: Some(DeadSpec {
+                    device: 99,
+                    at_round: 1
+                }),
+                ..FleetConfig::default()
+            },
+            &mut sink
+        )
+        .is_err());
+    }
+}

@@ -39,6 +39,7 @@ mod compute;
 mod error;
 mod event;
 mod fault;
+mod fleet;
 mod link;
 mod stats;
 mod time;
@@ -48,6 +49,7 @@ pub use compute::{ComputeModel, Jitter};
 pub use error::SimError;
 pub use event::EventQueue;
 pub use fault::{FaultPlan, Outage};
+pub use fleet::{simulate_fleet, DeadSpec, FleetConfig, FleetRunReport, StragglerSpec};
 pub use link::LinkModel;
 pub use stats::{Endpoint, NetStats};
 pub use time::VirtualTime;

@@ -17,16 +17,24 @@
 //!   non-zero on causal-graph problems (unmatched receives, Lamport
 //!   violations);
 //! - `spans [--round N] [--json]`: per-node Gantt of the paired
-//!   `SpanStart`/`SpanEnd` timeline, ASCII or JSON.
+//!   `SpanStart`/`SpanEnd` timeline, ASCII or JSON;
+//! - `--follow`: tails a live collector spool file (JSONL, growing)
+//!   and redraws a rolling dashboard — recent round latencies and
+//!   which device held each ring longest. `--interval-ms` sets the
+//!   poll cadence, `--updates N` exits after N redraws (0 = forever).
 //!
 //! ```text
 //! hadfl-trace /tmp/tel/node-*.jsonl
 //! hadfl-trace --check /tmp/tel/node-*.jsonl
 //! hadfl-trace critical-path /tmp/tel/node-*.jsonl
 //! hadfl-trace spans --round 2 /tmp/tel/node-*.jsonl
+//! hadfl-trace --follow /tmp/collector/spool.jsonl
 //! ```
 
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::process::ExitCode;
+
+use hadfl_telemetry::{Event, FollowState};
 
 use hadfl_telemetry::analyze::{
     check_full, critical_path, merge, parse_jsonl, render_gantt, report, rounds_planned, spans,
@@ -35,13 +43,15 @@ use hadfl_telemetry::analyze::{
 
 const USAGE: &str = "usage: hadfl-trace [--check] <events.jsonl>...
        hadfl-trace critical-path [--round N] [--check] <events.jsonl>...
-       hadfl-trace spans [--round N] [--json] <events.jsonl>...";
+       hadfl-trace spans [--round N] [--json] <events.jsonl>...
+       hadfl-trace --follow [--interval-ms MS] [--updates N] <spool.jsonl>";
 
 enum Mode {
     Report,
     Check,
     CriticalPath { check: bool, round: Option<u32> },
     Spans { json: bool, round: Option<u32> },
+    Follow { interval_ms: u64, updates: u64 },
 }
 
 fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
@@ -49,6 +59,9 @@ fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
     let mut mode = Mode::Report;
     let mut check = false;
     let mut json = false;
+    let mut follow = false;
+    let mut interval_ms = 500u64;
+    let mut updates = 0u64;
     let mut round: Option<u32> = None;
     let mut sub: Option<&str> = None;
     let mut it = args.iter();
@@ -59,6 +72,15 @@ fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
             }
             "--check" => check = true,
             "--json" => json = true,
+            "--follow" => follow = true,
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v.parse().map_err(|_| format!("bad --interval-ms {v}"))?;
+            }
+            "--updates" => {
+                let v = it.next().ok_or("--updates needs a value")?;
+                updates = v.parse().map_err(|_| format!("bad --updates {v}"))?;
+            }
             "--round" => {
                 let v = it.next().ok_or("--round needs a value")?;
                 round = Some(v.parse().map_err(|_| format!("bad --round {v}"))?);
@@ -71,10 +93,58 @@ fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
     match sub {
         Some("critical-path") => mode = Mode::CriticalPath { check, round },
         Some("spans") => mode = Mode::Spans { json, round },
+        _ if follow => {
+            mode = Mode::Follow {
+                interval_ms,
+                updates,
+            }
+        }
         _ if check => mode = Mode::Check,
         _ => {}
     }
     Ok((mode, paths))
+}
+
+/// Tails `path`, redrawing the rolling dashboard each interval. The
+/// file is re-opened each poll and read from the last byte offset, so
+/// the collector can keep appending (or not exist yet) without racing
+/// us. Exits after `updates` redraws (0 = until killed).
+fn follow(path: &str, interval_ms: u64, updates: u64) -> ExitCode {
+    let mut state = FollowState::new();
+    let mut offset: u64 = 0;
+    let mut drawn = 0u64;
+    loop {
+        if let Ok(file) = std::fs::File::open(path) {
+            let mut reader = BufReader::new(file);
+            if reader.seek(SeekFrom::Start(offset)).is_ok() {
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            // Only consume complete lines; a partially
+                            // flushed tail is retried next poll.
+                            if !line.ends_with('\n') {
+                                break;
+                            }
+                            offset += n as u64;
+                            if let Ok(event) = Event::from_json(line.trim_end()) {
+                                state.observe(&event);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        println!("-- hadfl-trace --follow {path} --");
+        print!("{}", state.render(12));
+        drawn += 1;
+        if updates > 0 && drawn >= updates {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
 }
 
 fn main() -> ExitCode {
@@ -93,6 +163,18 @@ fn main() -> ExitCode {
     if paths.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
+    }
+
+    if let Mode::Follow {
+        interval_ms,
+        updates,
+    } = mode
+    {
+        if paths.len() != 1 {
+            eprintln!("hadfl-trace: --follow takes exactly one spool file\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        return follow(&paths[0], interval_ms, updates);
     }
 
     let mut logs: Vec<ParsedLog> = Vec::with_capacity(paths.len());
@@ -160,6 +242,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        // Handled before the logs were loaded; a follow target is a
+        // growing file, not a finished log set.
+        Mode::Follow { .. } => ExitCode::SUCCESS,
         Mode::Report => {
             let garbage: usize = logs.iter().map(|l| l.garbage_lines).sum();
             if garbage > 0 {

@@ -1,0 +1,253 @@
+//! Rolling live view for `hadfl-trace --follow`.
+//!
+//! [`FollowState`] ingests events incrementally (from a collector
+//! spool file being tailed, or any merged stream) and renders a
+//! compact rolling dashboard: recent round latencies and, per round,
+//! which device held the ring longest — the live straggler
+//! attribution the paper's Eq. 7/Eq. 8 machinery exists to react to.
+//!
+//! Ring durations are computed per node from that node's own
+//! `RingEnter`→`RingExit` timestamps (same clock, no cross-host
+//! skew); round durations come from the coordinator's
+//! `RoundComplete`.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// Per-node ring occupancy within one round.
+#[derive(Debug, Default, Clone)]
+struct RingStay {
+    enter_t_us: Option<u64>,
+    exit_t_us: Option<u64>,
+    dissolved: bool,
+}
+
+/// Rolling per-round view.
+#[derive(Debug, Default, Clone)]
+struct RoundView {
+    duration_us: Option<u64>,
+    stays: BTreeMap<u32, RingStay>,
+    merges: u32,
+    bypassed: Vec<u32>,
+}
+
+/// Incremental state behind the `--follow` dashboard.
+#[derive(Debug, Default)]
+pub struct FollowState {
+    rounds: BTreeMap<u32, RoundView>,
+    events_seen: u64,
+    /// Sum of `dropped` counts announced by shipped batches, when the
+    /// feeder knows them (spool comment lines).
+    pub dropped_reported: u64,
+}
+
+impl FollowState {
+    /// An empty view.
+    pub fn new() -> Self {
+        FollowState::default()
+    }
+
+    /// Events ingested so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Feeds one event.
+    pub fn observe(&mut self, event: &Event) {
+        self.events_seen += 1;
+        match &event.kind {
+            EventKind::RingEnter { round, .. } => {
+                let stay = self
+                    .rounds
+                    .entry(*round)
+                    .or_default()
+                    .stays
+                    .entry(event.node)
+                    .or_default();
+                stay.enter_t_us = Some(event.t_us);
+            }
+            EventKind::RingExit { round, dissolved } => {
+                let stay = self
+                    .rounds
+                    .entry(*round)
+                    .or_default()
+                    .stays
+                    .entry(event.node)
+                    .or_default();
+                stay.exit_t_us = Some(event.t_us);
+                stay.dissolved = *dissolved;
+            }
+            EventKind::Merge { round, .. } => {
+                self.rounds.entry(*round).or_default().merges += 1;
+            }
+            EventKind::BypassDeclared { round, dead } => {
+                let view = self.rounds.entry(*round).or_default();
+                if !view.bypassed.contains(dead) {
+                    view.bypassed.push(*dead);
+                }
+            }
+            EventKind::RoundComplete { round, duration_us } => {
+                self.rounds.entry(*round).or_default().duration_us = Some(*duration_us);
+            }
+            _ => {}
+        }
+    }
+
+    /// The slowest ring member of a round: `(node, stay_us)`, from
+    /// completed stays only.
+    fn slowest(view: &RoundView) -> Option<(u32, u64)> {
+        view.stays
+            .iter()
+            .filter_map(|(&node, stay)| match (stay.enter_t_us, stay.exit_t_us) {
+                (Some(enter), Some(exit)) if exit >= enter => Some((node, exit - enter)),
+                _ => None,
+            })
+            .max_by_key(|&(node, stay)| (stay, node))
+    }
+
+    /// Renders the rolling dashboard over the latest `window` rounds.
+    pub fn render(&self, window: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events {:>8}   rounds {:>5}   thinned {:>6}\n",
+            self.events_seen,
+            self.rounds.len(),
+            self.dropped_reported
+        ));
+        out.push_str("round     status    round_ms   slowest_node   stay_ms\n");
+        let skip = self.rounds.len().saturating_sub(window);
+        for (&round, view) in self.rounds.iter().skip(skip) {
+            let status = if view.duration_us.is_some() {
+                "done"
+            } else if view.stays.values().any(|s| s.dissolved) && view.merges == 0 {
+                "dissolved"
+            } else {
+                "open"
+            };
+            let round_ms = view
+                .duration_us
+                .map(|us| format!("{:.1}", us as f64 / 1000.0))
+                .unwrap_or_else(|| "-".into());
+            let (slow_node, stay_ms) = match Self::slowest(view) {
+                Some((node, us)) => (node.to_string(), format!("{:.1}", us as f64 / 1000.0)),
+                None => ("-".into(), "-".into()),
+            };
+            let bypass = if view.bypassed.is_empty() {
+                String::new()
+            } else {
+                format!("   bypassed {:?}", view.bypassed)
+            };
+            out.push_str(&format!(
+                "{round:>5}  {status:>9}  {round_ms:>9}  {slow_node:>13}  {stay_ms:>8}{bypass}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SCHEMA_VERSION;
+
+    fn at(node: u32, t_us: u64, kind: EventKind) -> Event {
+        Event {
+            v: SCHEMA_VERSION,
+            seq: 0,
+            node,
+            t_us,
+            lam: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn attributes_the_slowest_ring_member() {
+        let mut state = FollowState::new();
+        for (node, enter, exit) in [
+            (0u32, 1_000u64, 5_000u64),
+            (1, 1_200, 30_000),
+            (2, 900, 4_000),
+        ] {
+            state.observe(&at(
+                node,
+                enter,
+                EventKind::RingEnter {
+                    round: 1,
+                    ring: vec![0, 1, 2],
+                },
+            ));
+            state.observe(&at(
+                node,
+                exit,
+                EventKind::RingExit {
+                    round: 1,
+                    dissolved: false,
+                },
+            ));
+        }
+        state.observe(&at(
+            9,
+            31_000,
+            EventKind::RoundComplete {
+                round: 1,
+                duration_us: 31_000,
+            },
+        ));
+        let rendered = state.render(10);
+        assert!(rendered.contains("done"), "{rendered}");
+        // Node 1 held the ring 28.8 ms — the straggler column.
+        let row = rendered
+            .lines()
+            .find(|l| l.contains("done"))
+            .expect("round row");
+        assert!(row.contains(" 1 ") && row.contains("28.8"), "{row}");
+        assert_eq!(state.events_seen(), 7);
+    }
+
+    #[test]
+    fn open_and_dissolved_rounds_are_labeled() {
+        let mut state = FollowState::new();
+        state.observe(&at(
+            0,
+            100,
+            EventKind::RingEnter {
+                round: 1,
+                ring: vec![0, 1],
+            },
+        ));
+        assert!(state.render(10).contains("open"));
+        state.observe(&at(
+            0,
+            900,
+            EventKind::RingExit {
+                round: 1,
+                dissolved: true,
+            },
+        ));
+        state.observe(&at(0, 950, EventKind::BypassDeclared { round: 1, dead: 1 }));
+        let rendered = state.render(10);
+        assert!(rendered.contains("dissolved"), "{rendered}");
+        assert!(rendered.contains("bypassed [1]"), "{rendered}");
+    }
+
+    #[test]
+    fn window_limits_the_table() {
+        let mut state = FollowState::new();
+        for round in 1..=20u32 {
+            state.observe(&at(
+                9,
+                round as u64 * 1_000,
+                EventKind::RoundComplete {
+                    round,
+                    duration_us: 500,
+                },
+            ));
+        }
+        let rendered = state.render(5);
+        assert!(!rendered.contains("\n   15  "), "{rendered}");
+        assert!(rendered.contains("\n   16  "), "{rendered}");
+        assert!(rendered.contains("\n   20  "), "{rendered}");
+    }
+}

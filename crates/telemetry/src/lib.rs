@@ -30,12 +30,18 @@
 pub mod analyze;
 pub mod causal;
 pub mod event;
+pub mod follow;
+pub mod health;
 pub mod metrics;
+pub mod ship;
 pub mod sink;
 
 pub use causal::LamportClock;
 pub use event::{Event, EventKind, SCHEMA_VERSION};
+pub use follow::FollowState;
+pub use health::{Alert, HealthEngine, HealthOptions, HealthReport, Severity};
 pub use metrics::{serve_metrics, MetricsRegistry, MetricsServer, MetricsSink};
+pub use ship::{BatchShipper, ShipBatch, ShipOptions, ShipSink, ShipStats, VecShipper};
 pub use sink::{JsonlSink, RingBufferSink, SharedBuffer, Sink};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,6 +127,16 @@ impl Telemetry {
         self.0.is_some()
     }
 
+    /// Adds a sink after construction. Needed when a sink's transport
+    /// wants the handle's own [`LamportClock`] (the `ShipSink`'s TCP
+    /// shipper stamps outgoing batches with it), which only exists
+    /// once the handle does. No-op on a disabled handle.
+    pub fn attach_sink(&self, sink: Box<dyn Sink>) {
+        if let Some(inner) = &self.0 {
+            inner.sinks.lock().push(sink);
+        }
+    }
+
     /// The emitting participant id, if enabled.
     pub fn node(&self) -> Option<u32> {
         self.0.as_ref().map(|inner| inner.node)
@@ -151,6 +167,7 @@ impl Telemetry {
             lam,
             kind,
         };
+        // lint:allow(blocking-in-emit): uncontended parking_lot fan-out lock; sinks themselves must not block
         let mut sinks = inner.sinks.lock();
         for sink in sinks.iter_mut() {
             sink.record(&event);

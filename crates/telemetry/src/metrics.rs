@@ -65,6 +65,36 @@ struct Registry {
     counters: BTreeMap<String, BTreeMap<String, f64>>,
     gauges: BTreeMap<String, BTreeMap<String, f64>>,
     histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+    // name -> help text registered via `describe` (overrides built-ins).
+    help: BTreeMap<String, String>,
+}
+
+/// Built-in `# HELP` text for the metric families emitted by
+/// [`MetricsSink`]. Families outside this table (and not `describe`d)
+/// fall back to a generic line — the exposition contract is that every
+/// family carries `# HELP`/`# TYPE`, not that every help string is
+/// hand-written.
+fn builtin_help(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "hadfl_local_steps_total" => "Local SGD steps completed, by device.",
+        "hadfl_ring_phase_seconds" => "RingEnter-to-RingExit duration per round, seconds.",
+        "hadfl_ring_dissolved_total" => "Ring exits that dissolved without producing a merge.",
+        "hadfl_merges_total" => "Merged parameter installs.",
+        "hadfl_bypass_total" => "Bypass declarations against dead ring members.",
+        "hadfl_ring_repair_total" => "Ring repairs performed after a bypass warning.",
+        "hadfl_rounds_total" => "Rounds planned by the coordinator (Eq. 8 selection draws).",
+        "hadfl_selected_total" => "Times each device was drawn into a ring.",
+        "hadfl_prediction_abs_error" => "Latest Eq. 7 absolute forecast error, by device.",
+        "hadfl_prediction_abs_error_hist" => "Eq. 7 absolute forecast error distribution.",
+        "hadfl_dropped_total" => "Devices dropped for missing the report deadline.",
+        "hadfl_round_latency_seconds" => "Coordinator window-to-plan round duration, seconds.",
+        "hadfl_sent_bytes_total" => "Payload bytes sent, by peer.",
+        "hadfl_sent_frames_total" => "Payload frames sent, by peer.",
+        "hadfl_recv_bytes_total" => "Payload bytes received, by peer.",
+        "hadfl_recv_frames_total" => "Payload frames received, by peer.",
+        "hadfl_segment_latency_seconds" => "Span segment durations by taxonomy name, seconds.",
+        _ => return None,
+    })
 }
 
 /// Thread-safe metrics store. Create once, share via `Arc`: the
@@ -128,6 +158,13 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Registers help text for a family (collector-specific families
+    /// that the built-in table cannot know about).
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock();
+        inner.help.insert(name.to_string(), help.to_string());
+    }
+
     /// Current value of a counter series (tests / reports).
     pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> f64 {
         let inner = self.inner.lock();
@@ -139,23 +176,37 @@ impl MetricsRegistry {
             .unwrap_or(0.0)
     }
 
-    /// Renders the whole registry in the Prometheus text format.
+    /// Renders the whole registry in the Prometheus text format
+    /// (version 0.0.4): every family gets `# HELP` and `# TYPE` lines
+    /// before its series.
     pub fn render(&self) -> String {
         let inner = self.inner.lock();
+        let help_line = |name: &str| -> String {
+            let text = inner
+                .help
+                .get(name)
+                .map(String::as_str)
+                .or_else(|| builtin_help(name))
+                .unwrap_or("No description registered.");
+            format!("# HELP {name} {text}\n")
+        };
         let mut out = String::new();
         for (name, series) in &inner.counters {
+            out.push_str(&help_line(name));
             out.push_str(&format!("# TYPE {name} counter\n"));
             for (labels, value) in series {
                 out.push_str(&format!("{name}{labels} {value}\n"));
             }
         }
         for (name, series) in &inner.gauges {
+            out.push_str(&help_line(name));
             out.push_str(&format!("# TYPE {name} gauge\n"));
             for (labels, value) in series {
                 out.push_str(&format!("{name}{labels} {value}\n"));
             }
         }
         for (name, series) in &inner.histograms {
+            out.push_str(&help_line(name));
             out.push_str(&format!("# TYPE {name} histogram\n"));
             for (labels, h) in series {
                 let base = labels.trim_start_matches('{').trim_end_matches('}');
@@ -531,6 +582,75 @@ mod tests {
     }
 
     #[test]
+    fn exposition_format_has_help_and_type_for_every_family() {
+        let registry = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(Arc::clone(&registry));
+        sink.record(&event(
+            0,
+            EventKind::LocalSteps {
+                device: 1,
+                steps: 64,
+                version: 64,
+            },
+        ));
+        sink.record(&event(
+            0,
+            EventKind::Prediction {
+                round: 1,
+                device: 1,
+                predicted: 10.0,
+                actual: 8.0,
+            },
+        ));
+        sink.record(&event(
+            0,
+            EventKind::RoundComplete {
+                round: 1,
+                duration_us: 5_000,
+            },
+        ));
+        registry.describe("fleet_custom_total", "A collector-registered family.");
+        registry.inc_counter("fleet_custom_total", &[], 2.0);
+        registry.inc_counter("undescribed_total", &[], 1.0);
+        let text = registry.render();
+        // Every series line's family must be introduced by # HELP then
+        // # TYPE, in that order, exactly once.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let series = line.split(&['{', ' '][..]).next().expect("series name");
+            let family = series
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            let help = format!("# HELP {family} ");
+            let tipe = format!("# TYPE {family} ");
+            let help_at = text
+                .find(&help)
+                .unwrap_or_else(|| panic!("no HELP for {family}: {text}"));
+            let type_at = text
+                .find(&tipe)
+                .unwrap_or_else(|| panic!("no TYPE for {family}: {text}"));
+            assert!(help_at < type_at, "HELP must precede TYPE for {family}");
+            assert_eq!(text.matches(&help).count(), 1, "{family}");
+        }
+        assert!(
+            text.contains("# HELP fleet_custom_total A collector-registered family."),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP hadfl_local_steps_total Local SGD steps completed, by device."),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP undescribed_total No description registered."),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE hadfl_round_latency_seconds histogram"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn server_answers_http() {
         let registry = MetricsRegistry::new();
         registry.inc_counter("hadfl_rounds_total", &[], 3.0);
@@ -542,6 +662,11 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "{response}"
+        );
+        assert!(response.contains("# HELP hadfl_rounds_total"), "{response}");
         assert!(response.contains("hadfl_rounds_total 3"), "{response}");
         server.shutdown();
     }

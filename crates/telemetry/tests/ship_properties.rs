@@ -1,0 +1,195 @@
+//! Property tests for the shipping layer's backpressure contract:
+//! under *any* queue capacity, sampling rate, and offer/drain
+//! interleaving, thinning only ever touches the droppable classes —
+//! counters, ledger entries, and protocol events survive exactly —
+//! and every thinned event is accounted in the reported drop counts.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use hadfl_telemetry::ship::{is_critical, ShipBatch, ShipOptions, ShipQueue, ShipSink, VecShipper};
+use hadfl_telemetry::sink::Sink;
+use hadfl_telemetry::{Event, EventKind, SCHEMA_VERSION};
+
+/// Events cycle through the taxonomy: droppable spans/lifecycle mixed
+/// with critical ledger, frame, and round events, with a byte payload
+/// the ledger-parity check sums.
+fn event(seq: u64, choice: u8, bytes: u64) -> Event {
+    let kind = match choice % 6 {
+        0 => EventKind::SpanStart {
+            span: seq,
+            parent: 0,
+            name: "train".into(),
+            round: 1,
+            device: 1,
+        },
+        1 => EventKind::SpanEnd {
+            span: seq,
+            round: 1,
+            device: 1,
+        },
+        2 => EventKind::DeviceStarted { device: 1 },
+        3 => EventKind::Ledger {
+            sent_bytes: bytes,
+            recv_bytes: bytes / 2,
+            frames: 1 + bytes % 7,
+        },
+        4 => EventKind::FrameSent {
+            src: 1,
+            dst: 2,
+            bytes,
+            kind: "param_accum".into(),
+            lamport: seq,
+        },
+        _ => EventKind::RoundComplete {
+            round: seq as u32,
+            duration_us: bytes,
+        },
+    };
+    Event {
+        v: SCHEMA_VERSION,
+        seq,
+        node: 1,
+        t_us: seq * 10,
+        lam: seq,
+        kind,
+    }
+}
+
+/// Ledger totals over a stream: the "counters must stay exact" side of
+/// the parity check.
+fn ledger_totals(events: &[&Event]) -> (u64, u64, u64, u64) {
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    for e in events {
+        match &e.kind {
+            EventKind::Ledger {
+                sent_bytes,
+                recv_bytes,
+                frames,
+            } => {
+                totals.0 += sent_bytes;
+                totals.1 += recv_bytes;
+                totals.2 += frames;
+            }
+            EventKind::FrameSent { bytes, .. } => totals.3 += bytes,
+            _ => {}
+        }
+    }
+    totals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive the queue through an arbitrary offer/drain script and
+    /// check the three invariants of the backpressure gate.
+    #[test]
+    fn queue_thins_only_droppables_and_accounts_every_drop(
+        capacity in 1usize..48,
+        sample_every in 1u64..10,
+        offers in proptest::collection::vec(0u8..12, 1..40),
+        drains in proptest::collection::vec(0u8..12, 1..40),
+        kinds in proptest::collection::vec(0u8..6, 1..256),
+        byte_sizes in proptest::collection::vec(0u64..10_000, 1..256),
+    ) {
+        let (queue, consumer) = ShipQueue::new(ShipOptions {
+            capacity,
+            sample_every,
+            ..ShipOptions::default()
+        });
+        let mut offered: Vec<Event> = Vec::new();
+        let mut delivered: Vec<Event> = Vec::new();
+        let mut reported_drops = 0u64;
+        let mut next = 0usize;
+        // The two scripts zip into (offer burst, drain burst) steps.
+        for (&offer_n, &drain_n) in offers.iter().zip(&drains) {
+            for _ in 0..offer_n {
+                let (Some(&choice), Some(&bytes)) = (kinds.get(next), byte_sizes.get(next)) else {
+                    break;
+                };
+                let e = event(next as u64, choice, bytes);
+                next += 1;
+                queue.offer(&e);
+                offered.push(e);
+            }
+            for _ in 0..drain_n {
+                match consumer.try_recv() {
+                    Some(e) => delivered.push(e),
+                    None => break,
+                }
+            }
+            // Seal a "batch": collect the drop count like the worker.
+            reported_drops += queue.take_dropped() as u64;
+        }
+        while let Some(e) = consumer.try_recv() {
+            delivered.push(e);
+        }
+        reported_drops += queue.take_dropped() as u64;
+
+        // 1. The critical subsequence survives exactly, in order.
+        let offered_critical: Vec<u64> = offered.iter()
+            .filter(|e| is_critical(&e.kind)).map(|e| e.seq).collect();
+        let delivered_critical: Vec<u64> = delivered.iter()
+            .filter(|e| is_critical(&e.kind)).map(|e| e.seq).collect();
+        prop_assert_eq!(offered_critical, delivered_critical);
+
+        // 2. Ledger/counter parity with the unsampled stream is exact.
+        let offered_refs: Vec<&Event> = offered.iter().collect();
+        let delivered_refs: Vec<&Event> = delivered.iter().collect();
+        prop_assert_eq!(ledger_totals(&offered_refs), ledger_totals(&delivered_refs));
+
+        // 3. Every thinned event is reported: offered = delivered +
+        //    reported drops, and the drop counter never counts
+        //    critical events.
+        let offered_droppable = offered.iter().filter(|e| !is_critical(&e.kind)).count() as u64;
+        let delivered_droppable = delivered.iter().filter(|e| !is_critical(&e.kind)).count() as u64;
+        prop_assert_eq!(reported_drops, offered_droppable - delivered_droppable);
+        prop_assert_eq!(queue.depth(), 0);
+    }
+
+    /// End-to-end through a real `ShipSink` worker thread: the batches
+    /// a shipper receives carry exactly the surviving events, and
+    /// their `dropped` fields sum to exactly the thinned count.
+    #[test]
+    fn ship_sink_batches_carry_exact_drop_counts(
+        capacity in 1usize..24,
+        sample_every in 1u64..6,
+        kinds in proptest::collection::vec(0u8..6, 1..128),
+        byte_sizes in proptest::collection::vec(0u64..10_000, 1..128),
+    ) {
+        let shipper = VecShipper::new();
+        let offered: Vec<Event> = kinds.iter().zip(&byte_sizes).enumerate()
+            .map(|(i, (&choice, &bytes))| event(i as u64, choice, bytes))
+            .collect();
+        {
+            let mut sink = ShipSink::new(1, ShipOptions {
+                capacity,
+                sample_every,
+                batch_interval: Duration::from_millis(5),
+                batch_max_events: 16,
+            }, Box::new(shipper.clone()));
+            for e in &offered {
+                sink.record(e);
+            }
+            sink.flush();
+        } // drop joins the worker
+
+        let batches: Vec<ShipBatch> = shipper.batches();
+        let delivered: Vec<&Event> = batches.iter().flat_map(|b| b.events.iter()).collect();
+        let reported: u64 = batches.iter().map(|b| b.dropped as u64).sum();
+
+        let offered_critical: Vec<u64> = offered.iter()
+            .filter(|e| is_critical(&e.kind)).map(|e| e.seq).collect();
+        let delivered_critical: Vec<u64> = delivered.iter()
+            .filter(|e| is_critical(&e.kind)).map(|e| e.seq).collect();
+        prop_assert_eq!(offered_critical, delivered_critical);
+
+        let offered_refs: Vec<&Event> = offered.iter().collect();
+        prop_assert_eq!(ledger_totals(&offered_refs), ledger_totals(&delivered));
+
+        let offered_droppable = offered.iter().filter(|e| !is_critical(&e.kind)).count() as u64;
+        let delivered_droppable = delivered.iter().filter(|e| !is_critical(&e.kind)).count() as u64;
+        prop_assert_eq!(reported, offered_droppable - delivered_droppable);
+    }
+}

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Runs the kernel and wire criterion benches and distills every
-# measurement into BENCH_5.json at the repo root: one record per
+# Runs the kernel, wire, and telemetry criterion benches and distills
+# every measurement into BENCH_8.json at the repo root: one record per
 # benchmark with the op name, the worker-thread count it ran at, and
 # the measured ns/iter. The `scaling/` group runs the same workload at
 # 1, 2, and 4 threads (encoded as an `_tN` name suffix), so the file
-# is the recorded evidence for the parallel substrate's scaling — and
-# the `wire_*` vs `wire_reference/*_per_float_*` rows are the bulk
-# codec's before/after.
+# is the recorded evidence for the parallel substrate's scaling; the
+# `wire_*` vs `wire_reference/*_per_float_*` rows are the bulk codec's
+# before/after; and the `span_emission/*` rows bound the telemetry hot
+# path (disabled handle vs ring buffer vs ship queue, ns/event).
 #
 # HADFL_BENCH_FAST=1 shrinks the vendored criterion's measurement
 # budget for CI; unset it for more stable local numbers.
@@ -14,13 +15,13 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_5.json
+out=BENCH_8.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # The vendored criterion stand-in has no CLI filter: run each bench
 # binary whole and scrape its `bench: <name> <ns> ns/iter` lines.
-for bench in kernels wire; do
+for bench in kernels wire telemetry; do
     echo "== cargo bench -p hadfl-bench --bench $bench" >&2
     cargo bench -p hadfl-bench --bench "$bench" 2>&1 | tee /dev/stderr | grep '^bench:' >>"$raw"
 done
