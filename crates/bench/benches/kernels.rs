@@ -15,6 +15,28 @@ use hadfl_nn::{models, Dataset, LrSchedule, Sgd, SyntheticSpec};
 use hadfl_simnet::{DeviceId, LinkModel};
 use hadfl_tensor::{im2col, matmul, Conv2dGeometry, SeedStream, Tensor};
 
+/// Machine-speed yardstick for `hadfl-bench-diff`: a fixed
+/// single-threaded fused-multiply-add sweep over 1M floats, immune to
+/// thread count, allocator state, and every knob the other benches
+/// turn. Two BENCH_*.json files taken on different machines (or a
+/// loaded vs idle one) are comparable after dividing each op by its
+/// file's calibration row.
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    let mut buf = vec![1.0f32; 1_000_000];
+    group.bench_function("serial_fma_1m", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for v in buf.iter_mut() {
+                *v = v.mul_add(0.999_999_9, 1.0e-9);
+                acc += *v;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
 fn bench_tensor(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
     let mut rng = SeedStream::new(1);
@@ -164,6 +186,7 @@ fn bench_scaling(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_calibration,
     bench_tensor,
     bench_train_step,
     bench_algorithms,

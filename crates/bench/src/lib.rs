@@ -7,6 +7,8 @@
 // `!(x > 0)`-style guards are deliberate: unlike `x <= 0` they also
 // reject NaN, which is exactly what the validators want.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
+pub mod diff;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

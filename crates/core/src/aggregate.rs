@@ -42,6 +42,7 @@ pub fn average_params(params: &[&[f32]]) -> Result<Vec<f32>, HadflError> {
         ));
     }
     let scale = 1.0 / params.len() as f32;
+    let _prof = hadfl_prof::scope_bytes("average_params", 4 * (len * params.len()) as u64);
     let mut out = vec![0.0f32; len];
     // Parallel over fixed element chunks; each element still sums the
     // models in ascending order and scales last, exactly like the
@@ -70,6 +71,7 @@ pub fn average_params(params: &[&[f32]]) -> Result<Vec<f32>, HadflError> {
 /// Panics if the slices differ in length.
 pub fn accumulate_params(acc: &mut [f32], src: &[f32]) {
     assert_eq!(acc.len(), src.len(), "accumulate length mismatch");
+    let _prof = hadfl_prof::scope_bytes("accumulate_params", 8 * acc.len() as u64);
     hadfl_par::par_chunks_mut(acc, hadfl_par::F32_CHUNK, |chunk, achunk| {
         let base = chunk * hadfl_par::F32_CHUNK;
         let schunk = &src[base..base + achunk.len()];
@@ -82,6 +84,7 @@ pub fn accumulate_params(acc: &mut [f32], src: &[f32]) {
 /// Elementwise `params[i] *= k` — the final `1/n` normalization of the
 /// ring reduce, parallel over fixed element chunks.
 pub fn scale_params(params: &mut [f32], k: f32) {
+    let _prof = hadfl_prof::scope_bytes("scale_params", 4 * params.len() as u64);
     hadfl_par::par_chunks_mut(params, hadfl_par::F32_CHUNK, |_, chunk| {
         for p in chunk {
             *p *= k;
@@ -176,6 +179,7 @@ pub fn blend_params(local: &mut [f32], incoming: &[f32], beta: f32) -> Result<()
             "blend beta {beta} outside [0, 1]"
         )));
     }
+    let _prof = hadfl_prof::scope_bytes("blend_params", 8 * local.len() as u64);
     hadfl_par::par_chunks_mut(local, hadfl_par::F32_CHUNK, |chunk, lchunk| {
         let base = chunk * hadfl_par::F32_CHUNK;
         let ichunk = &incoming[base..base + lchunk.len()];

@@ -140,6 +140,32 @@ impl Clock for ManualClock {
     }
 }
 
+/// Adapts any [`Clock`] onto the profiler's `TimeSource` seam, so a
+/// `hadfl_prof::Profiler` reads the same timeline as the protocol it
+/// instruments — under a [`ManualClock`] the profile is fully scripted
+/// and byte-identical across runs.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use hadfl::clock::{profiler_time, ManualClock};
+/// use hadfl_prof::Profiler;
+///
+/// let clock = ManualClock::new();
+/// let prof = Profiler::new(0, profiler_time(Arc::new(clock)));
+/// assert!(prof.enabled());
+/// ```
+pub fn profiler_time(clock: Arc<dyn Clock>) -> Arc<dyn hadfl_prof::TimeSource> {
+    struct ClockTime(Arc<dyn Clock>);
+    impl hadfl_prof::TimeSource for ClockTime {
+        fn now(&self) -> Duration {
+            self.0.now()
+        }
+    }
+    Arc::new(ClockTime(clock))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

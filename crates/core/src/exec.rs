@@ -49,7 +49,7 @@ use std::time::Duration;
 use hadfl_nn::LrSchedule;
 
 use crate::aggregate::blend_params;
-use crate::clock::{Clock, WallClock};
+use crate::clock::{Clock, ManualClock, WallClock};
 use crate::config::HadflConfig;
 use crate::coordinator::{RoundPlan, StrategyGenerator};
 use crate::error::HadflError;
@@ -462,6 +462,7 @@ fn finish_reduce<P: Port, T: TrainState>(
     tel: &Telemetry,
     now: Duration,
 ) -> Result<(), HadflError> {
+    let _prof = hadfl_prof::scope("ring_merge");
     crate::aggregate::scale_params(&mut params, 1.0 / hops as f32);
     train.set_params(&params)?;
     run.merged_done = true;
@@ -873,6 +874,7 @@ impl<T: TrainState> DeviceActor<T> {
     /// Returns substrate errors from the training step.
     pub fn on_idle<P: Port>(&mut self, _port: &mut P) -> Result<(), HadflError> {
         if matches!(self.phase, DevicePhase::Training) {
+            let _prof = hadfl_prof::scope("local_step");
             self.train.train_step()?;
             if self.tel.enabled() {
                 self.pending_steps += 1;
@@ -1099,9 +1101,11 @@ impl<T: TrainState> DeviceActor<T> {
                 self.spans.end(&self.tel, now, "wait_for_plan", self.me);
                 self.spans
                     .start(&self.tel, now, "broadcast_blend", 0, round, self.me);
+                let prof = hadfl_prof::scope("broadcast_blend");
                 let mut local = self.train.params();
                 blend_params(&mut local, &params, self.blend_beta)?;
                 self.train.set_params(&local)?;
+                drop(prof);
                 self.spans.end(&self.tel, now, "broadcast_blend", self.me);
                 self.begin_training(now, round + 1);
             }
@@ -1317,8 +1321,10 @@ impl<T: TrainState> DeviceActor<T> {
                     }
                 } else {
                     ring.run.contributed = true;
+                    let prof = hadfl_prof::scope("ring_accumulate");
                     let mine = self.train.params();
                     crate::aggregate::accumulate_params(&mut params, &mine);
+                    drop(prof);
                     let hops = hops + 1;
                     self.tel.emit(
                         now,
@@ -2270,19 +2276,7 @@ pub fn run_threaded(
     config: &HadflConfig,
     opts: &ThreadedOptions,
 ) -> Result<ThreadedReport, HadflError> {
-    let k = opts.powers.len();
-    if k < 2 {
-        return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
-    }
-    if opts.rounds == 0 {
-        return Err(HadflError::InvalidConfig("need at least 1 round".into()));
-    }
-    if opts.powers.iter().any(|&p| !(p > 0.0) || !p.is_finite()) {
-        return Err(HadflError::InvalidConfig(format!(
-            "bad powers {:?}",
-            opts.powers
-        )));
-    }
+    let k = validate_threaded(opts)?;
     let built = workload.build(k)?;
     let wall_clock = WallClock::new();
 
@@ -2337,6 +2331,192 @@ pub fn run_threaded(
     })
 }
 
+fn validate_threaded(opts: &ThreadedOptions) -> Result<usize, HadflError> {
+    let k = opts.powers.len();
+    if k < 2 {
+        return Err(HadflError::InvalidConfig("need at least 2 devices".into()));
+    }
+    if opts.rounds == 0 {
+        return Err(HadflError::InvalidConfig("need at least 1 round".into()));
+    }
+    if opts.powers.iter().any(|&p| !(p > 0.0) || !p.is_finite()) {
+        return Err(HadflError::InvalidConfig(format!(
+            "bad powers {:?}",
+            opts.powers
+        )));
+    }
+    Ok(k)
+}
+
+/// [`run_threaded`] in virtual time: the same actors over the same
+/// channel hub, but driven by one thread on a [`ManualClock`] as a
+/// discrete-event simulation. Heterogeneity becomes exact — a power-4
+/// device takes *exactly* 4× the local steps of a power-1 device per
+/// window, because steps are scheduled at `step_sleep / power`
+/// intervals of virtual time instead of raced against the OS
+/// scheduler. Identical inputs give identical reports, so assertions
+/// about relative progress ("the fast device outpaces the slow one")
+/// hold on any host, however loaded.
+///
+/// The driver mirrors the blocking loops event-for-event: in-flight
+/// messages are delivered to a fixpoint before time advances (channel
+/// latency is zero in virtual time), then the clock jumps straight to
+/// the earliest pending deadline — a device's next scheduled step, a
+/// ring silence timeout, or the coordinator's window/report/final
+/// deadline.
+///
+/// `report.wall` is virtual elapsed time.
+///
+/// # Errors
+///
+/// As [`run_threaded`].
+pub fn run_virtual(
+    workload: &Workload,
+    config: &HadflConfig,
+    opts: &ThreadedOptions,
+) -> Result<ThreadedReport, HadflError> {
+    let k = validate_threaded(opts)?;
+    let built = workload.build(k)?;
+    let clock = ManualClock::new();
+
+    let mut hub = ChannelTransport::hub(k + 1);
+    let mut coord_port = hub.claim(coordinator_id(k))?;
+    let mut device_ports = Vec::with_capacity(k);
+    for i in 0..k {
+        device_ports.push(hub.claim(i)?);
+    }
+
+    let planner = StrategyGenerator::new(config);
+    let mut coord = CoordinatorActor::new(
+        k,
+        planner,
+        opts.window,
+        opts.rounds,
+        opts.timing.clone(),
+        clock.now(),
+    );
+
+    let mut devices = Vec::with_capacity(k);
+    let mut sleeps = Vec::with_capacity(k);
+    let mut next_step = Vec::with_capacity(k);
+    for (i, mut rt) in built.runtimes.into_iter().enumerate() {
+        rt.set_optimizer(LrSchedule::constant(config.lr), config.momentum);
+        let mut actor = DeviceActor::new(i, k + 1, rt, config.blend_beta, opts.timing.clone());
+        actor.begin_training(clock.now(), 1);
+        devices.push(actor);
+        // Like the blocking loop: step first, then wait out the sleep.
+        sleeps.push(Duration::from_secs_f64(
+            opts.step_sleep.as_secs_f64() / opts.powers[i],
+        ));
+        next_step.push(clock.now());
+    }
+
+    let outcome = loop {
+        // Deliver every in-flight message before anything else happens:
+        // virtual channels have zero latency, so a frame sent "now" is
+        // readable "now". Actions below may send more — drain to a
+        // fixpoint.
+        loop {
+            let mut progressed = false;
+            while let Some(msg) = coord_port.try_recv()? {
+                coord.on_message(&mut coord_port, msg, clock.now())?;
+                progressed = true;
+            }
+            for (i, actor) in devices.iter_mut().enumerate() {
+                while let Some(msg) = device_ports[i].try_recv()? {
+                    // A finished device's leftovers are dead frames.
+                    if !matches!(actor.hint(clock.now()), DeviceHint::Finished) {
+                        actor.on_message(&mut device_ports[i], msg, clock.now())?;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let now = clock.now();
+        let coord_wake = match coord.hint(now) {
+            CoordHint::Done => break coord.into_run(),
+            CoordHint::Timer => {
+                coord.on_timer(&mut coord_port, now)?;
+                continue;
+            }
+            // The blocking driver's Sleep unconditionally ends in
+            // on_timer, and an elapsed Recv's recv_timeout(0) returns
+            // None into on_timer; both fire immediately here.
+            CoordHint::Sleep(d) | CoordHint::Recv(d) if d.is_zero() => {
+                coord.on_timer(&mut coord_port, now)?;
+                continue;
+            }
+            CoordHint::Sleep(d) | CoordHint::Recv(d) => now + d,
+        };
+
+        // Local steps due at the current instant (ports are empty, so
+        // idle is the right action, exactly as in the blocking loop).
+        let mut stepped = false;
+        for (i, actor) in devices.iter_mut().enumerate() {
+            if matches!(actor.hint(now), DeviceHint::Train) && next_step[i] <= now {
+                actor.on_idle(&mut device_ports[i])?;
+                next_step[i] = now + sleeps[i];
+                stepped = true;
+            }
+        }
+        if stepped {
+            continue;
+        }
+
+        // Nothing due now: jump to the earliest pending deadline.
+        let mut wake = coord_wake;
+        let mut ring_deadline: Vec<Option<Duration>> = vec![None; k];
+        for (i, actor) in devices.iter().enumerate() {
+            match actor.hint(now) {
+                DeviceHint::Finished => {}
+                DeviceHint::Train => wake = wake.min(next_step[i]),
+                DeviceHint::Ring(wait) => {
+                    let deadline = now + wait;
+                    ring_deadline[i] = Some(deadline);
+                    wake = wake.min(deadline);
+                }
+            }
+        }
+        clock.set(wake);
+
+        // Ring waits that just elapsed with an empty port are silence:
+        // fire the §III-D probe logic. (Train steps and coordinator
+        // deadlines are re-derived from hints on the next iteration.)
+        let now = clock.now();
+        for (i, actor) in devices.iter_mut().enumerate() {
+            if ring_deadline[i].is_some_and(|d| d <= now)
+                && matches!(actor.hint(now), DeviceHint::Ring(_))
+            {
+                actor.on_timer(&mut device_ports[i], now)?;
+            }
+        }
+    };
+
+    if outcome.final_models.is_empty() {
+        return Err(HadflError::InvalidConfig(
+            "no device uploaded final parameters".into(),
+        ));
+    }
+    let refs: Vec<&[f32]> = outcome.final_models.values().map(Vec::as_slice).collect();
+    let consensus = crate::aggregate::average_params(&refs)?;
+    let mut built_eval = workload.build(k)?;
+    let metrics = built_eval.evaluate_params(&consensus)?;
+
+    let stats = hub.net_stats();
+    Ok(ThreadedReport {
+        rounds: outcome.rounds,
+        final_accuracy: metrics.accuracy,
+        peer_bytes: stats.total_bytes() - stats.server_bytes(),
+        comm: CommSummary::from_stats(&stats, k),
+        dropped: outcome.dropped,
+        wall: clock.now(),
+    })
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -2371,7 +2551,11 @@ mod tests {
 
     #[test]
     fn fast_device_accumulates_more_versions() {
-        let report = run_threaded(
+        // Virtual time makes the heterogeneity assertion exact: the
+        // power-4 device steps every 2 ms of simulated time, the
+        // power-1 device every 8 ms, so per 80 ms window the version
+        // gap is 4x by construction — no OS scheduler involved.
+        let report = run_virtual(
             &Workload::quick("mlp", 62),
             &quick_config(62),
             &ThreadedOptions {
@@ -2389,6 +2573,38 @@ mod tests {
             "power-4 device should outpace power-1: {:?}",
             last.versions
         );
+    }
+
+    #[test]
+    fn virtual_run_completes_rounds_and_is_deterministic() {
+        let w = Workload::quick("mlp", 65);
+        let c = quick_config(65);
+        let opts = ThreadedOptions::quick(&[2.0, 1.0, 1.0]);
+        let report = run_virtual(&w, &c, &opts).unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        assert!(report.final_accuracy.is_finite());
+        assert!(
+            report.peer_bytes > 0,
+            "parameters must have moved through the hub"
+        );
+        assert!(report.dropped.is_empty());
+        assert!(report.wall >= Duration::from_millis(3 * 60));
+
+        let again = run_virtual(&w, &c, &opts).unwrap();
+        assert_eq!(report.rounds, again.rounds);
+        assert_eq!(report.wall, again.wall);
+        assert_eq!(report.peer_bytes, again.peer_bytes);
+        assert!((report.final_accuracy - again.final_accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_run_validates_options_like_threaded() {
+        let w = Workload::quick("mlp", 66);
+        let c = quick_config(66);
+        assert!(run_virtual(&w, &c, &ThreadedOptions::quick(&[1.0])).is_err());
+        let mut bad = ThreadedOptions::quick(&[1.0, 1.0]);
+        bad.powers = vec![1.0, f64::NAN];
+        assert!(run_virtual(&w, &c, &bad).is_err());
     }
 
     #[test]

@@ -284,7 +284,9 @@ impl Message {
     /// # }
     /// ```
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let len = self.encoded_len();
+        let _prof = hadfl_prof::scope_bytes("wire_encode", len as u64);
+        let mut buf = BytesMut::with_capacity(len);
         self.encode_into(&mut buf);
         buf.freeze()
     }
@@ -445,6 +447,11 @@ impl Message {
     /// Returns [`HadflError::InvalidConfig`] for an unknown tag or a
     /// truncated frame.
     pub fn decode(mut frame: &[u8]) -> Result<Message, HadflError> {
+        // The profiler scope lives inside the param-bearing arms, not
+        // here: a guard held across the whole match costs ~60ns of
+        // spill on the small control messages (round-plan decode is a
+        // 230ns op), while the bulk param payloads it exists to
+        // attribute dwarf it.
         fn need(frame: &[u8], n: usize) -> Result<(), HadflError> {
             if frame.remaining() < n {
                 return Err(HadflError::InvalidConfig(format!(
@@ -462,6 +469,7 @@ impl Message {
                 let round = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
+                let _prof = hadfl_prof::scope_bytes("wire_decode", (4 * len) as u64);
                 let params = get_f32s(&mut frame, len);
                 Message::ParamSync { round, params }
             }
@@ -505,6 +513,7 @@ impl Message {
                 let head = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
+                let _prof = hadfl_prof::scope_bytes("wire_decode", (4 * len) as u64);
                 let params = get_f32s(&mut frame, len);
                 if tag == TAG_PARAM_ACCUM {
                     Message::ParamAccum {
@@ -564,6 +573,7 @@ impl Message {
                 let device = frame.get_u32_le();
                 let len = frame.get_u32_le() as usize;
                 need(frame, 4 * len)?;
+                let _prof = hadfl_prof::scope_bytes("wire_decode", (4 * len) as u64);
                 let params = get_f32s(&mut frame, len);
                 Message::FinalParams { device, params }
             }

@@ -1,0 +1,40 @@
+//! Seeded violations for `prof-in-inner-loop`: profiler scopes paying
+//! the guard per iteration instead of per kernel invocation.
+
+pub fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], n: usize) {
+    for (r, row) in out.chunks_mut(n).enumerate() {
+        // Per-row guard: trip-count times the cost, one row per stack.
+        let _prof = hadfl_prof::scope("matmul_row"); //~ prof-in-inner-loop
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = a[r] * b[c];
+        }
+    }
+}
+
+pub fn accumulate(acc: &mut [f64], params: &[f32]) {
+    let mut i = 0;
+    while i < acc.len() {
+        let _prof = hadfl_prof::scope_bytes("acc_elem", 8); //~ prof-in-inner-loop
+        acc[i] += f64::from(params[i]);
+        i += 1;
+    }
+}
+
+pub fn drain(queue: &mut Vec<u32>) {
+    loop {
+        let Some(item) = queue.pop() else { break };
+        let _prof = hadfl_prof::scope("drain_item"); //~ prof-in-inner-loop
+        std::hint::black_box(item);
+    }
+}
+
+pub fn par_chunks(data: &mut [f32]) {
+    for chunk in data.chunks_mut(1024) {
+        // The callback runs inside the loop body: still per-iteration.
+        let work = || {
+            let _prof = scope_bytes("chunk", 4 * chunk.len() as u64); //~ prof-in-inner-loop
+            chunk.iter_mut().for_each(|v| *v += 1.0);
+        };
+        work();
+    }
+}

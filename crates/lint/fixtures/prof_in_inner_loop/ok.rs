@@ -1,0 +1,55 @@
+//! Known-clean look-alikes for `prof-in-inner-loop`: hoisted guards,
+//! `impl … for …` items, method calls named `scope`, and test code.
+
+use hadfl_prof::{scope, scope_bytes};
+
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], n: usize) {
+    // One guard for the whole op, bytes covering all of it: the shape
+    // the rule pushes toward.
+    let _prof = scope_bytes("matmul", 4 * (a.len() + b.len() + out.len()) as u64);
+    for (r, row) in out.chunks_mut(n).enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = a[r] * b[c];
+        }
+    }
+}
+
+pub trait Kernel {
+    fn run(&self);
+}
+
+pub struct Conv;
+
+// `for` here introduces an impl, not a loop body.
+impl Kernel for Conv {
+    fn run(&self) {
+        let _prof = scope("conv2d_fwd");
+    }
+}
+
+pub struct Builder;
+
+impl Builder {
+    fn scope(&self, _name: &str) -> u32 {
+        0
+    }
+}
+
+pub fn unrelated_scope_method(b: &Builder) {
+    for i in 0..4 {
+        // A method named `scope` is not the profiler guard.
+        let _ = b.scope("region") + i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_iteration_scopes_are_fine_in_tests() {
+        for _ in 0..3 {
+            let _prof = scope("test_iter");
+        }
+    }
+}

@@ -16,6 +16,7 @@ pub mod float_reduce_order;
 pub mod guard_across_send;
 pub mod nondet_iteration;
 pub mod print_in_protocol;
+pub mod prof_in_inner_loop;
 pub mod raw_frame;
 pub mod raw_spawn;
 pub mod unwrap_in_protocol;
@@ -68,7 +69,7 @@ pub fn ids() -> Vec<&'static str> {
     RULES.iter().map(|r| r.id).collect()
 }
 
-static RULES: [Rule; 9] = [
+static RULES: [Rule; 10] = [
     Rule {
         id: "ambient-clock",
         summary: "no Instant::now()/SystemTime::now() in protocol paths — time goes \
@@ -191,6 +192,18 @@ static RULES: [Rule; 9] = [
             excludes: &[],
         },
         run: blocking_in_emit::run,
+    },
+    Rule {
+        id: "prof-in-inner-loop",
+        summary: "no hadfl_prof::scope/scope_bytes inside for/while/loop bodies in \
+                  kernel code — the guard and its call-tree row are per-invocation \
+                  costs; hoist one scope above the loop to cover the whole op",
+        scope: Scope {
+            dirs: &["crates/tensor/src/", "crates/nn/src/", "crates/par/src/"],
+            files: &["crates/core/src/aggregate.rs", "crates/core/src/wire.rs"],
+            excludes: &[],
+        },
+        run: prof_in_inner_loop::run,
     },
 ];
 

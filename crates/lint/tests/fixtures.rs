@@ -107,6 +107,11 @@ fn blocking_in_emit() {
 }
 
 #[test]
+fn prof_in_inner_loop() {
+    check_dir("prof_in_inner_loop", &["prof-in-inner-loop"]);
+}
+
+#[test]
 fn waiver_corpus() {
     check_dir("waivers", &["ambient-clock"]);
 }

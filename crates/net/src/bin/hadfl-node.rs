@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use hadfl::clock::{Clock, WallClock};
+use hadfl::clock::{profiler_time, Clock, WallClock};
 use hadfl::exec::{run_coordinator_instrumented, run_device_instrumented, ProtocolTiming};
 use hadfl::trace::CommSummary;
 use hadfl::{HadflConfig, HadflError, Workload};
@@ -34,7 +34,7 @@ use hadfl_telemetry::{
 const USAGE: &str = "usage: hadfl-node --cluster <file.toml|file.json> --id <n> \
 [--model mlp] [--seed 0] [--rounds 3] [--window-ms 1000] [--step-sleep-ms 4] \
 [--num-selected 2] [--telemetry-dir <dir>] [--metrics-addr <host:port>] \
-[--ship-to <host:port>]";
+[--ship-to <host:port>] [--profile-dir <dir>]";
 
 struct Args {
     cluster: String,
@@ -48,6 +48,7 @@ struct Args {
     telemetry_dir: Option<String>,
     metrics_addr: Option<String>,
     ship_to: Option<String>,
+    profile_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
     let mut telemetry_dir = None;
     let mut metrics_addr = None;
     let mut ship_to = None;
+    let mut profile_dir = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -99,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
             "--telemetry-dir" => telemetry_dir = Some(value("--telemetry-dir")?),
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--ship-to" => ship_to = Some(value("--ship-to")?),
+            "--profile-dir" => profile_dir = Some(value("--profile-dir")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -115,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
         telemetry_dir,
         metrics_addr,
         ship_to,
+        profile_dir,
     })
 }
 
@@ -163,6 +167,35 @@ fn build_telemetry(args: &Args) -> Result<(Telemetry, Option<MetricsServer>), Ha
     Ok((tel, server))
 }
 
+/// Commits the node's profile at run end: writes the JSON dump and
+/// folded-stack flamegraph text to `--profile-dir`, and feeds the
+/// per-op / per-pool aggregates into the telemetry pipeline so the
+/// metrics endpoint and the collector see `hadfl_op_*` / `hadfl_pool_*`
+/// families. Call after dropping the install guard, before
+/// `tel.flush()`.
+fn finish_profile(
+    dir: &str,
+    id: usize,
+    profiler: &hadfl_prof::Profiler,
+    tel: &Telemetry,
+    now: Duration,
+) -> Result<(), HadflError> {
+    let dump = profiler.dump();
+    std::fs::create_dir_all(dir)
+        .map_err(|e| HadflError::InvalidConfig(format!("create {dir}: {e}")))?;
+    let json_path = Path::new(dir).join(format!("profile-node-{id}.json"));
+    let json = serde_json::to_string_pretty(&dump)
+        .map_err(|e| HadflError::InvalidConfig(format!("encode profile: {e}")))?;
+    std::fs::write(&json_path, json)
+        .map_err(|e| HadflError::InvalidConfig(format!("write {}: {e}", json_path.display())))?;
+    let folded_path = Path::new(dir).join(format!("profile-node-{id}.folded"));
+    std::fs::write(&folded_path, hadfl_prof::to_folded(&dump))
+        .map_err(|e| HadflError::InvalidConfig(format!("write {}: {e}", folded_path.display())))?;
+    tel.emit_profile(now, &dump);
+    eprintln!("hadfl-node: wrote profile to {}", json_path.display());
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), HadflError> {
     let contents = std::fs::read_to_string(&args.cluster)
         .map_err(|e| HadflError::InvalidConfig(format!("read {}: {e}", args.cluster)))?;
@@ -180,6 +213,14 @@ fn run(args: &Args) -> Result<(), HadflError> {
     // One clock for the transport and the protocol actor, so frame and
     // protocol events share a timeline.
     let clock: Arc<dyn Clock> = WallClock::shared();
+    // The profiler reads the same clock through the TimeSource seam, so
+    // its timeline matches the telemetry events'. The protocol actor
+    // runs on this thread; the install guard scopes its recording.
+    let profiler = match &args.profile_dir {
+        Some(_) => hadfl_prof::Profiler::new(args.id as u32, profiler_time(Arc::clone(&clock))),
+        None => hadfl_prof::Profiler::disabled(),
+    };
+    let prof_guard = profiler.install();
     let port = BoundNode::bind(args.id, &cluster.node(args.id)?.addr)?.into_port_instrumented(
         &cluster,
         TcpOptions::default(),
@@ -203,6 +244,10 @@ fn run(args: &Args) -> Result<(), HadflError> {
             let sleep = Duration::from_secs_f64(args.step_sleep.as_secs_f64() / spec.power);
             run_device_instrumented(port, rt, &config, sleep, &timing, &*clock, tel.clone())?;
             stats.emit_ledger();
+            drop(prof_guard);
+            if let Some(dir) = &args.profile_dir {
+                finish_profile(dir, args.id, &profiler, &tel, clock.now())?;
+            }
             tel.flush();
             eprintln!("hadfl-node: device {} done", args.id);
         }
@@ -221,6 +266,10 @@ fn run(args: &Args) -> Result<(), HadflError> {
                 tel.clone(),
             )?;
             stats.emit_ledger();
+            drop(prof_guard);
+            if let Some(dir) = &args.profile_dir {
+                finish_profile(dir, args.id, &profiler, &tel, clock.now())?;
+            }
             tel.flush();
             for round in &run.rounds {
                 println!(

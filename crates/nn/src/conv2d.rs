@@ -137,6 +137,7 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let _prof = hadfl_prof::scope("conv2d_fwd");
         let batch = *input
             .dims()
             .first()
@@ -153,6 +154,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let _prof = hadfl_prof::scope("conv2d_bwd");
         let cols = self
             .cached_cols
             .as_ref()

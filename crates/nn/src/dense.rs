@@ -59,6 +59,7 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let _prof = hadfl_prof::scope("dense_fwd");
         let mut out = matmul(input, &self.weight)?;
         let (batch, width) = (out.dims()[0], out.dims()[1]);
         let bias = self.bias.as_slice().to_vec();
@@ -78,6 +79,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let _prof = hadfl_prof::scope("dense_bwd");
         let input = self
             .cached_input
             .as_ref()

@@ -133,6 +133,7 @@ impl Model {
         labels: &[usize],
         opt: &mut Sgd,
     ) -> Result<f32, NnError> {
+        let _prof = hadfl_prof::scope("train_step");
         let logits = self.net.forward(x, true)?;
         if logits.dims().len() != 2 || logits.dims()[1] != self.num_classes {
             return Err(NnError::InvalidConfig(format!(

@@ -50,6 +50,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use hadfl_prof::PoolRegion;
+
 /// Below this many scalar operations a parallel region is not worth
 /// the `thread::scope` spawn cost and runs serially (unless a
 /// [`with_threads`] override forces the parallel path for testing).
@@ -151,25 +153,43 @@ impl Plan {
     /// because outputs are a function of the index alone.
     pub fn run(&self, n_tasks: usize, task: impl Fn(usize) + Sync) {
         let w = self.workers.min(n_tasks);
+        // Every dispatch — serial or parallel — is one pool region when
+        // a profiler is installed on the dispatching thread; workers
+        // feed it through lock-free atomics. Disabled cost is one
+        // thread-local flag read for the whole dispatch.
+        let region = PoolRegion::begin("par");
         if w <= 1 {
+            let wt = region.worker_start();
             for i in 0..n_tasks {
+                let t = region.task_start();
                 task(i);
+                region.task_end(t);
             }
+            region.worker_end(wt);
+            region.finish();
             return;
         }
         let next = AtomicUsize::new(0);
         let task_ref: &(dyn Fn(usize) + Sync) = &task;
+        let region_ref = &region;
         std::thread::scope(|scope| {
             for _ in 1..w {
                 let next = &next;
                 scope.spawn(move || {
                     IN_WORKER.with(|f| f.set(true));
-                    drain(next, n_tasks, task_ref);
+                    let wt = region_ref.worker_start();
+                    drain(next, n_tasks, task_ref, region_ref);
+                    region_ref.worker_end(wt);
                     IN_WORKER.with(|f| f.set(false));
                 });
             }
-            drain(&next, n_tasks, task_ref);
+            // The dispatching thread drains alongside the spawned
+            // workers and counts as one of them.
+            let wt = region_ref.worker_start();
+            drain(&next, n_tasks, task_ref, region_ref);
+            region_ref.worker_end(wt);
         });
+        region.finish();
     }
 
     /// Splits `data` into fixed `chunk_len`-sized chunks (the last may
@@ -189,9 +209,15 @@ impl Plan {
         let len = data.len();
         let n_chunks = chunk_count(len, chunk_len);
         if self.is_serial() || n_chunks <= 1 {
+            let region = PoolRegion::begin("par");
+            let wt = region.worker_start();
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                let t = region.task_start();
                 f(i, chunk);
+                region.task_end(t);
             }
+            region.worker_end(wt);
+            region.finish();
             return;
         }
         let base = SendPtr(data.as_mut_ptr());
@@ -238,13 +264,15 @@ impl Plan {
     }
 }
 
-fn drain(next: &AtomicUsize, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+fn drain(next: &AtomicUsize, n_tasks: usize, task: &(dyn Fn(usize) + Sync), region: &PoolRegion) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n_tasks {
             return;
         }
+        let t = region.task_start();
         task(i);
+        region.task_end(t);
     }
 }
 
@@ -415,6 +443,29 @@ mod tests {
                 assert!(plan(u64::MAX).is_serial());
             });
         });
+    }
+
+    #[test]
+    fn pool_dispatches_record_into_an_installed_profiler() {
+        use hadfl_prof::{ManualTime, Profiler};
+        let prof = Profiler::new(0, std::sync::Arc::new(ManualTime::new()));
+        {
+            let _g = prof.install();
+            let mut data = vec![0f32; 1000];
+            with_threads(4, || {
+                plan(u64::MAX).chunks_mut(&mut data, 100, |_, chunk| {
+                    for v in chunk {
+                        *v += 1.0;
+                    }
+                });
+            });
+            assert!(data.iter().all(|&v| v == 1.0));
+        }
+        let dump = prof.dump();
+        assert_eq!(dump.pools.len(), 1);
+        let p = &dump.pools[0];
+        assert_eq!(p.region, "par");
+        assert_eq!((p.dispatches, p.tasks, p.max_workers), (1, 10, 4));
     }
 
     #[test]

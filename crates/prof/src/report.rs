@@ -1,0 +1,279 @@
+//! Serializable profile dumps, folded-stack flamegraph text, and
+//! cross-node merging.
+//!
+//! A [`ProfileDump`] is the deterministic export of one profiler: call
+//! stacks keyed by `;`-joined paths (already merged across thread
+//! lanes, sorted by path) and the pool-dispatch table (sorted by
+//! region). The folded format is the standard flamegraph input — one
+//! `path value` line per stack, the value being **self** nanoseconds so
+//! the flame widths add up to real time without double counting.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamp on every dump; bump on breaking field changes.
+pub const PROF_SCHEMA_VERSION: u32 = 1;
+
+/// One call-tree path's aggregate across all thread lanes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackRow {
+    /// `;`-joined scope names, outermost first (e.g. `train_step;matmul`).
+    pub stack: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+    #[serde(default)]
+    pub bytes: u64,
+}
+
+/// One pool region's dispatch aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolRow {
+    /// The dispatcher's scope path when the region opened.
+    pub region: String,
+    pub dispatches: u64,
+    pub max_workers: u64,
+    pub tasks: u64,
+    pub busy_ns: u64,
+    pub park_ns: u64,
+    pub wall_ns: u64,
+    pub max_chunk_ns: u64,
+    pub min_chunk_ns: u64,
+}
+
+impl PoolRow {
+    /// Mean task duration in nanoseconds (0 when no tasks ran).
+    pub fn mean_chunk_ns(&self) -> u64 {
+        self.busy_ns.checked_div(self.tasks).unwrap_or(0)
+    }
+
+    /// Largest chunk over the mean chunk — 1.0 is perfectly balanced,
+    /// large values mean the chunking is too coarse.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_chunk_ns();
+        if mean == 0 {
+            1.0
+        } else {
+            self.max_chunk_ns as f64 / mean as f64
+        }
+    }
+
+    /// Fraction of region wall time the workers were busy computing,
+    /// normalized by worker count (1.0 = every worker busy the whole
+    /// region).
+    pub fn busy_fraction(&self) -> f64 {
+        let denom = self.wall_ns.saturating_mul(self.max_workers.max(1));
+        if denom == 0 {
+            1.0
+        } else {
+            (self.busy_ns as f64 / denom as f64).min(1.0)
+        }
+    }
+
+    /// Fraction of region wall time accounted for by measured worker
+    /// lifetime (busy + park). Below ~0.95 the dispatch overhead
+    /// (spawn/join) dominates the region.
+    pub fn accounted_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            1.0
+        } else {
+            (self.busy_ns + self.park_ns) as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// A profiler's full deterministic export.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileDump {
+    pub v: u32,
+    pub node: u32,
+    pub stacks: Vec<StackRow>,
+    pub pools: Vec<PoolRow>,
+}
+
+impl ProfileDump {
+    pub fn empty(node: u32) -> Self {
+        Self {
+            v: PROF_SCHEMA_VERSION,
+            node,
+            stacks: Vec::new(),
+            pools: Vec::new(),
+        }
+    }
+}
+
+/// Renders a dump as folded-stack flamegraph text: one `path self_ns`
+/// line per stack row, in path order. Feed straight into any flamegraph
+/// renderer.
+pub fn to_folded(dump: &ProfileDump) -> String {
+    let mut out = String::new();
+    for row in &dump.stacks {
+        out.push_str(&row.stack);
+        out.push(' ');
+        out.push_str(&row.self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses folded-stack text back into `(path, self_ns)` pairs. Inverse
+/// of [`to_folded`] over its output; blank lines are skipped.
+pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value field: {line:?}", lineno + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad value {value:?}: {e}", lineno + 1))?;
+        out.push((stack.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Merges dumps from several nodes into one fleet-wide profile: stack
+/// rows sum by path, pool rows sum by region (`max_workers` and chunk
+/// extrema combine by max/min). The merged dump carries `node` of the
+/// first input (or 0 when empty).
+pub fn merge_dumps(dumps: &[ProfileDump]) -> ProfileDump {
+    use std::collections::BTreeMap;
+    let mut stacks: BTreeMap<&str, StackRow> = BTreeMap::new();
+    let mut pools: BTreeMap<&str, PoolRow> = BTreeMap::new();
+    for dump in dumps {
+        for row in &dump.stacks {
+            match stacks.get_mut(row.stack.as_str()) {
+                Some(agg) => {
+                    agg.count += row.count;
+                    agg.total_ns += row.total_ns;
+                    agg.self_ns += row.self_ns;
+                    agg.bytes += row.bytes;
+                }
+                None => {
+                    stacks.insert(&row.stack, row.clone());
+                }
+            }
+        }
+        for row in &dump.pools {
+            match pools.get_mut(row.region.as_str()) {
+                Some(agg) => {
+                    agg.dispatches += row.dispatches;
+                    agg.max_workers = agg.max_workers.max(row.max_workers);
+                    agg.tasks += row.tasks;
+                    agg.busy_ns += row.busy_ns;
+                    agg.park_ns += row.park_ns;
+                    agg.wall_ns += row.wall_ns;
+                    agg.max_chunk_ns = agg.max_chunk_ns.max(row.max_chunk_ns);
+                    agg.min_chunk_ns = if agg.min_chunk_ns == 0 {
+                        row.min_chunk_ns
+                    } else if row.min_chunk_ns == 0 {
+                        agg.min_chunk_ns
+                    } else {
+                        agg.min_chunk_ns.min(row.min_chunk_ns)
+                    };
+                }
+                None => {
+                    pools.insert(&row.region, row.clone());
+                }
+            }
+        }
+    }
+    ProfileDump {
+        v: PROF_SCHEMA_VERSION,
+        node: dumps.first().map(|d| d.node).unwrap_or(0),
+        stacks: stacks.into_values().collect(),
+        pools: pools.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(stack: &str, self_ns: u64) -> StackRow {
+        StackRow {
+            stack: stack.to_string(),
+            count: 1,
+            total_ns: self_ns,
+            self_ns,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn folded_round_trips() {
+        let dump = ProfileDump {
+            v: PROF_SCHEMA_VERSION,
+            node: 0,
+            stacks: vec![row("a", 10), row("a;b", 20), row("a;b c;d", 5)],
+            pools: Vec::new(),
+        };
+        let folded = to_folded(&dump);
+        let parsed = parse_folded(&folded).unwrap();
+        let expect: Vec<(String, u64)> = dump
+            .stacks
+            .iter()
+            .map(|r| (r.stack.clone(), r.self_ns))
+            .collect();
+        assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_folded("no_value_here").is_err());
+        assert!(parse_folded("stack notanumber").is_err());
+        assert!(parse_folded("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_by_path_and_region() {
+        let a = ProfileDump {
+            v: PROF_SCHEMA_VERSION,
+            node: 0,
+            stacks: vec![row("x", 10), row("x;y", 1)],
+            pools: vec![PoolRow {
+                region: "x".to_string(),
+                dispatches: 1,
+                max_workers: 2,
+                tasks: 4,
+                busy_ns: 100,
+                park_ns: 10,
+                wall_ns: 60,
+                max_chunk_ns: 40,
+                min_chunk_ns: 10,
+            }],
+        };
+        let mut b = a.clone();
+        b.node = 1;
+        b.pools[0].max_workers = 4;
+        b.pools[0].min_chunk_ns = 5;
+        let merged = merge_dumps(&[a, b]);
+        assert_eq!(merged.stacks.len(), 2);
+        assert_eq!(merged.stacks[0].self_ns, 20);
+        let p = &merged.pools[0];
+        assert_eq!((p.dispatches, p.max_workers, p.tasks), (2, 4, 8));
+        assert_eq!((p.busy_ns, p.min_chunk_ns, p.max_chunk_ns), (200, 5, 40));
+    }
+
+    #[test]
+    fn pool_row_derived_metrics() {
+        let p = PoolRow {
+            region: "matmul".to_string(),
+            dispatches: 1,
+            max_workers: 4,
+            tasks: 4,
+            busy_ns: 124,
+            park_ns: 260,
+            wall_ns: 100,
+            max_chunk_ns: 87,
+            min_chunk_ns: 10,
+        };
+        assert_eq!(p.mean_chunk_ns(), 31);
+        assert!((p.imbalance() - 87.0 / 31.0).abs() < 1e-9);
+        assert!((p.busy_fraction() - 0.31).abs() < 1e-9);
+        assert!((p.accounted_fraction() - 3.84).abs() < 1e-9);
+    }
+}

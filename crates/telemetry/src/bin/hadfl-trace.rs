@@ -18,6 +18,12 @@
 //!   violations);
 //! - `spans [--round N] [--json]`: per-node Gantt of the paired
 //!   `SpanStart`/`SpanEnd` timeline, ASCII or JSON;
+//! - `profile [--check] [--folded OUT] <profile-node-*.json>...`:
+//!   merges per-node profiler dumps (written by
+//!   `hadfl-node --profile-dir`) and prints the call tree, the op
+//!   table, and per-pool utilization verdicts; `--folded OUT` writes
+//!   the merged folded-stack flamegraph text, `--check` exits non-zero
+//!   unless every pool region accounts for ≥95% of its wall time;
 //! - `--follow`: tails a live collector spool file (JSONL, growing)
 //!   and redraws a rolling dashboard — recent round latencies and
 //!   which device held each ring longest. `--interval-ms` sets the
@@ -40,10 +46,12 @@ use hadfl_telemetry::analyze::{
     check_full, critical_path, merge, parse_jsonl, render_gantt, report, rounds_planned, spans,
     spans_to_json, ParsedLog,
 };
+use hadfl_telemetry::profile::{check_profile, render_profile};
 
 const USAGE: &str = "usage: hadfl-trace [--check] <events.jsonl>...
        hadfl-trace critical-path [--round N] [--check] <events.jsonl>...
        hadfl-trace spans [--round N] [--json] <events.jsonl>...
+       hadfl-trace profile [--check] [--folded OUT] <profile-node-*.json>...
        hadfl-trace --follow [--interval-ms MS] [--updates N] <spool.jsonl>";
 
 enum Mode {
@@ -51,6 +59,7 @@ enum Mode {
     Check,
     CriticalPath { check: bool, round: Option<u32> },
     Spans { json: bool, round: Option<u32> },
+    Profile { check: bool, folded: Option<String> },
     Follow { interval_ms: u64, updates: u64 },
 }
 
@@ -63,12 +72,17 @@ fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
     let mut interval_ms = 500u64;
     let mut updates = 0u64;
     let mut round: Option<u32> = None;
+    let mut folded: Option<String> = None;
     let mut sub: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "critical-path" | "spans" if sub.is_none() && paths.is_empty() => {
+            "critical-path" | "spans" | "profile" if sub.is_none() && paths.is_empty() => {
                 sub = Some(arg.as_str());
+            }
+            "--folded" => {
+                let v = it.next().ok_or("--folded needs a value")?;
+                folded = Some(v.to_string());
             }
             "--check" => check = true,
             "--json" => json = true,
@@ -93,6 +107,7 @@ fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
     match sub {
         Some("critical-path") => mode = Mode::CriticalPath { check, round },
         Some("spans") => mode = Mode::Spans { json, round },
+        Some("profile") => mode = Mode::Profile { check, folded },
         _ if follow => {
             mode = Mode::Follow {
                 interval_ms,
@@ -103,6 +118,62 @@ fn parse_args(args: &[String]) -> Result<(Mode, Vec<String>), String> {
         _ => {}
     }
     Ok((mode, paths))
+}
+
+/// The `profile` subcommand: loads per-node profiler dumps, merges
+/// them, prints the report, optionally writes the merged folded-stack
+/// text, and (with `--check`) fails unless every pool region accounts
+/// for its wall time.
+fn run_profile(paths: &[String], check: bool, folded_out: Option<&str>) -> ExitCode {
+    let mut dumps = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("hadfl-trace: read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str::<hadfl_prof::ProfileDump>(&text) {
+            Ok(dump) => {
+                if dump.v != hadfl_prof::PROF_SCHEMA_VERSION {
+                    eprintln!(
+                        "hadfl-trace: warning: {path} has profile schema v{}, expected v{}",
+                        dump.v,
+                        hadfl_prof::PROF_SCHEMA_VERSION
+                    );
+                }
+                dumps.push(dump);
+            }
+            Err(e) => {
+                eprintln!("hadfl-trace: parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let merged = hadfl_prof::merge_dumps(&dumps);
+    print!("{}", render_profile(&merged, dumps.len()));
+    if let Some(out) = folded_out {
+        if let Err(e) = std::fs::write(out, hadfl_prof::to_folded(&merged)) {
+            eprintln!("hadfl-trace: write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("hadfl-trace: wrote folded stacks to {out}");
+    }
+    if check {
+        let errors = check_profile(&merged);
+        if !errors.is_empty() {
+            for error in &errors {
+                eprintln!("hadfl-trace: {error}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "profile check ok: {} pool region(s) account for their wall time",
+            merged.pools.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Tails `path`, redrawing the rolling dashboard each interval. The
@@ -177,6 +248,12 @@ fn main() -> ExitCode {
         return follow(&paths[0], interval_ms, updates);
     }
 
+    // Profile dumps are ProfileDump JSON, not event JSONL — load them
+    // on their own path.
+    if let Mode::Profile { check, folded } = &mode {
+        return run_profile(&paths, *check, folded.as_deref());
+    }
+
     let mut logs: Vec<ParsedLog> = Vec::with_capacity(paths.len());
     for path in &paths {
         match std::fs::read_to_string(path) {
@@ -243,8 +320,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         // Handled before the logs were loaded; a follow target is a
-        // growing file, not a finished log set.
-        Mode::Follow { .. } => ExitCode::SUCCESS,
+        // growing file and a profile dump isn't event JSONL.
+        Mode::Follow { .. } | Mode::Profile { .. } => ExitCode::SUCCESS,
         Mode::Report => {
             let garbage: usize = logs.iter().map(|l| l.garbage_lines).sum();
             if garbage > 0 {

@@ -242,6 +242,45 @@ pub enum EventKind {
         /// Payload frames recorded (sends + receives).
         frames: u64,
     },
+    /// One profiled operation's aggregate from the in-process compute
+    /// profiler (`hadfl-prof`), emitted once per op when a node's run
+    /// ends. `op` is the leaf scope name (`matmul`, `wire_encode`, …),
+    /// so a fleet's `hadfl_op_seconds` metrics sum across nodes.
+    OpProfile {
+        /// Leaf scope name.
+        op: String,
+        /// Times the scope closed.
+        calls: u64,
+        /// Total nanoseconds inside the scope (including children).
+        total_ns: u64,
+        /// Nanoseconds not covered by child scopes.
+        self_ns: u64,
+        /// Bytes processed, where the site reports them (0 otherwise).
+        bytes: u64,
+    },
+    /// One pool region's dispatch aggregate from `hadfl-prof`: where a
+    /// parallel region's wall time went (busy vs parked) and how even
+    /// its chunks were. Emitted once per region at run end.
+    PoolProfile {
+        /// The dispatcher's scope path when the region opened.
+        region: String,
+        /// Dispatches through the region.
+        dispatches: u64,
+        /// Most workers any dispatch used.
+        max_workers: u64,
+        /// Tasks (chunks) executed.
+        tasks: u64,
+        /// Nanoseconds workers spent computing tasks.
+        busy_ns: u64,
+        /// Worker lifetime not spent on tasks.
+        park_ns: u64,
+        /// Dispatcher-side region wall nanoseconds.
+        wall_ns: u64,
+        /// Slowest single chunk.
+        max_chunk_ns: u64,
+        /// Fastest single chunk.
+        min_chunk_ns: u64,
+    },
 }
 
 impl Event {
@@ -286,6 +325,8 @@ impl Event {
             EventKind::FrameSent { .. } => "frame_sent",
             EventKind::FrameReceived { .. } => "frame_received",
             EventKind::Ledger { .. } => "ledger",
+            EventKind::OpProfile { .. } => "op_profile",
+            EventKind::PoolProfile { .. } => "pool_profile",
         }
     }
 }
@@ -376,6 +417,24 @@ mod tests {
                 sent_bytes: 100,
                 recv_bytes: 90,
                 frames: 12,
+            },
+            EventKind::OpProfile {
+                op: "matmul".into(),
+                calls: 128,
+                total_ns: 2_000_000,
+                self_ns: 1_800_000,
+                bytes: 4096,
+            },
+            EventKind::PoolProfile {
+                region: "train_step;matmul".into(),
+                dispatches: 128,
+                max_workers: 4,
+                tasks: 1024,
+                busy_ns: 1_500_000,
+                park_ns: 300_000,
+                wall_ns: 600_000,
+                max_chunk_ns: 4_000,
+                min_chunk_ns: 900,
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

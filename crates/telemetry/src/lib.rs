@@ -33,6 +33,7 @@ pub mod event;
 pub mod follow;
 pub mod health;
 pub mod metrics;
+pub mod profile;
 pub mod ship;
 pub mod sink;
 
@@ -174,6 +175,61 @@ impl Telemetry {
         }
     }
 
+    /// Emits a profiler dump as telemetry events: one
+    /// [`EventKind::OpProfile`] per *leaf op* (stack rows summed by
+    /// their last path segment, so `train_step;dense_fwd;matmul` and
+    /// `train_step;conv2d_fwd;im2col;matmul` both feed the `matmul`
+    /// op) and one [`EventKind::PoolProfile`] per pool region. The
+    /// full hierarchy stays in the on-disk dump; events carry the
+    /// per-op aggregates the metrics registry and collector want.
+    ///
+    /// Call once at shutdown, before [`Telemetry::flush`]. No-op on a
+    /// disabled handle or an empty dump.
+    pub fn emit_profile(&self, now: Duration, dump: &hadfl_prof::ProfileDump) {
+        if self.0.is_none() {
+            return;
+        }
+        // BTreeMap: leaf ops emit in name order, deterministically.
+        let mut ops: std::collections::BTreeMap<&str, (u64, u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for row in &dump.stacks {
+            let leaf = row.stack.rsplit(';').next().unwrap_or(&row.stack);
+            let agg = ops.entry(leaf).or_default();
+            agg.0 += row.count;
+            agg.1 += row.total_ns;
+            agg.2 += row.self_ns;
+            agg.3 += row.bytes;
+        }
+        for (op, (calls, total_ns, self_ns, bytes)) in ops {
+            self.emit(
+                now,
+                EventKind::OpProfile {
+                    op: op.to_string(),
+                    calls,
+                    total_ns,
+                    self_ns,
+                    bytes,
+                },
+            );
+        }
+        for pool in &dump.pools {
+            self.emit(
+                now,
+                EventKind::PoolProfile {
+                    region: pool.region.clone(),
+                    dispatches: pool.dispatches,
+                    max_workers: pool.max_workers,
+                    tasks: pool.tasks,
+                    busy_ns: pool.busy_ns,
+                    park_ns: pool.park_ns,
+                    wall_ns: pool.wall_ns,
+                    max_chunk_ns: pool.max_chunk_ns,
+                    min_chunk_ns: pool.min_chunk_ns,
+                },
+            );
+        }
+    }
+
     /// Flushes every sink (call before process exit so JSONL buffers
     /// reach disk).
     pub fn flush(&self) {
@@ -225,6 +281,69 @@ mod tests {
         );
         let seqs: Vec<u64> = buffer.snapshot().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn emit_profile_aggregates_stacks_by_leaf_op() {
+        use hadfl_prof::{PoolRow, ProfileDump, StackRow, PROF_SCHEMA_VERSION};
+        let buffer = RingBufferSink::new(16);
+        let tel = Telemetry::new(0, vec![Box::new(buffer.clone())]);
+        let dump = ProfileDump {
+            v: PROF_SCHEMA_VERSION,
+            node: 0,
+            stacks: vec![
+                StackRow {
+                    stack: "train_step;dense_fwd;matmul".into(),
+                    count: 2,
+                    total_ns: 100,
+                    self_ns: 100,
+                    bytes: 8,
+                },
+                StackRow {
+                    stack: "train_step;conv2d_fwd;matmul".into(),
+                    count: 3,
+                    total_ns: 50,
+                    self_ns: 40,
+                    bytes: 4,
+                },
+            ],
+            pools: vec![PoolRow {
+                region: "par".into(),
+                dispatches: 1,
+                max_workers: 2,
+                tasks: 4,
+                busy_ns: 80,
+                park_ns: 20,
+                wall_ns: 100,
+                max_chunk_ns: 30,
+                min_chunk_ns: 10,
+            }],
+        };
+        tel.emit_profile(Duration::from_millis(7), &dump);
+        let events = buffer.snapshot();
+        assert_eq!(events.len(), 2, "one merged op + one pool row");
+        match &events[0].kind {
+            EventKind::OpProfile {
+                op,
+                calls,
+                self_ns,
+                bytes,
+                ..
+            } => {
+                assert_eq!(op, "matmul");
+                assert_eq!(*calls, 5);
+                assert_eq!(*self_ns, 140);
+                assert_eq!(*bytes, 12);
+            }
+            other => panic!("expected OpProfile, got {other:?}"),
+        }
+        match &events[1].kind {
+            EventKind::PoolProfile { region, tasks, .. } => {
+                assert_eq!(region, "par");
+                assert_eq!(*tasks, 4);
+            }
+            other => panic!("expected PoolProfile, got {other:?}"),
+        }
     }
 
     #[test]

@@ -93,6 +93,18 @@ fn builtin_help(name: &str) -> Option<&'static str> {
         "hadfl_recv_bytes_total" => "Payload bytes received, by peer.",
         "hadfl_recv_frames_total" => "Payload frames received, by peer.",
         "hadfl_segment_latency_seconds" => "Span segment durations by taxonomy name, seconds.",
+        "hadfl_op_seconds_total" => "Profiled compute seconds inside each op scope (self time).",
+        "hadfl_op_calls_total" => "Times each profiled op scope closed.",
+        "hadfl_op_bytes_total" => "Bytes processed by each profiled op scope.",
+        "hadfl_pool_busy_seconds_total" => "Pool worker seconds spent computing, by region.",
+        "hadfl_pool_park_seconds_total" => "Pool worker seconds parked (not on a task), by region.",
+        "hadfl_pool_wall_seconds_total" => "Dispatcher-side pool region wall seconds, by region.",
+        "hadfl_pool_tasks_total" => "Pool tasks (chunks) executed, by region.",
+        "hadfl_pool_dispatches_total" => "Pool dispatches, by region.",
+        "hadfl_pool_imbalance_ratio" => {
+            "Slowest chunk over mean chunk per pool region (1.0 = balanced)."
+        }
+        "hadfl_pool_max_workers" => "Most workers any dispatch used, by region.",
         _ => return None,
     })
 }
@@ -170,6 +182,17 @@ impl MetricsRegistry {
         let inner = self.inner.lock();
         inner
             .counters
+            .get(name)
+            .and_then(|series| series.get(&label_key(labels)))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Current value of a gauge series (tests / reports).
+    pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> f64 {
+        let inner = self.inner.lock();
+        inner
+            .gauges
             .get(name)
             .and_then(|series| series.get(&label_key(labels)))
             .copied()
@@ -332,6 +355,60 @@ impl Sink for MetricsSink {
                 let peer = [("peer", src.to_string())];
                 reg.inc_counter("hadfl_recv_bytes_total", &peer, *bytes as f64);
                 reg.inc_counter("hadfl_recv_frames_total", &peer, 1.0);
+            }
+            EventKind::OpProfile {
+                op,
+                calls,
+                self_ns,
+                bytes,
+                ..
+            } => {
+                let labels = [("op", op.clone())];
+                reg.inc_counter("hadfl_op_seconds_total", &labels, *self_ns as f64 / 1e9);
+                reg.inc_counter("hadfl_op_calls_total", &labels, *calls as f64);
+                if *bytes > 0 {
+                    reg.inc_counter("hadfl_op_bytes_total", &labels, *bytes as f64);
+                }
+            }
+            EventKind::PoolProfile {
+                region,
+                dispatches,
+                max_workers,
+                tasks,
+                busy_ns,
+                park_ns,
+                wall_ns,
+                max_chunk_ns,
+                ..
+            } => {
+                let labels = [("region", region.clone())];
+                reg.inc_counter(
+                    "hadfl_pool_busy_seconds_total",
+                    &labels,
+                    *busy_ns as f64 / 1e9,
+                );
+                reg.inc_counter(
+                    "hadfl_pool_park_seconds_total",
+                    &labels,
+                    *park_ns as f64 / 1e9,
+                );
+                reg.inc_counter(
+                    "hadfl_pool_wall_seconds_total",
+                    &labels,
+                    *wall_ns as f64 / 1e9,
+                );
+                reg.inc_counter("hadfl_pool_tasks_total", &labels, *tasks as f64);
+                reg.inc_counter("hadfl_pool_dispatches_total", &labels, *dispatches as f64);
+                reg.set_gauge("hadfl_pool_max_workers", &labels, *max_workers as f64);
+                if *tasks > 0 {
+                    let mean = *busy_ns as f64 / *tasks as f64;
+                    let ratio = if mean > 0.0 {
+                        *max_chunk_ns as f64 / mean
+                    } else {
+                        1.0
+                    };
+                    reg.set_gauge("hadfl_pool_imbalance_ratio", &labels, ratio);
+                }
             }
             EventKind::SpanStart { span, name, .. } => {
                 self.open_spans
@@ -534,6 +611,53 @@ mod tests {
             text.contains("hadfl_segment_latency_seconds_count{segment=\"ring_reduce\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn profile_events_feed_op_and_pool_families() {
+        let registry = MetricsRegistry::new();
+        let mut sink = MetricsSink::new(Arc::clone(&registry));
+        sink.record(&event(
+            0,
+            EventKind::OpProfile {
+                op: "matmul".into(),
+                calls: 4,
+                total_ns: 2_000_000_000,
+                self_ns: 1_500_000_000,
+                bytes: 4096,
+            },
+        ));
+        sink.record(&event(
+            0,
+            EventKind::PoolProfile {
+                region: "train_step;par".into(),
+                dispatches: 2,
+                max_workers: 4,
+                tasks: 10,
+                busy_ns: 800_000_000,
+                park_ns: 200_000_000,
+                wall_ns: 300_000_000,
+                max_chunk_ns: 160_000_000,
+                min_chunk_ns: 40_000_000,
+            },
+        ));
+        let op = [("op", "matmul".to_string())];
+        assert_eq!(registry.counter("hadfl_op_seconds_total", &op), 1.5);
+        assert_eq!(registry.counter("hadfl_op_calls_total", &op), 4.0);
+        assert_eq!(registry.counter("hadfl_op_bytes_total", &op), 4096.0);
+        let region = [("region", "train_step;par".to_string())];
+        assert_eq!(
+            registry.counter("hadfl_pool_busy_seconds_total", &region),
+            0.8
+        );
+        assert_eq!(
+            registry.counter("hadfl_pool_park_seconds_total", &region),
+            0.2
+        );
+        assert_eq!(registry.counter("hadfl_pool_tasks_total", &region), 10.0);
+        assert_eq!(registry.gauge("hadfl_pool_max_workers", &region), 4.0);
+        // imbalance = max_chunk / mean_chunk = 160ms / 80ms = 2.
+        assert_eq!(registry.gauge("hadfl_pool_imbalance_ratio", &region), 2.0);
     }
 
     #[test]

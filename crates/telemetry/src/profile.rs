@@ -1,0 +1,340 @@
+//! Renders merged [`hadfl_prof`] dumps for `hadfl-trace profile`.
+//!
+//! The binary loads one `profile-node-<id>.json` per participant,
+//! merges them with [`hadfl_prof::merge_dumps`], and hands the result
+//! here. Three views come out:
+//!
+//! - a call tree indented from the `;`-joined stack paths, with
+//!   total / self time, call counts, and bytes per node;
+//! - an op table: stacks summed by leaf op name, sorted by self time,
+//!   so `matmul` reached through `dense_fwd` and `conv2d_fwd` shows as
+//!   one line;
+//! - a pool table with a utilization verdict per region (parked
+//!   workers, chunk imbalance).
+//!
+//! [`check_profile`] backs `--check`: every pool region whose mean
+//! dispatch is long enough to measure must account for ≥95% of its
+//! dispatch wall time as busy+park — anything less means the pool
+//! instrumentation lost track of worker time.
+
+use hadfl_prof::{PoolRow, ProfileDump};
+
+/// Minimum `(busy+park)/wall` fraction a healthy pool region must
+/// account for (the acceptance bar from the profiler's design).
+pub const MIN_ACCOUNTED_FRACTION: f64 = 0.95;
+
+/// Mean dispatch wall below which the accounted-fraction floor does
+/// not apply. A dispatch brackets its busy window with two clock
+/// reads plus region bookkeeping — fixed cost that is noise on a 40µs
+/// matmul band but a built-in 5-15% of a 3µs elementwise dispatch, on
+/// any host. Micro-dispatch regions are still reported (and flagged
+/// by the imbalance/parked verdicts); they just can't fail the floor.
+pub const MIN_CHECKED_DISPATCH_NS: u64 = 20_000;
+
+/// Human-scaled nanoseconds: `123ns`, `12.3us`, `4.56ms`, `1.23s`.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Human-scaled byte counts: `512B`, `4.0KB`, `1.2MB`.
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 1_024 {
+        format!("{bytes}B")
+    } else if bytes < 1_024 * 1_024 {
+        format!("{:.1}KB", bytes as f64 / 1_024.0)
+    } else {
+        format!("{:.1}MB", bytes as f64 / (1_024.0 * 1_024.0))
+    }
+}
+
+/// One-line health verdict for a pool region.
+///
+/// - busy fraction below 50% of `workers × wall` ⇒ the workers spent
+///   most of the region parked: the region is too small for its worker
+///   count or spawn overhead dominates;
+/// - slowest chunk more than 2× the mean ⇒ chunking is too coarse to
+///   balance;
+/// - otherwise the region is healthy.
+pub fn pool_verdict(row: &PoolRow) -> String {
+    if row.wall_ns == 0 || row.tasks == 0 {
+        return "no data".to_string();
+    }
+    let busy = row.busy_fraction();
+    let imbalance = row.imbalance();
+    if busy < 0.5 {
+        format!(
+            "workers {:.0}% parked — region too small for {} workers or spawn overhead dominates",
+            (1.0 - busy) * 100.0,
+            row.max_workers
+        )
+    } else if imbalance > 2.0 {
+        format!("chunking too coarse — slowest chunk {imbalance:.1}x the mean")
+    } else {
+        "healthy".to_string()
+    }
+}
+
+/// Structural checks for `--check`. Returns one message per violation;
+/// empty means the profile passes.
+pub fn check_profile(dump: &ProfileDump) -> Vec<String> {
+    let mut errors = Vec::new();
+    for pool in &dump.pools {
+        if pool.wall_ns == 0 || pool.wall_ns < pool.dispatches.max(1) * MIN_CHECKED_DISPATCH_NS {
+            continue;
+        }
+        let accounted = pool.accounted_fraction();
+        if accounted < MIN_ACCOUNTED_FRACTION {
+            errors.push(format!(
+                "pool region '{}': busy+park accounts for only {:.1}% of dispatch wall time \
+                 (floor {:.0}%)",
+                pool.region,
+                accounted * 100.0,
+                MIN_ACCOUNTED_FRACTION * 100.0
+            ));
+        }
+    }
+    for stack in &dump.stacks {
+        if stack.self_ns > stack.total_ns {
+            errors.push(format!(
+                "stack '{}': self time {} exceeds total {}",
+                stack.stack, stack.self_ns, stack.total_ns
+            ));
+        }
+    }
+    errors
+}
+
+/// The full text report for a merged dump: call tree, op table, pool
+/// table with verdicts. Deterministic — rows come out in the dump's
+/// own (sorted) order, ops by descending self time with name
+/// tie-break.
+pub fn render_profile(dump: &ProfileDump, nodes: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== merged profile: {nodes} node(s), {} stack(s), {} pool region(s) ==\n",
+        dump.stacks.len(),
+        dump.pools.len()
+    ));
+
+    if dump.stacks.is_empty() {
+        out.push_str("no scopes recorded\n");
+    } else {
+        out.push_str("\ncall tree (total / self / calls / bytes):\n");
+        // Stack paths arrive sorted, so a parent's row always precedes
+        // its children's; depth = segment count gives the indent.
+        let name_width = dump
+            .stacks
+            .iter()
+            .map(|row| {
+                let depth = row.stack.matches(';').count();
+                let leaf = row.stack.rsplit(';').next().unwrap_or(&row.stack);
+                2 * depth + leaf.len()
+            })
+            .max()
+            .unwrap_or(0)
+            .max(12);
+        for row in &dump.stacks {
+            let depth = row.stack.matches(';').count();
+            let leaf = row.stack.rsplit(';').next().unwrap_or(&row.stack);
+            let bytes = if row.bytes > 0 {
+                format!("  {}", fmt_bytes(row.bytes))
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {blank:indent$}{leaf:<width$}  {total:>9} {selft:>9}  x{count}{bytes}\n",
+                blank = "",
+                indent = 2 * depth,
+                width = name_width - 2 * depth,
+                total = fmt_ns(row.total_ns),
+                selft = fmt_ns(row.self_ns),
+                count = row.count,
+            ));
+        }
+
+        // The op table folds every path ending in the same leaf into
+        // one row — the per-kernel cost regardless of caller.
+        let mut ops: std::collections::BTreeMap<&str, (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for row in &dump.stacks {
+            let leaf = row.stack.rsplit(';').next().unwrap_or(&row.stack);
+            let agg = ops.entry(leaf).or_default();
+            agg.0 += row.count;
+            agg.1 += row.self_ns;
+            agg.2 += row.bytes;
+        }
+        let mut rows: Vec<(&str, u64, u64, u64)> = ops
+            .into_iter()
+            .map(|(op, (calls, self_ns, bytes))| (op, calls, self_ns, bytes))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        let total_self: u64 = rows.iter().map(|r| r.2).sum();
+        out.push_str("\nops by self time:\n");
+        for (op, calls, self_ns, bytes) in rows {
+            let share = if total_self > 0 {
+                100.0 * self_ns as f64 / total_self as f64
+            } else {
+                0.0
+            };
+            let bytes = if bytes > 0 {
+                format!("  {}", fmt_bytes(bytes))
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {op:<20} {selft:>9} ({share:>4.1}%)  x{calls}{bytes}\n",
+                selft = fmt_ns(self_ns),
+            ));
+        }
+    }
+
+    if !dump.pools.is_empty() {
+        out.push_str("\npool regions:\n");
+        for pool in &dump.pools {
+            out.push_str(&format!(
+                "  {region}: {workers} worker(s), {tasks} task(s)/{dispatches} dispatch(es), \
+                 busy {busy:.0}%, accounted {acct:.0}%, imbalance {imb:.2} -> {verdict}\n",
+                region = pool.region,
+                workers = pool.max_workers,
+                tasks = pool.tasks,
+                dispatches = pool.dispatches,
+                busy = pool.busy_fraction() * 100.0,
+                acct = pool.accounted_fraction() * 100.0,
+                imb = pool.imbalance(),
+                verdict = pool_verdict(pool),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadfl_prof::{StackRow, PROF_SCHEMA_VERSION};
+
+    fn dump() -> ProfileDump {
+        ProfileDump {
+            v: PROF_SCHEMA_VERSION,
+            node: 0,
+            stacks: vec![
+                StackRow {
+                    stack: "train_step".into(),
+                    count: 8,
+                    total_ns: 12_000_000,
+                    self_ns: 2_000_000,
+                    bytes: 0,
+                },
+                StackRow {
+                    stack: "train_step;dense_fwd".into(),
+                    count: 8,
+                    total_ns: 6_000_000,
+                    self_ns: 1_000_000,
+                    bytes: 0,
+                },
+                StackRow {
+                    stack: "train_step;dense_fwd;matmul".into(),
+                    count: 8,
+                    total_ns: 5_000_000,
+                    self_ns: 5_000_000,
+                    bytes: 2 * 1024 * 1024,
+                },
+            ],
+            pools: vec![PoolRow {
+                region: "train_step;dense_fwd;matmul;par".into(),
+                dispatches: 8,
+                max_workers: 4,
+                tasks: 32,
+                busy_ns: 4_000_000,
+                park_ns: 1_000_000,
+                wall_ns: 1_300_000,
+                max_chunk_ns: 200_000,
+                min_chunk_ns: 100_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn tree_indents_by_depth_and_ops_fold_by_leaf() {
+        let text = render_profile(&dump(), 2);
+        assert!(text.contains("2 node(s), 3 stack(s)"), "{text}");
+        assert!(text.contains("  train_step "), "{text}");
+        assert!(text.contains("    dense_fwd"), "{text}");
+        assert!(text.contains("      matmul"), "{text}");
+        // matmul dominates self time, so it leads the op table.
+        let ops_at = text.find("ops by self time").unwrap();
+        let first_op = text[ops_at..].lines().nth(1).unwrap();
+        assert!(first_op.trim_start().starts_with("matmul"), "{first_op}");
+        assert!(text.contains("2.0MB"), "{text}");
+    }
+
+    #[test]
+    fn healthy_pool_gets_a_healthy_verdict() {
+        let row = &dump().pools[0];
+        // busy 4ms over 4 workers x 1.3ms wall = 77%, imbalance
+        // 200us / 125us = 1.6 -> healthy.
+        assert_eq!(pool_verdict(row), "healthy");
+        assert!(check_profile(&dump()).is_empty());
+    }
+
+    #[test]
+    fn parked_pool_and_coarse_chunks_are_called_out() {
+        let mut row = dump().pools[0].clone();
+        row.busy_ns = 1_000_000;
+        row.park_ns = 4_000_000;
+        assert!(
+            pool_verdict(&row).contains("parked"),
+            "{}",
+            pool_verdict(&row)
+        );
+        let mut coarse = dump().pools[0].clone();
+        coarse.max_chunk_ns = 500_000;
+        assert!(
+            pool_verdict(&coarse).contains("too coarse"),
+            "{}",
+            pool_verdict(&coarse)
+        );
+    }
+
+    #[test]
+    fn check_flags_unaccounted_wall_time() {
+        let mut d = dump();
+        d.pools[0].busy_ns = 100_000;
+        d.pools[0].park_ns = 100_000;
+        let errors = check_profile(&d);
+        assert_eq!(errors.len(), 1);
+        assert!(
+            errors[0].contains("busy+park accounts for only"),
+            "{}",
+            errors[0]
+        );
+    }
+
+    #[test]
+    fn micro_dispatch_regions_are_exempt_from_the_floor() {
+        // Same poorly-accounted region, but the wall time spread over
+        // enough dispatches that each one averages under 20µs: the
+        // fixed per-dispatch measurement cost explains the gap, so
+        // the floor must not fire.
+        let mut d = dump();
+        d.pools[0].busy_ns = 100_000;
+        d.pools[0].park_ns = 100_000;
+        d.pools[0].dispatches = 100;
+        assert!(check_profile(&d).is_empty(), "{:?}", check_profile(&d));
+    }
+
+    #[test]
+    fn verdict_without_data_says_so() {
+        let mut row = dump().pools[0].clone();
+        row.tasks = 0;
+        assert_eq!(pool_verdict(&row), "no data");
+    }
+}

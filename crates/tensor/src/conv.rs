@@ -123,6 +123,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
     let ppi = geom.patches_per_image();
     let rows = n * ppi;
     let cols = geom.patch_len();
+    let _prof = hadfl_prof::scope_bytes("im2col", 4 * (input.len() + rows * cols) as u64);
     let mut out = Tensor::zeros(&[rows, cols]);
     let src = input.as_slice();
     let (ih, iw, k, s, p) = (geom.in_h, geom.in_w, geom.kernel, geom.stride, geom.padding);
@@ -184,6 +185,7 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Result<Tens
             rhs: vec![want_rows, want_cols],
         });
     }
+    let _prof = hadfl_prof::scope_bytes("col2im", 4 * cols.len() as u64);
     let mut out = Tensor::zeros(&[batch, geom.in_channels, geom.in_h, geom.in_w]);
     let src = cols.as_slice();
     let (ih, iw, k, s, p) = (geom.in_h, geom.in_w, geom.kernel, geom.stride, geom.padding);

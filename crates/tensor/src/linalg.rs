@@ -87,6 +87,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
+    let _prof = hadfl_prof::scope_bytes("matmul", 4 * (a.len() + b.len() + m * n) as u64);
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let work = (m as u64) * (ka as u64) * (n as u64);
@@ -119,6 +120,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
+    let _prof = hadfl_prof::scope_bytes("matmul_at_b", 4 * (a.len() + b.len() + m * n) as u64);
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let work = (m as u64) * (ka as u64) * (n as u64);
@@ -160,6 +162,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             rhs: b.dims().to_vec(),
         });
     }
+    let _prof = hadfl_prof::scope_bytes("matmul_a_bt", 4 * (a.len() + b.len() + m * n) as u64);
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let work = (m as u64) * (ka as u64) * (n as u64);

@@ -76,6 +76,7 @@ pub fn log_softmax_rows(t: &Tensor) -> Result<Tensor, TensorError> {
         });
     }
     let (rows, cols) = (t.dims()[0], t.dims()[1]);
+    let _prof = hadfl_prof::scope_bytes("log_softmax_rows", 4 * t.len() as u64);
     let mut out = t.clone();
     let data = out.as_mut_slice();
     // Rows are independent, so fixed row chunks parallelize without

@@ -1,27 +1,36 @@
 #!/usr/bin/env bash
-# Runs the kernel, wire, and telemetry criterion benches and distills
-# every measurement into BENCH_8.json at the repo root: one record per
-# benchmark with the op name, the worker-thread count it ran at, and
-# the measured ns/iter. The `scaling/` group runs the same workload at
-# 1, 2, and 4 threads (encoded as an `_tN` name suffix), so the file
-# is the recorded evidence for the parallel substrate's scaling; the
-# `wire_*` vs `wire_reference/*_per_float_*` rows are the bulk codec's
-# before/after; and the `span_emission/*` rows bound the telemetry hot
-# path (disabled handle vs ring buffer vs ship queue, ns/event).
+# Runs the kernel, wire, telemetry, and profiler criterion benches and
+# distills every measurement into BENCH_9.json at the repo root: one
+# record per benchmark with the op name, the worker-thread count it ran
+# at, and the measured ns/iter. The `calibration/serial_fma_1m` row is
+# the machine-speed yardstick `hadfl-bench-diff` divides out when
+# comparing two BENCH files, so numbers taken on different (or
+# differently loaded) machines stay comparable. The `scaling/` group
+# runs the same workload at 1, 2, and 4 threads (encoded as an `_tN`
+# name suffix), so the file is the recorded evidence for the parallel
+# substrate's scaling; the `wire_*` vs `wire_reference/*_per_float_*`
+# rows are the bulk codec's before/after; the `span_emission/*` rows
+# bound the telemetry hot path; and the `prof/*` + `prof_parity/*`
+# rows bound the compute profiler (disabled scope vs enabled pair,
+# instrumented kernel with and without a profiler installed).
 #
 # HADFL_BENCH_FAST=1 shrinks the vendored criterion's measurement
-# budget for CI; unset it for more stable local numbers.
+# budget for CI smoke runs; never commit numbers taken with it — the
+# 20ms budget gives the allocation-bound wire ops 1-6 iters/sample
+# and a 3x run-to-run spread. Committed BENCH files are the per-op
+# MINIMUM across several (>=5) idle full-budget passes: noise only
+# ever adds time, so the min is the stable envelope.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_8.json
+out=BENCH_9.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # The vendored criterion stand-in has no CLI filter: run each bench
 # binary whole and scrape its `bench: <name> <ns> ns/iter` lines.
-for bench in kernels wire telemetry; do
+for bench in kernels wire telemetry prof; do
     echo "== cargo bench -p hadfl-bench --bench $bench" >&2
     cargo bench -p hadfl-bench --bench "$bench" 2>&1 | tee /dev/stderr | grep '^bench:' >>"$raw"
 done
