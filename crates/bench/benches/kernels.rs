@@ -128,10 +128,14 @@ fn bench_algorithms(c: &mut Criterion) {
 
 /// Thread-scaling sweep of the hot kernels: the same workload at 1, 2,
 /// and 4 worker threads via the `hadfl-par` override (`_tN` suffix).
-/// `tools/bench.sh` parses these names into `BENCH_5.json`, so the
-/// speedup at each thread count is a recorded artifact rather than a
-/// claim. On a single-core host the t2/t4 rows measure dispatch
-/// overhead, not speedup — the JSON keeps whatever the hardware gives.
+/// `tools/bench.sh` parses these names into the current `BENCH_*.json`
+/// artifact, so the speedup at each thread count is a recorded fact
+/// rather than a claim. `with_threads` respects the measured work-size
+/// cutoffs, exactly as production dispatch does — a row where the
+/// autotuner declines to parallelize records the serial time, which is
+/// the honest number. On a single-core host the t2/t4 rows measure
+/// dispatch overhead, not speedup — the JSON keeps whatever the
+/// hardware gives.
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling");
     group.sample_size(20);

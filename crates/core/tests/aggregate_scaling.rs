@@ -1,0 +1,93 @@
+//! Regression guard for the `average_params_4x100k` parallel cliff:
+//! before the persistent pool + measured cutoffs, dispatching this op
+//! at `HADFL_THREADS=4` paid per-dispatch thread spawns that cost ~2×
+//! the whole serial op. With a parked pool and autotuned thresholds,
+//! more threads must never make aggregation slower — either the
+//! parallel path wins or the cutoff keeps the op serial.
+//!
+//! The timing assertion only runs on hosts with ≥ 4 cores (on fewer,
+//! "t4" shares cores with itself and measures the scheduler, not the
+//! pool). Bit-identity across thread counts runs everywhere.
+
+use std::time::Instant;
+
+use hadfl::aggregate::average_params;
+use hadfl_par::with_threads;
+
+const MODELS: usize = 4;
+const PARAMS: usize = 100_000;
+
+fn models() -> Vec<Vec<f32>> {
+    (0..MODELS)
+        .map(|m| {
+            (0..PARAMS)
+                .map(|i| ((m * PARAMS + i) as f32 * 0.173).sin())
+                .collect()
+        })
+        .collect()
+}
+
+/// Minimum wall time of `reps` runs — the least-disturbed pass, same
+/// estimator as DESIGN.md §13 bench methodology.
+fn min_wall_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn average_params_4x100k_does_not_regress_under_threads() {
+    let models = models();
+    let views: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping timing assertion: only {cores} core(s) available");
+        return;
+    }
+
+    // Warm both paths: first t4 dispatch spawns the pool's workers and
+    // runs the one-shot calibration probes; neither belongs in the
+    // measurement.
+    with_threads(1, || average_params(&views).unwrap());
+    with_threads(4, || average_params(&views).unwrap());
+
+    let reps = 9;
+    let t1 = min_wall_ns(reps, || {
+        with_threads(1, || std::hint::black_box(average_params(&views).unwrap()));
+    });
+    let t4 = min_wall_ns(reps, || {
+        with_threads(4, || std::hint::black_box(average_params(&views).unwrap()));
+    });
+
+    // t4 must be no worse than t1 beyond noise: the pool either scales
+    // the op or its cutoff declines to parallelize it.
+    assert!(
+        (t4 as f64) <= (t1 as f64) * 1.05,
+        "average_params_4x100k regressed under threads: t1 = {t1} ns, t4 = {t4} ns \
+         ({:.2}x)",
+        t4 as f64 / t1 as f64
+    );
+}
+
+#[test]
+fn average_params_bits_do_not_depend_on_thread_count() {
+    let models = models();
+    let views: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+    let want: Vec<u32> = with_threads(1, || average_params(&views).unwrap())
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for t in [2, 4, 8] {
+        let got: Vec<u32> = with_threads(t, || average_params(&views).unwrap())
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(got, want, "average_params bits moved at {t} threads");
+    }
+}

@@ -1,0 +1,40 @@
+//! Seeded violations for `park-loop-spin`: wait loops that poll an
+//! atomic and never block, burning a core for the whole wait.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn wait_for_flag(ready: &AtomicBool) {
+    // The classic spin: the poll lives in the `while` condition and
+    // the body is empty, so condition tokens must count as in-loop.
+    while !ready.load(Ordering::Acquire) {} //~ park-loop-spin
+}
+
+pub fn wait_for_zero(remaining: &AtomicUsize) {
+    loop {
+        if remaining.load(Ordering::Acquire) == 0 { //~ park-loop-spin
+            break;
+        }
+    }
+}
+
+pub fn spin_hint_is_still_spinning(ready: &AtomicBool) {
+    // `spin_loop` relaxes the pipeline but the core stays pegged; only
+    // actually blocking (or at least yielding) clears the rule.
+    while !ready.load(Ordering::Acquire) { //~ park-loop-spin
+        std::hint::spin_loop();
+    }
+}
+
+pub fn inner_spin_inside_parking_outer(epoch: &AtomicUsize, done: &AtomicBool) {
+    let mut last = 0;
+    loop {
+        // The outer loop parks, but the *innermost* loop around this
+        // poll never blocks: it is a busy-wait all the same.
+        while epoch.load(Ordering::Acquire) == last {} //~ park-loop-spin
+        last += 1;
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::park();
+    }
+}

@@ -1,0 +1,67 @@
+//! Known-clean look-alikes for `park-loop-spin`: wake-up protocols
+//! that park between polls, CAS drains, and polls outside any loop.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+pub fn dispatcher_wait(remaining: &AtomicUsize) {
+    // Poll in the condition, park in the body: the shape the rule
+    // pushes toward. Spurious wakeups re-check and re-park.
+    while remaining.load(Ordering::Acquire) != 0 {
+        std::thread::park();
+    }
+}
+
+pub fn worker_wait(epoch: &AtomicUsize, shutdown: &AtomicBool) {
+    let last = 0;
+    loop {
+        if epoch.load(Ordering::Acquire) == last {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::park();
+            continue;
+        }
+        break;
+    }
+}
+
+pub fn bounded_poll_with_timeout(ready: &AtomicBool) {
+    while !ready.load(Ordering::Acquire) {
+        std::thread::park_timeout(Duration::from_millis(1));
+    }
+}
+
+pub fn polite_poll(ready: &AtomicBool) {
+    while !ready.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+}
+
+pub fn cas_drain(next: &AtomicUsize, n: usize) {
+    // A ticket drain makes forward progress on every iteration; it is
+    // not a wait loop and `fetch_add` is not a poll.
+    loop {
+        let t = next.fetch_add(1, Ordering::Relaxed);
+        if t >= n {
+            break;
+        }
+        std::hint::black_box(t);
+    }
+}
+
+pub fn poll_outside_any_loop(ready: &AtomicBool) -> bool {
+    // A single load is a read, not a busy-wait.
+    ready.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_spin_briefly() {
+        let flag = AtomicBool::new(true);
+        while !flag.load(Ordering::Acquire) {}
+    }
+}

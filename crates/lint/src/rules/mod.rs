@@ -15,6 +15,7 @@ pub mod blocking_in_emit;
 pub mod float_reduce_order;
 pub mod guard_across_send;
 pub mod nondet_iteration;
+pub mod park_loop_spin;
 pub mod print_in_protocol;
 pub mod prof_in_inner_loop;
 pub mod raw_frame;
@@ -69,7 +70,7 @@ pub fn ids() -> Vec<&'static str> {
     RULES.iter().map(|r| r.id).collect()
 }
 
-static RULES: [Rule; 10] = [
+static RULES: [Rule; 11] = [
     Rule {
         id: "ambient-clock",
         summary: "no Instant::now()/SystemTime::now() in protocol paths — time goes \
@@ -204,6 +205,18 @@ static RULES: [Rule; 10] = [
             excludes: &[],
         },
         run: prof_in_inner_loop::run,
+    },
+    Rule {
+        id: "park-loop-spin",
+        summary: "no `.load(...)` polling loops without park/park_timeout/sleep/\
+                  yield_now in the worker pool — idle waiting must park the thread, \
+                  not burn a core spinning on an atomic",
+        scope: Scope {
+            dirs: &["crates/par/src/"],
+            files: &[],
+            excludes: &[],
+        },
+        run: park_loop_spin::run,
     },
 ];
 

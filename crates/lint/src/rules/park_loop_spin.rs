@@ -1,0 +1,111 @@
+//! `park-loop-spin`: no busy-wait polling loops in the worker pool.
+//!
+//! The persistent pool's whole point is that idle workers cost
+//! nothing: between dispatches they sit in [`std::thread::park`] and
+//! the dispatcher wakes them with an unpark permit. A loop that polls
+//! an atomic with `.load(...)` and never blocks — no `park`,
+//! `park_timeout`, `sleep`, `yield_now`, or condvar `wait` anywhere in
+//! the loop — burns a core for the entire wait, inverts the autotuner's
+//! dispatch-overhead measurement, and on an oversubscribed host starves
+//! the very workers it is waiting for.
+//!
+//! The rule flags each `.load(` inside a loop whose *innermost*
+//! enclosing `for`/`while`/`loop` extent (condition included, so
+//! `while flag.load(..) {}` is caught) contains none of the blocking
+//! calls above. CAS retry loops (`fetch_*`/`compare_exchange`) are not
+//! polling and are not flagged; test code is exempt.
+
+use super::{finding, FileCx};
+use crate::report::Finding;
+
+/// Calls that make a wait loop block (or at least yield) instead of
+/// spinning: the loop is then a wake-up protocol, not a busy-wait.
+const BLOCKING: [&str; 5] = ["park", "park_timeout", "sleep", "yield_now", "wait"];
+
+pub fn run(cx: &FileCx) -> Vec<Finding> {
+    let src = cx.src;
+    let loops = loop_extents(cx);
+    let mut out = Vec::new();
+    for i in 0..src.len() {
+        if cx.scopes.in_test(i) {
+            continue;
+        }
+        // `.load(` — an atomic (or atomic-like) poll.
+        if !src.is_ident(i, "load")
+            || !src.is_punct(i + 1, '(')
+            || !src.is_punct(i.wrapping_sub(1), '.')
+        {
+            continue;
+        }
+        // Innermost enclosing loop: greatest keyword index still
+        // containing the poll. The extent starts at the loop keyword so
+        // polls in a `while` condition count as inside.
+        let Some(&(kw, close)) = loops
+            .iter()
+            .filter(|&&(kw, close)| kw < i && i < close)
+            .max_by_key(|&&(kw, _)| kw)
+        else {
+            continue;
+        };
+        let blocks = (kw..close).any(|j| BLOCKING.iter().any(|name| src.is_ident(j, name)));
+        if !blocks {
+            out.push(finding(
+                cx,
+                i,
+                "park-loop-spin",
+                "`.load(...)` polled in a loop with no park/park_timeout/sleep/\
+                 yield_now — a busy-wait burns a core for the whole wait; park the \
+                 thread and have the writer unpark it"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `(keyword, close)` extents of every `for`/`while`/`loop`, spanning
+/// from the loop keyword to the body's closing brace so that `while`
+/// conditions are part of the extent.
+fn loop_extents(cx: &FileCx) -> Vec<(usize, usize)> {
+    let src = cx.src;
+    let n = src.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let (is_for, is_while, is_loop) = (
+            src.is_ident(i, "for"),
+            src.is_ident(i, "while"),
+            src.is_ident(i, "loop"),
+        );
+        if !(is_for || is_while || is_loop) {
+            continue;
+        }
+        if is_loop {
+            if src.is_punct(i + 1, '{') {
+                out.push((i, cx.scopes.close_of(i + 1)));
+            }
+            continue;
+        }
+        // Scan the head for the body `{` (bare struct literals are
+        // illegal in conditions, so the first top-level `{` is the
+        // body), skipping bracket groups. A `for` with no top-level
+        // `in` is `impl Trait for Type` or `for<'a>`, not a loop.
+        let mut saw_in = false;
+        let mut j = i + 1;
+        while j < n {
+            if src.is_punct(j, '(') || src.is_punct(j, '[') {
+                j = cx.scopes.close_of(j);
+            } else if src.is_ident(j, "in") {
+                saw_in = true;
+            } else if src.is_punct(j, '{') {
+                if is_while || saw_in {
+                    out.push((i, cx.scopes.close_of(j)));
+                }
+                break;
+            } else if src.is_punct(j, ';') {
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}

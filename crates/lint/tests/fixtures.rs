@@ -112,6 +112,11 @@ fn prof_in_inner_loop() {
 }
 
 #[test]
+fn park_loop_spin() {
+    check_dir("park_loop_spin", &["park-loop-spin"]);
+}
+
+#[test]
 fn waiver_corpus() {
     check_dir("waivers", &["ambient-clock"]);
 }

@@ -296,7 +296,13 @@ struct PoolAgg {
     tasks: u64,
     busy_ns: u64,
     park_ns: u64,
+    /// Dispatch-to-first-instruction latency summed over workers: the
+    /// publish/unpark cost of waking the persistent pool.
+    wake_ns: u64,
     wall_ns: u64,
+    /// Calibrated estimate of the serial wall time for the dispatched
+    /// work, summed over dispatches (0 when the dispatcher had none).
+    serial_est_ns: u64,
     max_chunk_ns: u64,
     /// `u64::MAX` until the first task lands.
     min_chunk_ns: u64,
@@ -408,7 +414,9 @@ impl Profiler {
                 tasks: agg.tasks,
                 busy_ns: agg.busy_ns,
                 park_ns: agg.park_ns,
+                wake_ns: agg.wake_ns,
                 wall_ns: agg.wall_ns,
+                serial_est_ns: agg.serial_est_ns,
                 max_chunk_ns: agg.max_chunk_ns,
                 min_chunk_ns: if agg.min_chunk_ns == u64::MAX {
                     0
@@ -518,6 +526,8 @@ struct RegionInner {
     start_ns: u64,
     busy_ns: AtomicU64,
     worker_ns: AtomicU64,
+    wake_ns: AtomicU64,
+    serial_est_ns: AtomicU64,
     tasks: AtomicU64,
     workers: AtomicU64,
     max_chunk_ns: AtomicU64,
@@ -557,6 +567,8 @@ impl PoolRegion {
                     start_ns: ns(ctx.time.now()),
                     busy_ns: AtomicU64::new(0),
                     worker_ns: AtomicU64::new(0),
+                    wake_ns: AtomicU64::new(0),
+                    serial_est_ns: AtomicU64::new(0),
                     tasks: AtomicU64::new(0),
                     workers: AtomicU64::new(0),
                     max_chunk_ns: AtomicU64::new(0),
@@ -567,10 +579,27 @@ impl PoolRegion {
         PoolRegion(inner)
     }
 
+    /// A region that is guaranteed inert even with a profiler
+    /// installed. Calibration probes dispatch through the real pool
+    /// but must not pollute the profile's pool table with their no-op
+    /// rounds.
+    pub fn disabled() -> PoolRegion {
+        PoolRegion(None)
+    }
+
     /// `true` when this region actually records (a profiler was
     /// installed when it began).
     pub fn active(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// Records the dispatcher's calibrated estimate of what this
+    /// dispatch would have cost serially — `hadfl-trace profile` flags
+    /// regions whose wall time exceeds it ("serial-better").
+    pub fn set_serial_estimate(&self, estimate_ns: u64) {
+        if let Some(r) = &self.0 {
+            r.serial_est_ns.store(estimate_ns, Ordering::Relaxed);
+        }
     }
 
     fn now_ns(&self) -> Option<u64> {
@@ -578,12 +607,17 @@ impl PoolRegion {
     }
 
     /// Marks one worker joining the region (the dispatching thread
-    /// counts as a worker when it drains tasks itself).
+    /// counts as a worker when it drains tasks itself). The gap between
+    /// the region opening and the worker's first instruction is charged
+    /// as wake latency.
     pub fn worker_start(&self) -> PoolTimer {
-        if let Some(r) = &self.0 {
+        let now = self.now_ns();
+        if let (Some(r), Some(now)) = (&self.0, now) {
             r.workers.fetch_add(1, Ordering::Relaxed);
+            r.wake_ns
+                .fetch_add(now.saturating_sub(r.start_ns), Ordering::Relaxed);
         }
-        PoolTimer(self.now_ns())
+        PoolTimer(now)
     }
 
     /// Closes a worker's lifetime; the gap between its lifetime and its
@@ -632,7 +666,9 @@ impl PoolRegion {
         agg.tasks += r.tasks.load(Ordering::Relaxed);
         agg.busy_ns += busy;
         agg.park_ns += worker.saturating_sub(busy);
+        agg.wake_ns += r.wake_ns.load(Ordering::Relaxed);
         agg.wall_ns += wall;
+        agg.serial_est_ns += r.serial_est_ns.load(Ordering::Relaxed);
         agg.max_chunk_ns = agg.max_chunk_ns.max(r.max_chunk_ns.load(Ordering::Relaxed));
         agg.min_chunk_ns = agg.min_chunk_ns.min(r.min_chunk_ns.load(Ordering::Relaxed));
     }

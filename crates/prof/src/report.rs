@@ -35,7 +35,16 @@ pub struct PoolRow {
     pub tasks: u64,
     pub busy_ns: u64,
     pub park_ns: u64,
+    /// Dispatch-to-first-instruction latency summed over workers
+    /// (publish + unpark cost). Absent in pre-pool dumps, hence the
+    /// default.
+    #[serde(default)]
+    pub wake_ns: u64,
     pub wall_ns: u64,
+    /// Calibrated serial-time estimate for the dispatched work, summed
+    /// over dispatches; 0 when the dispatcher recorded none.
+    #[serde(default)]
+    pub serial_est_ns: u64,
     pub max_chunk_ns: u64,
     pub min_chunk_ns: u64,
 }
@@ -70,13 +79,14 @@ impl PoolRow {
     }
 
     /// Fraction of region wall time accounted for by measured worker
-    /// lifetime (busy + park). Below ~0.95 the dispatch overhead
-    /// (spawn/join) dominates the region.
+    /// lifetime plus wake latency (busy + park + wake). Below ~0.95
+    /// the dispatch overhead is going somewhere the pool cannot even
+    /// see (spawn/join in the old substrate, scheduler noise now).
     pub fn accounted_fraction(&self) -> f64 {
         if self.wall_ns == 0 {
             1.0
         } else {
-            (self.busy_ns + self.park_ns) as f64 / self.wall_ns as f64
+            (self.busy_ns + self.park_ns + self.wake_ns) as f64 / self.wall_ns as f64
         }
     }
 }
@@ -165,7 +175,9 @@ pub fn merge_dumps(dumps: &[ProfileDump]) -> ProfileDump {
                     agg.tasks += row.tasks;
                     agg.busy_ns += row.busy_ns;
                     agg.park_ns += row.park_ns;
+                    agg.wake_ns += row.wake_ns;
                     agg.wall_ns += row.wall_ns;
+                    agg.serial_est_ns += row.serial_est_ns;
                     agg.max_chunk_ns = agg.max_chunk_ns.max(row.max_chunk_ns);
                     agg.min_chunk_ns = if agg.min_chunk_ns == 0 {
                         row.min_chunk_ns
@@ -241,7 +253,9 @@ mod tests {
                 tasks: 4,
                 busy_ns: 100,
                 park_ns: 10,
+                wake_ns: 3,
                 wall_ns: 60,
+                serial_est_ns: 50,
                 max_chunk_ns: 40,
                 min_chunk_ns: 10,
             }],
@@ -256,6 +270,7 @@ mod tests {
         let p = &merged.pools[0];
         assert_eq!((p.dispatches, p.max_workers, p.tasks), (2, 4, 8));
         assert_eq!((p.busy_ns, p.min_chunk_ns, p.max_chunk_ns), (200, 5, 40));
+        assert_eq!((p.wake_ns, p.serial_est_ns), (6, 100));
     }
 
     #[test]
@@ -267,13 +282,26 @@ mod tests {
             tasks: 4,
             busy_ns: 124,
             park_ns: 260,
+            wake_ns: 16,
             wall_ns: 100,
+            serial_est_ns: 0,
             max_chunk_ns: 87,
             min_chunk_ns: 10,
         };
         assert_eq!(p.mean_chunk_ns(), 31);
         assert!((p.imbalance() - 87.0 / 31.0).abs() < 1e-9);
         assert!((p.busy_fraction() - 0.31).abs() < 1e-9);
-        assert!((p.accounted_fraction() - 3.84).abs() < 1e-9);
+        assert!((p.accounted_fraction() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_pool_dumps_deserialize_with_defaulted_fields() {
+        // A PR-8-era pool row has no wake_ns/serial_est_ns keys.
+        let json = r#"{"region":"x","dispatches":1,"max_workers":2,"tasks":4,
+                       "busy_ns":100,"park_ns":10,"wall_ns":60,
+                       "max_chunk_ns":40,"min_chunk_ns":10}"#;
+        let p: PoolRow = serde_json::from_str(json).unwrap();
+        assert_eq!((p.wake_ns, p.serial_est_ns), (0, 0));
+        assert!((p.accounted_fraction() - 110.0 / 60.0).abs() < 1e-9);
     }
 }

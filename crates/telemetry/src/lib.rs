@@ -314,7 +314,9 @@ mod tests {
                 tasks: 4,
                 busy_ns: 80,
                 park_ns: 20,
+                wake_ns: 0,
                 wall_ns: 100,
+                serial_est_ns: 0,
                 max_chunk_ns: 30,
                 min_chunk_ns: 10,
             }],

@@ -57,6 +57,10 @@ fn fmt_bytes(bytes: u64) -> String {
 
 /// One-line health verdict for a pool region.
 ///
+/// - dispatch wall time exceeding the dispatcher's calibrated serial
+///   estimate ⇒ parallelizing made the op *slower* than just running
+///   it on the dispatching thread — the threshold for this op class is
+///   wrong (serial-better);
 /// - busy fraction below 50% of `workers × wall` ⇒ the workers spent
 ///   most of the region parked: the region is too small for its worker
 ///   count or spawn overhead dominates;
@@ -69,7 +73,15 @@ pub fn pool_verdict(row: &PoolRow) -> String {
     }
     let busy = row.busy_fraction();
     let imbalance = row.imbalance();
-    if busy < 0.5 {
+    // Both sides are sums over the same dispatches, so comparing the
+    // totals compares the means.
+    if row.serial_est_ns > 0 && row.wall_ns > row.serial_est_ns {
+        format!(
+            "serial-better — {:.1}x slower than the calibrated serial estimate: \
+             this op should not have parallelized at this size",
+            row.wall_ns as f64 / row.serial_est_ns as f64
+        )
+    } else if busy < 0.5 {
         format!(
             "workers {:.0}% parked — region too small for {} workers or spawn overhead dominates",
             (1.0 - busy) * 100.0,
@@ -255,7 +267,9 @@ mod tests {
                 tasks: 32,
                 busy_ns: 4_000_000,
                 park_ns: 1_000_000,
+                wake_ns: 0,
                 wall_ns: 1_300_000,
+                serial_est_ns: 2_000_000,
                 max_chunk_ns: 200_000,
                 min_chunk_ns: 100_000,
             }],
@@ -329,6 +343,23 @@ mod tests {
         d.pools[0].park_ns = 100_000;
         d.pools[0].dispatches = 100;
         assert!(check_profile(&d).is_empty(), "{:?}", check_profile(&d));
+    }
+
+    #[test]
+    fn serial_better_dispatches_are_called_out() {
+        // Wall 1.3ms against a 1.0ms calibrated serial estimate: the
+        // dispatch lost to just running the op on the calling thread.
+        let mut row = dump().pools[0].clone();
+        row.serial_est_ns = 1_000_000;
+        let v = pool_verdict(&row);
+        assert!(v.contains("serial-better"), "{v}");
+        assert!(v.contains("1.3x"), "{v}");
+        // No estimate recorded (pre-autotune dump) -> cannot fire.
+        row.serial_est_ns = 0;
+        assert!(!pool_verdict(&row).contains("serial-better"));
+        // Estimate above wall (parallelism won) -> cannot fire; the
+        // healthy fixture already carries such an estimate.
+        assert_eq!(pool_verdict(&dump().pools[0]), "healthy");
     }
 
     #[test]

@@ -171,7 +171,9 @@ fn scripted_two_device_run_matches_the_hand_computed_tree() {
         tasks: 1,
         busy_ns: 0,
         park_ns: 0,
+        wake_ns: 0,
         wall_ns: 0,
+        serial_est_ns: 0,
         max_chunk_ns: 0,
         min_chunk_ns: 0,
     };

@@ -144,17 +144,36 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
                 let row = row0 + r;
                 let (img, patch) = (row / ppi, row % ppi);
                 let (oy, ox) = (patch / ow, patch % ow);
+                // Within a patch row, `x` advances by exactly 1 per
+                // `kx` (the stride applies to `ox`, not `kx`), so a
+                // fully in-bounds kernel row is one contiguous source
+                // run: bulk-copy it and fall back to the per-element
+                // bounds-checked walk only on rows clipped by padding.
+                // A copy is a copy — the fast path is bit-exact.
+                let x0 = (ox * s) as isize - p as isize;
+                let row_in_bounds = x0 >= 0 && x0 as usize + k <= iw;
                 let mut col = 0;
                 for c in 0..geom.in_channels {
                     let cbase = img * img_stride + c * chan_stride;
                     for ky in 0..k {
                         let y = (oy * s + ky) as isize - p as isize;
-                        for kx in 0..k {
-                            let x = (ox * s + kx) as isize - p as isize;
-                            if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
-                                drow[col] = src[cbase + y as usize * iw + x as usize];
+                        if y >= 0 && (y as usize) < ih {
+                            let rbase = cbase + y as usize * iw;
+                            if row_in_bounds {
+                                let start = rbase + x0 as usize;
+                                drow[col..col + k].copy_from_slice(&src[start..start + k]);
+                                col += k;
+                                continue;
                             }
-                            col += 1;
+                            for kx in 0..k {
+                                let x = x0 + kx as isize;
+                                if x >= 0 && (x as usize) < iw {
+                                    drow[col] = src[rbase + x as usize];
+                                }
+                                col += 1;
+                            }
+                        } else {
+                            col += k;
                         }
                     }
                 }
@@ -203,15 +222,34 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Result<Tens
         for patch in 0..ppi {
             let (oy, ox) = (patch / ow, patch % ow);
             let base = (img * ppi + patch) * want_cols;
+            // Same contiguous-run structure as the im2col gather: a
+            // fully in-bounds kernel row accumulates element-by-element
+            // in ascending `kx` either way, so the vector-friendly zip
+            // adds the same floats in the same order — bit-identical.
+            let x0 = (ox * s) as isize - p as isize;
+            let row_in_bounds = x0 >= 0 && x0 as usize + k <= iw;
             let mut col = 0;
             for c in 0..geom.in_channels {
                 let cbase = c * chan_stride;
                 for ky in 0..k {
                     let y = (oy * s + ky) as isize - p as isize;
+                    if y < 0 || (y as usize) >= ih {
+                        col += k;
+                        continue;
+                    }
+                    let rbase = cbase + y as usize * iw;
+                    if row_in_bounds {
+                        let dst = &mut dimg[rbase + x0 as usize..rbase + x0 as usize + k];
+                        for (d, &v) in dst.iter_mut().zip(&src[base + col..base + col + k]) {
+                            *d += v;
+                        }
+                        col += k;
+                        continue;
+                    }
                     for kx in 0..k {
-                        let x = (ox * s + kx) as isize - p as isize;
-                        if y >= 0 && (y as usize) < ih && x >= 0 && (x as usize) < iw {
-                            dimg[cbase + y as usize * iw + x as usize] += src[base + col];
+                        let x = x0 + kx as isize;
+                        if x >= 0 && (x as usize) < iw {
+                            dimg[rbase + x as usize] += src[base + col];
                         }
                         col += 1;
                     }

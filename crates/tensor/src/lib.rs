@@ -30,6 +30,7 @@ mod init;
 mod linalg;
 mod reduce;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};

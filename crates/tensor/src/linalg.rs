@@ -2,13 +2,18 @@
 //!
 //! The kernels are register-blocked and row-parallel: output rows are
 //! split into fixed [`ROW_BAND`]-row bands dispatched through
-//! `hadfl-par`, and within a row the inner product accumulates into a
-//! register tile instead of round-tripping the output row through
-//! memory on every `k`. Per output element the floating-point
-//! additions happen in strictly increasing `k` order — the same
-//! association as the naive ikj scalar loop — so results are
-//! bit-identical to the scalar reference at any thread count (the
-//! determinism contract of DESIGN.md §10).
+//! `hadfl-par` (sized with the measured [`OpClass::Matmul`] cutoff),
+//! and within a row the inner product accumulates into a register tile
+//! instead of round-tripping the output row through memory on every
+//! `k`. Per output element [`matmul`] and [`matmul_at_b`] add in
+//! strictly increasing `k` order — the same association as the naive
+//! ikj scalar loop — while [`matmul_a_bt`]'s row-dot uses the fixed
+//! eight-lane association of [`crate::simd`]. Both associations are
+//! pure functions of the problem shape, so results are bit-identical
+//! to the scalar reference at any thread count (the determinism
+//! contract of DESIGN.md §10).
+
+use hadfl_par::OpClass;
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
@@ -91,13 +96,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let work = (m as u64) * (ka as u64) * (n as u64);
-    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
-        let i0 = band * ROW_BAND;
-        for (r, orow) in oband.chunks_mut(n).enumerate() {
-            let i = i0 + r;
-            row_times_matrix(&av[i * ka..(i + 1) * ka], bv, orow, n);
-        }
-    });
+    hadfl_par::plan_for(OpClass::Matmul, work).chunks_mut(
+        out.as_mut_slice(),
+        ROW_BAND * n.max(1),
+        |band, oband| {
+            let i0 = band * ROW_BAND;
+            for (r, orow) in oband.chunks_mut(n).enumerate() {
+                let i = i0 + r;
+                row_times_matrix(&av[i * ka..(i + 1) * ka], bv, orow, n);
+            }
+        },
+    );
     Ok(out)
 }
 
@@ -124,7 +133,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let work = (m as u64) * (ka as u64) * (n as u64);
-    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
+    let plan = hadfl_par::plan_for(OpClass::Matmul, work);
+    plan.chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
         let i0 = band * ROW_BAND;
         let rows = oband.len() / n.max(1);
         for k in 0..ka {
@@ -166,20 +176,22 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let work = (m as u64) * (ka as u64) * (n as u64);
-    hadfl_par::plan(work).chunks_mut(out.as_mut_slice(), ROW_BAND * n.max(1), |band, oband| {
-        let i0 = band * ROW_BAND;
-        for (r, orow) in oband.chunks_mut(n).enumerate() {
-            let arow = &av[(i0 + r) * ka..(i0 + r + 1) * ka];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &bv[j * ka..(j + 1) * ka];
-                let mut acc = 0.0;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
+    hadfl_par::plan_for(OpClass::Matmul, work).chunks_mut(
+        out.as_mut_slice(),
+        ROW_BAND * n.max(1),
+        |band, oband| {
+            let i0 = band * ROW_BAND;
+            for (r, orow) in oband.chunks_mut(n).enumerate() {
+                let arow = &av[(i0 + r) * ka..(i0 + r + 1) * ka];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    // Both operands walk k contiguously, so the fixed
+                    // eight-lane dot vectorizes this — the association
+                    // depends only on ka.
+                    *o = crate::simd::dot8(arow, &bv[j * ka..(j + 1) * ka]);
                 }
-                *o = acc;
             }
-        }
-    });
+        },
+    );
     Ok(out)
 }
 

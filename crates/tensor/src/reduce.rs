@@ -15,7 +15,7 @@ use crate::tensor::Tensor;
 /// ```
 pub fn sum(t: &Tensor) -> f32 {
     let v = t.as_slice();
-    crate::tensor::chunked_sum(v.len(), |lo, hi| v[lo..hi].iter().sum())
+    crate::tensor::chunked_sum(v.len(), |lo, hi| crate::simd::sum8(&v[lo..hi]))
 }
 
 /// Arithmetic mean of all elements.

@@ -311,14 +311,14 @@ impl Tensor {
         self.check_same_shape(rhs, "dot")?;
         let (a, b) = (&self.data, &rhs.data);
         Ok(chunked_sum(a.len(), |lo, hi| {
-            a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum()
+            crate::simd::dot8(&a[lo..hi], &b[lo..hi])
         }))
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm_l2(&self) -> f32 {
         let a = &self.data;
-        chunked_sum(a.len(), |lo, hi| a[lo..hi].iter().map(|x| x * x).sum()).sqrt()
+        chunked_sum(a.len(), |lo, hi| crate::simd::sum_sq8(&a[lo..hi])).sqrt()
     }
 
     /// Returns `true` if any element is NaN or infinite.
@@ -341,11 +341,12 @@ fn zip_chunks(dst: &mut [f32], src: &[f32], f: impl Fn(&mut f32, &f32) + Sync) {
     });
 }
 
-/// Chunked sum reduction: `partial(lo, hi)` produces the serial sum of
-/// one fixed [`hadfl_par::F32_CHUNK`]-sized window and the window
-/// partials fold in ascending chunk order. The association is the same
-/// at every thread count — including one — so the reduction is
-/// thread-count-invariant by construction.
+/// Chunked sum reduction: `partial(lo, hi)` produces the sum of one
+/// fixed [`hadfl_par::F32_CHUNK`]-sized window (via the fixed
+/// eight-lane association of [`crate::simd`] at every call site) and
+/// the window partials fold in ascending chunk order. The association
+/// is the same at every thread count — including one — so the
+/// reduction is thread-count-invariant by construction.
 pub(crate) fn chunked_sum(len: usize, partial: impl Fn(usize, usize) -> f32 + Sync) -> f32 {
     let n = hadfl_par::chunk_count(len, hadfl_par::F32_CHUNK);
     hadfl_par::par_reduce(

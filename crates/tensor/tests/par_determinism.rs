@@ -3,19 +3,23 @@
 //! naive serial reference at any thread count, including ragged chunk
 //! tails, empty tensors, and degenerate 1×N / N×1 shapes.
 //!
-//! The [`hadfl_par::with_threads`] override forces the parallel path
-//! even for tiny inputs (it bypasses the work-size cutoff), so these
-//! shapes genuinely exercise multi-chunk dispatch.
+//! The [`hadfl_par::with_threads_forced`] override forces the parallel
+//! path even for tiny inputs (it bypasses the measured work-size
+//! cutoffs that plain `with_threads` respects), so these shapes
+//! genuinely exercise multi-chunk dispatch through the persistent
+//! worker pool — including pool reuse across dispatches and thread
+//! count transitions mid-process.
 
-use hadfl_par::with_threads;
+use hadfl_par::with_threads_forced as with_threads;
 use hadfl_tensor::{
     col2im, im2col, log_softmax_rows, matmul, matmul_a_bt, matmul_at_b, sum, Conv2dGeometry, Tensor,
 };
 use proptest::prelude::*;
 
 /// Thread counts every kernel is checked under; 1 is the serial
-/// reference path, the rest exercise real worker dispatch.
-const THREADS: [usize; 3] = [1, 2, 4];
+/// reference path, the rest exercise real worker dispatch (8 exceeds
+/// any CI runner's core count, so oversubscription is covered too).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn bits(t: &Tensor) -> Vec<u32> {
     t.as_slice().iter().map(|v| v.to_bits()).collect()
@@ -60,15 +64,25 @@ fn matmul_at_b_ref(av: &[f32], bv: &[f32], ka: usize, m: usize, n: usize) -> Vec
     out
 }
 
+/// The fixed eight-lane association of `hadfl_tensor::simd`, written
+/// independently: element `k` joins lane `k % 8`, lanes combine in the
+/// pairwise tree. `matmul_a_bt`'s inner row-dot must reproduce this
+/// bit-for-bit.
+fn dot8_ref(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    for (k, (&x, &y)) in a.iter().zip(b).enumerate() {
+        acc[k % 8] += x * y;
+    }
+    let (s0, s1) = (acc[0] + acc[4], acc[1] + acc[5]);
+    let (s2, s3) = (acc[2] + acc[6], acc[3] + acc[7]);
+    (s0 + s2) + (s1 + s3)
+}
+
 fn matmul_a_bt_ref(av: &[f32], bv: &[f32], m: usize, ka: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         for j in 0..n {
-            let mut acc = 0.0f32;
-            for k in 0..ka {
-                acc += av[i * ka + k] * bv[j * ka + k];
-            }
-            out[i * n + j] = acc;
+            out[i * n + j] = dot8_ref(&av[i * ka..(i + 1) * ka], &bv[j * ka..(j + 1) * ka]);
         }
     }
     out
@@ -273,5 +287,55 @@ fn degenerate_shapes_bit_identical() {
             assert_eq!(sum(&e), 0.0);
             assert_eq!(e.norm_l2(), 0.0);
         });
+    }
+}
+
+fn test_operands(m: usize, ka: usize, n: usize) -> (Tensor, Tensor) {
+    let av: Vec<f32> = (0..m * ka).map(|i| (i as f32 * 0.37).sin()).collect();
+    let bv: Vec<f32> = (0..ka * n).map(|i| (i as f32 * 0.71).cos()).collect();
+    (
+        Tensor::from_vec(av, &[m, ka]).unwrap(),
+        Tensor::from_vec(bv, &[ka, n]).unwrap(),
+    )
+}
+
+/// The persistent pool parks between dispatches and is reused by every
+/// subsequent one; repeated dispatches must keep producing the serial
+/// bits, with no first-dispatch/late-dispatch difference.
+#[test]
+fn pool_reuse_across_many_dispatches_stays_bit_identical() {
+    let (a, b) = test_operands(17, 23, 9);
+    let want = bits(&with_threads(1, || matmul(&a, &b).unwrap()));
+    for round in 0..50 {
+        let got = with_threads(4, || matmul(&a, &b).unwrap());
+        assert_eq!(bits(&got), want, "round {round}");
+    }
+}
+
+/// Changing the thread override mid-process (including dropping back
+/// to 1 and oversubscribing past the pool's previous size) must not
+/// move a bit.
+#[test]
+fn with_threads_transitions_keep_bits() {
+    let (a, b) = test_operands(13, 31, 11);
+    let want = bits(&with_threads(1, || matmul(&a, &b).unwrap()));
+    for t in [4, 1, 8, 2, 4, 1] {
+        let got = with_threads(t, || matmul(&a, &b).unwrap());
+        assert_eq!(bits(&got), want, "after transition to {t} threads");
+    }
+}
+
+/// A kernel invoked from inside a parallel region must serialize (no
+/// nested fan-out, no deadlock on the pool) and still produce the
+/// reference bits.
+#[test]
+fn nested_kernel_dispatch_serializes_and_matches() {
+    let (a, b) = test_operands(9, 15, 7);
+    let want = bits(&with_threads(1, || matmul(&a, &b).unwrap()));
+    let results = with_threads(4, || {
+        hadfl_par::par_map_collect(8, |_| bits(&matmul(&a, &b).unwrap()))
+    });
+    for (i, got) in results.iter().enumerate() {
+        assert_eq!(got, &want, "nested matmul {i}");
     }
 }
